@@ -1,0 +1,146 @@
+// OP-ABL — Sections 3-4: the three candidate assumption/guarantee forms.
+//
+// Artifact: a comparison of E => M (implication), E -> M (as-long-as), and
+// E +> M (while-plus) on the circular safety example, plus the Section 4.2
+// identity (E +> M) = (E -> M) /\ (E _|_ M) verified by exhaustive lasso
+// enumeration. This is why the paper picks +>: it is the weakest of the
+// three that still composes.
+//
+// Benchmarks: oracle evaluation cost per operator, and identity-sweep cost.
+
+#include "bench_common.hpp"
+#include "opentla/semantics/enumerate.hpp"
+#include "opentla/semantics/oracle.hpp"
+
+using namespace opentla;
+
+namespace {
+
+struct TwoWires {
+  VarTable vars;
+  VarId x, y;
+  CanonicalSpec ex_, my_;  // E watches x, M watches y
+
+  TwoWires() {
+    x = vars.declare("x", range_domain(0, 1));
+    y = vars.declare("y", range_domain(0, 1));
+    ex_.name = "Ex";
+    ex_.init = ex::eq(ex::var(x), ex::integer(0));
+    ex_.next = ex::bottom();
+    ex_.sub = {x};
+    my_.name = "My";
+    my_.init = ex::eq(ex::var(y), ex::integer(0));
+    my_.next = ex::bottom();
+    my_.sub = {y};
+  }
+};
+
+void artifact() {
+  std::cout << "=== OP-ABL: E => M  vs  E -> M  vs  E +> M (Sections 3-4) ===\n";
+  TwoWires w;
+  Oracle oracle(w.vars);
+
+  // The circular composition claim under each operator.
+  auto circular = [&](auto combine) {
+    return tf::implies(tf::land(combine(w.my_, w.ex_), combine(w.ex_, w.my_)),
+                       tf::land(tf::spec(w.ex_), tf::spec(w.my_)));
+  };
+  struct Row {
+    const char* name;
+    Formula claim;
+  };
+  std::vector<Row> rows = {
+      {"E => M ", circular([](const CanonicalSpec& e, const CanonicalSpec& m) {
+         return tf::implies(tf::spec(e), tf::spec(m));
+       })},
+      {"E -> M ", circular([](const CanonicalSpec& e, const CanonicalSpec& m) {
+         return tf::arrow_while(e, m);
+       })},
+      {"E +> M ", circular([](const CanonicalSpec& e, const CanonicalSpec& m) {
+         return tf::while_plus(e, m);
+       })},
+  };
+  std::cout << "circular composition  (E_a # M_b watch different wires):\n";
+  for (const Row& row : rows) {
+    BoundedValidity r = check_validity_bounded(w.vars, row.claim, 3);
+    std::cout << "  " << row.name << ": " << (r.valid ? "composes (VALID)" : "does NOT compose")
+              << "\n";
+  }
+
+  // Section 4.2: (E +> M) = (E -> M) /\ (E _|_ M).
+  Formula lhs = tf::while_plus(w.ex_, w.my_);
+  Formula rhs = tf::land(tf::arrow_while(w.ex_, w.my_), tf::orthogonal(w.ex_, w.my_));
+  std::size_t checked = 0, agree = 0;
+  for (std::size_t len = 1; len <= 3; ++len) {
+    for_each_lasso(w.vars, len, [&](const LassoBehavior& b) {
+      ++checked;
+      if (oracle.evaluate(lhs, b) == oracle.evaluate(rhs, b)) ++agree;
+    });
+  }
+  std::cout << "identity (E +> M) = (E -> M) /\\ (E _|_ M): " << agree << "/" << checked
+            << " lassos agree" << (agree == checked ? "  [HOLDS]" : "  [BROKEN]") << "\n";
+
+  // Same-implementations claim (Section 3): every behavior of a process
+  // that satisfies E +> M also satisfies E => M and E -> M (the converse
+  // fails, which is exactly the extra freedom the paper discusses).
+  std::size_t wp_true = 0, wp_implies_rest = 0;
+  for (std::size_t len = 1; len <= 3; ++len) {
+    for_each_lasso(w.vars, len, [&](const LassoBehavior& b) {
+      if (!oracle.evaluate(lhs, b)) return;
+      ++wp_true;
+      if (oracle.evaluate(tf::arrow_while(w.ex_, w.my_), b) &&
+          oracle.evaluate(tf::implies(tf::spec(w.ex_), tf::spec(w.my_)), b)) {
+        ++wp_implies_rest;
+      }
+    });
+  }
+  std::cout << "E +> M strongest: implies the other two on " << wp_implies_rest << "/"
+            << wp_true << " satisfying lassos\n\n";
+}
+
+void BM_OracleOperator(benchmark::State& state) {
+  TwoWires w;
+  Oracle oracle(w.vars);
+  Formula f;
+  switch (state.range(0)) {
+    case 0:
+      f = tf::implies(tf::spec(w.ex_), tf::spec(w.my_));
+      break;
+    case 1:
+      f = tf::arrow_while(w.ex_, w.my_);
+      break;
+    default:
+      f = tf::while_plus(w.ex_, w.my_);
+      break;
+  }
+  std::mt19937 rng(11);
+  std::vector<LassoBehavior> lassos;
+  for (int i = 0; i < 64; ++i) lassos.push_back(random_lasso(w.vars, 6, rng));
+  for (auto _ : state) {
+    for (const LassoBehavior& b : lassos) {
+      benchmark::DoNotOptimize(oracle.evaluate(f, b));
+    }
+  }
+  state.SetLabel(state.range(0) == 0 ? "implies" : state.range(0) == 1 ? "arrow" : "while-plus");
+}
+BENCHMARK(BM_OracleOperator)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_IdentitySweep(benchmark::State& state) {
+  TwoWires w;
+  Oracle oracle(w.vars);
+  Formula lhs = tf::while_plus(w.ex_, w.my_);
+  Formula rhs = tf::land(tf::arrow_while(w.ex_, w.my_), tf::orthogonal(w.ex_, w.my_));
+  for (auto _ : state) {
+    bool all = true;
+    for_each_lasso(w.vars, static_cast<std::size_t>(state.range(0)),
+                   [&](const LassoBehavior& b) {
+                     all = all && (oracle.evaluate(lhs, b) == oracle.evaluate(rhs, b));
+                   });
+    benchmark::DoNotOptimize(all);
+  }
+}
+BENCHMARK(BM_IdentitySweep)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPENTLA_BENCH_MAIN(artifact)

@@ -1,0 +1,21 @@
+// Shared benchmark plumbing: every bench binary first prints the paper
+// artifact it regenerates (the "figure"), then runs its google-benchmark
+// timings.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#define OPENTLA_BENCH_MAIN(print_artifact)                        \
+  int main(int argc, char** argv) {                               \
+    print_artifact();                                             \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                   \
+    }                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }

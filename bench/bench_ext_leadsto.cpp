@@ -1,0 +1,146 @@
+// EXT-LEADSTO — extension study: the P ~> Q checker on two classics.
+//
+// Artifact: Peterson's algorithm (from specs/peterson.tla semantics,
+// rebuilt here in C++) — mutual exclusion plus starvation freedom under
+// plain weak fairness of each process; and the queue's acceptance
+// liveness as a leads-to property.
+//
+// Benchmarks: leads-to over graph size (queue capacity sweep) and the
+// Peterson check.
+
+#include "bench_common.hpp"
+#include "opentla/check/invariant.hpp"
+#include "opentla/check/liveness.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/queue/queue_spec.hpp"
+
+using namespace opentla;
+
+namespace {
+
+struct Peterson {
+  VarTable vars;
+  VarId pc1, pc2, flag1, flag2, turn;
+  CanonicalSpec spec;
+  Expr proc1, proc2;
+};
+
+Peterson make_peterson() {
+  Peterson p;
+  p.pc1 = p.vars.declare("pc1", range_domain(0, 3));
+  p.pc2 = p.vars.declare("pc2", range_domain(0, 3));
+  p.flag1 = p.vars.declare("flag1", bool_domain());
+  p.flag2 = p.vars.declare("flag2", bool_domain());
+  p.turn = p.vars.declare("turn", range_domain(1, 2));
+
+  auto process = [&](VarId pc, VarId my_flag, VarId other_flag, std::int64_t my_turn,
+                     std::int64_t other_turn) {
+    const std::vector<VarId> all = {p.pc1, p.pc2, p.flag1, p.flag2, p.turn};
+    auto pin_rest = [&](std::vector<VarId> changed) {
+      std::vector<VarId> rest;
+      for (VarId v : all) {
+        if (std::find(changed.begin(), changed.end(), v) == changed.end()) {
+          rest.push_back(v);
+        }
+      }
+      return ex::unchanged(rest);
+    };
+    Expr request = ex::land({ex::eq(ex::var(pc), ex::integer(0)),
+                             ex::eq(ex::primed_var(pc), ex::integer(1)),
+                             ex::eq(ex::primed_var(my_flag), ex::boolean(true)),
+                             pin_rest({pc, my_flag})});
+    Expr yield = ex::land({ex::eq(ex::var(pc), ex::integer(1)),
+                           ex::eq(ex::primed_var(pc), ex::integer(2)),
+                           ex::eq(ex::primed_var(p.turn), ex::integer(other_turn)),
+                           pin_rest({pc, p.turn})});
+    Expr enter = ex::land({ex::eq(ex::var(pc), ex::integer(2)),
+                           ex::lor(ex::eq(ex::var(other_flag), ex::boolean(false)),
+                                   ex::eq(ex::var(p.turn), ex::integer(my_turn))),
+                           ex::eq(ex::primed_var(pc), ex::integer(3)),
+                           pin_rest({pc})});
+    Expr exit = ex::land({ex::eq(ex::var(pc), ex::integer(3)),
+                          ex::eq(ex::primed_var(pc), ex::integer(0)),
+                          ex::eq(ex::primed_var(my_flag), ex::boolean(false)),
+                          pin_rest({pc, my_flag})});
+    return ex::lor({request, yield, enter, exit});
+  };
+  p.proc1 = process(p.pc1, p.flag1, p.flag2, 1, 2);
+  p.proc2 = process(p.pc2, p.flag2, p.flag1, 2, 1);
+
+  p.spec.name = "Peterson";
+  p.spec.init = ex::land({ex::eq(ex::var(p.pc1), ex::integer(0)),
+                          ex::eq(ex::var(p.pc2), ex::integer(0)),
+                          ex::eq(ex::var(p.flag1), ex::boolean(false)),
+                          ex::eq(ex::var(p.flag2), ex::boolean(false)),
+                          ex::eq(ex::var(p.turn), ex::integer(1))});
+  p.spec.next = ex::lor(p.proc1, p.proc2);
+  p.spec.sub = p.vars.all_vars();
+  for (const auto& [action, label] :
+       {std::pair{p.proc1, "WF(Proc1)"}, std::pair{p.proc2, "WF(Proc2)"}}) {
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = p.spec.sub;
+    wf.action = action;
+    wf.label = label;
+    p.spec.fairness.push_back(std::move(wf));
+  }
+  return p;
+}
+
+void artifact() {
+  std::cout << "=== EXT-LEADSTO: P ~> Q on Peterson and the queue ===\n";
+  Peterson p = make_peterson();
+  StateGraph g = build_composite_graph(p.vars, {{p.spec, true}});
+  InvariantResult mutex = check_invariant(
+      g, ex::lnot(ex::land(ex::eq(ex::var(p.pc1), ex::integer(3)),
+                           ex::eq(ex::var(p.pc2), ex::integer(3)))));
+  LeadsToResult starvation1 = check_leads_to(
+      g, p.spec.fairness, ex::eq(ex::var(p.pc1), ex::integer(1)),
+      ex::eq(ex::var(p.pc1), ex::integer(3)));
+  LeadsToResult no_fair = check_leads_to(
+      g, {}, ex::eq(ex::var(p.pc1), ex::integer(1)), ex::eq(ex::var(p.pc1), ex::integer(3)));
+  std::cout << "Peterson (" << g.num_states() << " states): mutual exclusion "
+            << (mutex.holds ? "holds" : "VIOLATED") << "; requesting ~> critical "
+            << (starvation1.holds ? "holds under WF" : "VIOLATED") << "; without fairness "
+            << (no_fair.holds ? "holds?!" : "fails (as expected)") << "\n";
+
+  QueueSystem q = make_queue_system(2, 2);
+  StateGraph qg = build_composite_graph(q.vars, {{q.specs.complete.unhidden(), true}});
+  LeadsToResult accept = check_leads_to(
+      qg, q.specs.complete.fairness,
+      ex::land(ex::neq(ex::var(q.in.sig), ex::var(q.in.ack)),
+               ex::lt(ex::len(ex::var(q.q)), ex::integer(q.capacity))),
+      ex::eq(ex::var(q.in.sig), ex::var(q.in.ack)));
+  std::cout << "Queue (" << qg.num_states() << " states): pending-with-space ~> accepted "
+            << (accept.holds ? "holds" : "VIOLATED") << "\n\n";
+}
+
+void BM_PetersonLeadsTo(benchmark::State& state) {
+  Peterson p = make_peterson();
+  StateGraph g = build_composite_graph(p.vars, {{p.spec, true}});
+  for (auto _ : state) {
+    LeadsToResult r = check_leads_to(g, p.spec.fairness,
+                                     ex::eq(ex::var(p.pc1), ex::integer(1)),
+                                     ex::eq(ex::var(p.pc1), ex::integer(3)));
+    benchmark::DoNotOptimize(r.holds);
+  }
+}
+BENCHMARK(BM_PetersonLeadsTo)->Unit(benchmark::kMicrosecond);
+
+void BM_QueueLeadsTo(benchmark::State& state) {
+  QueueSystem q = make_queue_system(static_cast<int>(state.range(0)), 2);
+  StateGraph g = build_composite_graph(q.vars, {{q.specs.complete.unhidden(), true}});
+  Expr from = ex::land(ex::neq(ex::var(q.in.sig), ex::var(q.in.ack)),
+                       ex::lt(ex::len(ex::var(q.q)), ex::integer(q.capacity)));
+  Expr to = ex::eq(ex::var(q.in.sig), ex::var(q.in.ack));
+  for (auto _ : state) {
+    LeadsToResult r = check_leads_to(g, q.specs.complete.fairness, from, to);
+    benchmark::DoNotOptimize(r.holds);
+  }
+  state.counters["states"] = static_cast<double>(g.num_states());
+}
+BENCHMARK(BM_QueueLeadsTo)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPENTLA_BENCH_MAIN(artifact)

@@ -1,0 +1,118 @@
+// FIG1 — Section 1 / Figure 1: circular assumption/guarantee composition.
+//
+// Artifact: the two verdicts the paper's introduction builds on —
+//   safety guarantees ("always 0"):      composition VALID
+//   liveness guarantees ("eventually 1"): composition INVALID
+// both established semantically (brute force over lassos) and through the
+// Composition Theorem.
+//
+// Benchmarks: theorem verification and brute-force validity cost as the
+// wire domain grows.
+
+#include "bench_common.hpp"
+#include "opentla/ag/composition_theorem.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/semantics/enumerate.hpp"
+
+using namespace opentla;
+
+namespace {
+
+struct Circular {
+  VarTable vars;
+  VarId c, d;
+  CanonicalSpec mc0, md0, mc1, md1;
+};
+
+CanonicalSpec always_zero(VarId v, std::string name) {
+  CanonicalSpec s;
+  s.name = std::move(name);
+  s.init = ex::eq(ex::var(v), ex::integer(0));
+  s.next = ex::bottom();
+  s.sub = {v};
+  return s;
+}
+
+CanonicalSpec eventually_one(VarId v, std::string name) {
+  CanonicalSpec s;
+  s.name = std::move(name);
+  s.init = ex::top();
+  s.next = ex::land(ex::eq(ex::var(v), ex::integer(0)),
+                    ex::eq(ex::primed_var(v), ex::integer(1)));
+  s.sub = {v};
+  Fairness wf;
+  wf.kind = Fairness::Kind::Weak;
+  wf.sub = {v};
+  wf.action = s.next;
+  wf.label = "WF";
+  s.fairness.push_back(std::move(wf));
+  return s;
+}
+
+Circular make(int domain_top) {
+  Circular sys;
+  sys.c = sys.vars.declare("c", range_domain(0, domain_top));
+  sys.d = sys.vars.declare("d", range_domain(0, domain_top));
+  sys.mc0 = always_zero(sys.c, "Mc0");
+  sys.md0 = always_zero(sys.d, "Md0");
+  sys.mc1 = eventually_one(sys.c, "Mc1");
+  sys.md1 = eventually_one(sys.d, "Md1");
+  return sys;
+}
+
+void artifact() {
+  std::cout << "=== FIG1: circular A/G composition (Section 1, Figure 1) ===\n";
+  Circular sys = make(1);
+
+  Formula safety = tf::implies(
+      tf::land(tf::while_plus(sys.md0, sys.mc0), tf::while_plus(sys.mc0, sys.md0)),
+      tf::land(tf::spec(sys.mc0), tf::spec(sys.md0)));
+  BoundedValidity s = check_validity_bounded(sys.vars, safety, 3);
+  std::cout << "safety   (Md0 +> Mc0) /\\ (Mc0 +> Md0) => Mc0 /\\ Md0 : "
+            << (s.valid ? "VALID" : "INVALID") << "  [" << s.behaviors_checked
+            << " behaviors]\n";
+
+  Formula liveness = tf::implies(
+      tf::land(tf::while_plus(sys.md1, sys.mc1), tf::while_plus(sys.mc1, sys.md1)),
+      tf::land(tf::spec(sys.mc1), tf::spec(sys.md1)));
+  BoundedValidity l = check_validity_bounded(sys.vars, liveness, 2);
+  std::cout << "liveness (Md1 +> Mc1) /\\ (Mc1 +> Md1) => Mc1 /\\ Md1 : "
+            << (l.valid ? "VALID" : "INVALID") << "  [" << l.behaviors_checked
+            << " behaviors]\n";
+
+  ProofReport proof = verify_composition(
+      sys.vars, {{sys.md0, sys.mc0}, {sys.mc0, sys.md0}},
+      property_as_ag(conjunction_as_spec({sys.mc0, sys.md0}, "Both")));
+  std::cout << "Composition Theorem, safety instance: "
+            << (proof.all_discharged() ? "Q.E.D." : "NOT PROVED") << " ("
+            << proof.obligations.size() << " obligations, " << proof.total_millis()
+            << " ms)\n\n";
+}
+
+void BM_TheoremSafety(benchmark::State& state) {
+  Circular sys = make(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ProofReport proof = verify_composition(
+        sys.vars, {{sys.md0, sys.mc0}, {sys.mc0, sys.md0}},
+        property_as_ag(conjunction_as_spec({sys.mc0, sys.md0}, "Both")));
+    benchmark::DoNotOptimize(proof.all_discharged());
+  }
+}
+BENCHMARK(BM_TheoremSafety)->Arg(1)->Arg(3)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_BruteForceValidity(benchmark::State& state) {
+  Circular sys = make(1);
+  Formula safety = tf::implies(
+      tf::land(tf::while_plus(sys.md0, sys.mc0), tf::while_plus(sys.mc0, sys.md0)),
+      tf::land(tf::spec(sys.mc0), tf::spec(sys.md0)));
+  for (auto _ : state) {
+    BoundedValidity r =
+        check_validity_bounded(sys.vars, safety, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(r.valid);
+  }
+}
+BENCHMARK(BM_BruteForceValidity)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPENTLA_BENCH_MAIN(artifact)

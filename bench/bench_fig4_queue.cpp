@@ -1,0 +1,76 @@
+// FIG3/FIG4 — Figures 3-4: the queue process.
+//
+// Artifact: the queue component's reachable state space and transition
+// counts as capacity N and the value domain grow — the explicit footprint
+// of the process of Figure 4 composed with its environment.
+//
+// Benchmarks: graph construction (successor-generation throughput) over
+// the same sweep.
+
+#include <iomanip>
+
+#include "bench_common.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/graph/successor.hpp"
+#include "opentla/queue/queue_spec.hpp"
+
+using namespace opentla;
+
+namespace {
+
+StateGraph explore(const QueueSystem& sys) {
+  return build_composite_graph(sys.vars, {{sys.specs.complete.unhidden(), true}});
+}
+
+void artifact() {
+  std::cout << "=== FIG4: queue process state space (queue + environment) ===\n";
+  std::cout << std::setw(4) << "N" << std::setw(8) << "values" << std::setw(10) << "states"
+            << std::setw(10) << "edges" << std::setw(14) << "q-domain\n";
+  for (int n : {1, 2, 3, 4}) {
+    for (int v : {2, 3}) {
+      QueueSystem sys = make_queue_system(n, v);
+      StateGraph g = explore(sys);
+      std::cout << std::setw(4) << n << std::setw(8) << v << std::setw(10) << g.num_states()
+                << std::setw(10) << g.num_edges() << std::setw(13)
+                << sys.vars.domain(sys.q).size() << "\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+void BM_QueueGraph(benchmark::State& state) {
+  QueueSystem sys = make_queue_system(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1)));
+  std::size_t states = 0, edges = 0;
+  for (auto _ : state) {
+    StateGraph g = explore(sys);
+    states = g.num_states();
+    edges = g.num_edges();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["edges/s"] = benchmark::Counter(static_cast<double>(edges),
+                                                 benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_QueueGraph)
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({3, 2})
+    ->Args({4, 2})
+    ->Args({3, 3})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnqDeqSuccessors(benchmark::State& state) {
+  QueueSystem sys = make_queue_system(3, 3);
+  ActionSuccessors gen(sys.vars, sys.specs.qm);
+  const State s =
+      ActionSuccessors::states_satisfying(sys.vars, sys.specs.complete.init, {sys.in.val, sys.out.val})[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.successors(s).size());
+  }
+}
+BENCHMARK(BM_EnqDeqSuccessors);
+
+}  // namespace
+
+OPENTLA_BENCH_MAIN(artifact)

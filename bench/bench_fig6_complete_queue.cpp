@@ -1,0 +1,107 @@
+// FIG5/FIG6 — Figures 5-6: the complete queue system CQ.
+//
+// Artifact: the checks the paper's Figure 6 discussion rests on —
+//   * ICQ is machine-closed (Proposition 1, syntactic and on-graph);
+//   * the buffer bound |q| <= N and the handshake discipline hold;
+//   * WF(QM) is equivalent to WF(Enq) /\ WF(Deq) (the figure's remark).
+//
+// Benchmarks: invariant checking, machine-closure analysis, and the
+// fairness-equivalence queries over N.
+
+#include "bench_common.hpp"
+#include "opentla/check/invariant.hpp"
+#include "opentla/check/liveness.hpp"
+#include "opentla/check/machine_closure.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/queue/queue_spec.hpp"
+
+using namespace opentla;
+
+namespace {
+
+StateGraph explore(const QueueSystem& sys) {
+  return build_composite_graph(sys.vars, {{sys.specs.complete.unhidden(), true}});
+}
+
+Fairness wf_of(const QueueSystem& sys, Expr action, const char* label) {
+  Fairness f;
+  f.kind = Fairness::Kind::Weak;
+  f.sub = sys.specs.complete.sub;
+  f.action = std::move(action);
+  f.label = label;
+  return f;
+}
+
+bool fairness_violates(const StateGraph& g, const std::vector<Fairness>& holds,
+                       const Fairness& broken) {
+  FairnessCompiler compiler(g);
+  FairCycleQuery q;
+  compiler.add_constraints(holds, q);
+  compiler.restrict_to_violation(broken, q);
+  return find_fair_cycle(g, q).has_value();
+}
+
+void artifact() {
+  std::cout << "=== FIG6: the complete queue system CQ (N = 3, values 0..2) ===\n";
+  QueueSystem sys = make_queue_system(3, 3);
+  StateGraph g = explore(sys);
+  std::cout << "reachable: " << g.num_states() << " states, " << g.num_edges() << " edges\n";
+
+  MachineClosureResult syn = check_prop1_syntactic(sys.specs.complete);
+  MachineClosureResult sem = check_machine_closure_on_graph(g, sys.specs.complete.unhidden());
+  std::cout << "Proposition 1 (syntactic): " << (syn ? "machine-closed" : "NOT CLOSED") << "\n";
+  std::cout << "machine closure (on graph): " << (sem ? "confirmed" : "REFUTED") << "\n";
+
+  InvariantResult bound =
+      check_invariant(g, ex::le(ex::len(ex::var(sys.q)), ex::integer(sys.capacity)));
+  std::cout << "invariant |q| <= N: " << (bound.holds ? "holds" : "VIOLATED") << "\n";
+
+  const Fairness wf_qm = wf_of(sys, sys.specs.qm, "WF(QM)");
+  const Fairness wf_enq = wf_of(sys, sys.specs.enq, "WF(Enq)");
+  const Fairness wf_deq = wf_of(sys, sys.specs.deq, "WF(Deq)");
+  const bool equivalent = !fairness_violates(g, {wf_qm}, wf_enq) &&
+                          !fairness_violates(g, {wf_qm}, wf_deq) &&
+                          !fairness_violates(g, {wf_enq, wf_deq}, wf_qm);
+  std::cout << "WF(QM) equivalent to WF(Enq) /\\ WF(Deq): " << (equivalent ? "yes" : "NO")
+            << "\n\n";
+}
+
+void BM_InvariantCheck(benchmark::State& state) {
+  QueueSystem sys = make_queue_system(static_cast<int>(state.range(0)), 2);
+  StateGraph g = explore(sys);
+  Expr inv = ex::le(ex::len(ex::var(sys.q)), ex::integer(sys.capacity));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_invariant(g, inv).holds);
+  }
+  state.counters["states"] = static_cast<double>(g.num_states());
+}
+BENCHMARK(BM_InvariantCheck)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_MachineClosureOnGraph(benchmark::State& state) {
+  QueueSystem sys = make_queue_system(static_cast<int>(state.range(0)), 2);
+  StateGraph g = explore(sys);
+  CanonicalSpec spec = sys.specs.complete.unhidden();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_machine_closure_on_graph(g, spec).machine_closed);
+  }
+}
+BENCHMARK(BM_MachineClosureOnGraph)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_FairnessEquivalence(benchmark::State& state) {
+  QueueSystem sys = make_queue_system(static_cast<int>(state.range(0)), 2);
+  StateGraph g = explore(sys);
+  const Fairness wf_qm = wf_of(sys, sys.specs.qm, "WF(QM)");
+  const Fairness wf_enq = wf_of(sys, sys.specs.enq, "WF(Enq)");
+  const Fairness wf_deq = wf_of(sys, sys.specs.deq, "WF(Deq)");
+  for (auto _ : state) {
+    bool eq = !fairness_violates(g, {wf_qm}, wf_enq) &&
+              !fairness_violates(g, {wf_qm}, wf_deq) &&
+              !fairness_violates(g, {wf_enq, wf_deq}, wf_qm);
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_FairnessEquivalence)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPENTLA_BENCH_MAIN(artifact)

@@ -1,0 +1,8 @@
+MODULE G
+\* The interleaving side condition of Section A.5: no two components'
+\* output tuples change in the same step.
+VARIABLES i.sig \in 0..1, i.ack \in 0..1, i.val \in 0..1
+VARIABLES z.sig \in 0..1, z.ack \in 0..1, z.val \in 0..1
+VARIABLES o.sig \in 0..1, o.ack \in 0..1, o.val \in 0..1
+
+DISJOINT <<i.sig, i.val, o.ack>>, <<z.sig, z.val, i.ack>>, <<o.sig, o.val, z.ack>>

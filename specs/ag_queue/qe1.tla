@@ -1,0 +1,13 @@
+MODULE QE1
+\* Queue 1's environment: sends on i, acknowledges on z.
+VARIABLES i.sig \in 0..1, i.ack \in 0..1, i.val \in 0..1
+VARIABLES z.sig \in 0..1, z.ack \in 0..1, z.val \in 0..1
+
+DEFINE Put  == i.sig = i.ack /\ i.sig' = 1 - i.sig /\ i.ack' = i.ack
+               /\ UNCHANGED <<z.sig, z.ack, z.val>>
+DEFINE GetZ == z.sig # z.ack /\ z.ack' = 1 - z.ack /\ z.sig' = z.sig /\ z.val' = z.val
+               /\ UNCHANGED <<i.sig, i.ack, i.val>>
+
+INIT i.sig = 0 /\ i.ack = 0
+NEXT Put \/ GetZ
+SUBSCRIPT <<i.sig, i.val, z.ack>>

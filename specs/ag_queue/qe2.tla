@@ -1,0 +1,13 @@
+MODULE QE2
+\* Queue 2's environment: sends on z, acknowledges on o.
+VARIABLES z.sig \in 0..1, z.ack \in 0..1, z.val \in 0..1
+VARIABLES o.sig \in 0..1, o.ack \in 0..1, o.val \in 0..1
+
+DEFINE PutZ == z.sig = z.ack /\ z.sig' = 1 - z.sig /\ z.ack' = z.ack
+               /\ UNCHANGED <<o.sig, o.ack, o.val>>
+DEFINE Get  == o.sig # o.ack /\ o.ack' = 1 - o.ack /\ o.sig' = o.sig /\ o.val' = o.val
+               /\ UNCHANGED <<z.sig, z.ack, z.val>>
+
+INIT z.sig = 0 /\ z.ack = 0
+NEXT PutZ \/ Get
+SUBSCRIPT <<z.sig, z.val, o.ack>>

@@ -1,0 +1,13 @@
+MODULE QEdbl
+\* The big queue's environment: sends on i, acknowledges on o.
+VARIABLES i.sig \in 0..1, i.ack \in 0..1, i.val \in 0..1
+VARIABLES o.sig \in 0..1, o.ack \in 0..1, o.val \in 0..1
+
+DEFINE Put == i.sig = i.ack /\ i.sig' = 1 - i.sig /\ i.ack' = i.ack
+              /\ UNCHANGED <<o.sig, o.ack, o.val>>
+DEFINE Get == o.sig # o.ack /\ o.ack' = 1 - o.ack /\ o.sig' = o.sig /\ o.val' = o.val
+              /\ UNCHANGED <<i.sig, i.ack, i.val>>
+
+INIT i.sig = 0 /\ i.ack = 0
+NEXT Put \/ Get
+SUBSCRIPT <<i.sig, i.val, o.ack>>

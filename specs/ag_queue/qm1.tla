@@ -1,0 +1,19 @@
+MODULE QM1
+\* Queue 1: buffers q1 between channels i and z (capacity 1).
+VARIABLES i.sig \in 0..1, i.ack \in 0..1, i.val \in 0..1
+VARIABLES z.sig \in 0..1, z.ack \in 0..1, z.val \in 0..1
+HIDDEN q1 \in Seq(0..1, 1)
+
+DEFINE Enq == Len(q1) < 1
+              /\ i.sig # i.ack /\ i.ack' = 1 - i.ack /\ i.sig' = i.sig /\ i.val' = i.val
+              /\ q1' = Append(q1, i.val)
+              /\ UNCHANGED <<z.sig, z.ack, z.val>>
+DEFINE Deq == Len(q1) > 0
+              /\ z.sig = z.ack /\ z.val' = Head(q1) /\ z.sig' = 1 - z.sig /\ z.ack' = z.ack
+              /\ q1' = Tail(q1)
+              /\ UNCHANGED <<i.sig, i.ack, i.val>>
+
+INIT z.sig = 0 /\ z.ack = 0 /\ q1 = <<>>
+NEXT Enq \/ Deq
+SUBSCRIPT <<i.ack, z.sig, z.val, q1>>
+FAIRNESS WF Enq \/ Deq

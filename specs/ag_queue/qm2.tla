@@ -1,0 +1,19 @@
+MODULE QM2
+\* Queue 2: buffers q2 between channels z and o (capacity 1).
+VARIABLES z.sig \in 0..1, z.ack \in 0..1, z.val \in 0..1
+VARIABLES o.sig \in 0..1, o.ack \in 0..1, o.val \in 0..1
+HIDDEN q2 \in Seq(0..1, 1)
+
+DEFINE Enq == Len(q2) < 1
+              /\ z.sig # z.ack /\ z.ack' = 1 - z.ack /\ z.sig' = z.sig /\ z.val' = z.val
+              /\ q2' = Append(q2, z.val)
+              /\ UNCHANGED <<o.sig, o.ack, o.val>>
+DEFINE Deq == Len(q2) > 0
+              /\ o.sig = o.ack /\ o.val' = Head(q2) /\ o.sig' = 1 - o.sig /\ o.ack' = o.ack
+              /\ q2' = Tail(q2)
+              /\ UNCHANGED <<z.sig, z.ack, z.val>>
+
+INIT o.sig = 0 /\ o.ack = 0 /\ q2 = <<>>
+NEXT Enq \/ Deq
+SUBSCRIPT <<z.ack, o.sig, o.val, q2>>
+FAIRNESS WF Enq \/ Deq

@@ -1,0 +1,19 @@
+MODULE QMdbl
+\* The (2N+1)-element queue the composition implements (capacity 3).
+VARIABLES i.sig \in 0..1, i.ack \in 0..1, i.val \in 0..1
+VARIABLES o.sig \in 0..1, o.ack \in 0..1, o.val \in 0..1
+HIDDEN q \in Seq(0..1, 3)
+
+DEFINE Enq == Len(q) < 3
+              /\ i.sig # i.ack /\ i.ack' = 1 - i.ack /\ i.sig' = i.sig /\ i.val' = i.val
+              /\ q' = Append(q, i.val)
+              /\ UNCHANGED <<o.sig, o.ack, o.val>>
+DEFINE Deq == Len(q) > 0
+              /\ o.sig = o.ack /\ o.val' = Head(q) /\ o.sig' = 1 - o.sig /\ o.ack' = o.ack
+              /\ q' = Tail(q)
+              /\ UNCHANGED <<i.sig, i.ack, i.val>>
+
+INIT o.sig = 0 /\ o.ack = 0 /\ q = <<>>
+NEXT Enq \/ Deq
+SUBSCRIPT <<i.ack, o.sig, o.val, q>>
+FAIRNESS WF Enq \/ Deq

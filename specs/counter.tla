@@ -1,0 +1,12 @@
+MODULE Counter
+\* A wrap-around counter: the smallest useful tlacheck target.
+VARIABLE x \in 0..4
+
+DEFINE AtMax == x = 4
+
+INIT x = 0
+ACTION Incr == x < 4 /\ x' = x + 1
+ACTION Wrap == AtMax /\ x' = 0
+NEXT Incr \/ Wrap
+SUBSCRIPT <<x>>
+FAIRNESS WF Incr \/ Wrap

@@ -1,0 +1,10 @@
+MODULE HourClock
+\* Lamport's hour clock, with a hidden "ticked" flag demonstrating HIDDEN.
+VARIABLE hr \in 1..12
+HIDDEN ticked \in BOOLEAN
+
+INIT hr = 1 /\ ticked = FALSE
+ACTION Tick == hr' = (IF hr = 12 THEN 1 ELSE hr + 1) /\ ticked' = TRUE
+NEXT Tick
+SUBSCRIPT <<hr>>
+FAIRNESS WF Tick

@@ -1,0 +1,14 @@
+MODULE Mutex
+\* Two peers alternating over a critical section (the arbiter example of
+\* examples/arbiter.cpp as a closed system).
+VARIABLES c1 \in 0..1, c2 \in 0..1
+
+DEFINE Enter1 == c2 = 0 /\ c1' = 1 /\ UNCHANGED c2
+DEFINE Leave1 == c1' = 0 /\ UNCHANGED c2
+DEFINE Enter2 == c1 = 0 /\ c2' = 1 /\ UNCHANGED c1
+DEFINE Leave2 == c2' = 0 /\ UNCHANGED c1
+
+INIT c1 = 0 /\ c2 = 0
+NEXT Enter1 \/ Leave1 \/ Enter2 \/ Leave2
+SUBSCRIPT <<c1, c2>>
+FAIRNESS WF Enter1 \/ Leave1 \/ Enter2 \/ Leave2

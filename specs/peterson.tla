@@ -1,0 +1,35 @@
+MODULE Peterson
+\* Peterson's mutual-exclusion algorithm for two processes.
+\* pc: 0 = idle, 1 = requesting (flag raised), 2 = waiting, 3 = critical.
+VARIABLES pc1 \in 0..3, pc2 \in 0..3
+VARIABLES flag1 \in BOOLEAN, flag2 \in BOOLEAN, turn \in 1..2
+
+DEFINE Request1 == pc1 = 0 /\ pc1' = 1 /\ flag1' = TRUE
+                   /\ UNCHANGED <<pc2, flag2, turn>>
+DEFINE Yield1   == pc1 = 1 /\ pc1' = 2 /\ turn' = 2
+                   /\ UNCHANGED <<pc2, flag1, flag2>>
+DEFINE Enter1   == pc1 = 2 /\ (flag2 = FALSE \/ turn = 1) /\ pc1' = 3
+                   /\ UNCHANGED <<pc2, flag1, flag2, turn>>
+DEFINE Exit1    == pc1 = 3 /\ pc1' = 0 /\ flag1' = FALSE
+                   /\ UNCHANGED <<pc2, flag2, turn>>
+
+DEFINE Request2 == pc2 = 0 /\ pc2' = 1 /\ flag2' = TRUE
+                   /\ UNCHANGED <<pc1, flag1, turn>>
+DEFINE Yield2   == pc2 = 1 /\ pc2' = 2 /\ turn' = 1
+                   /\ UNCHANGED <<pc1, flag1, flag2>>
+DEFINE Enter2   == pc2 = 2 /\ (flag1 = FALSE \/ turn = 2) /\ pc2' = 3
+                   /\ UNCHANGED <<pc1, flag1, flag2, turn>>
+DEFINE Exit2    == pc2 = 3 /\ pc2' = 0 /\ flag2' = FALSE
+                   /\ UNCHANGED <<pc1, flag1, turn>>
+
+DEFINE Proc1 == Request1 \/ Yield1 \/ Enter1 \/ Exit1
+DEFINE Proc2 == Request2 \/ Yield2 \/ Enter2 \/ Exit2
+
+INIT pc1 = 0 /\ pc2 = 0 /\ flag1 = FALSE /\ flag2 = FALSE /\ turn = 1
+NEXT Proc1 \/ Proc2
+SUBSCRIPT <<pc1, pc2, flag1, flag2, turn>>
+\* Peterson is starvation-free under plain weak fairness of each process:
+\* once a process waits at the gate, the turn variable can only move in
+\* its favor. `tlacheck leadsto` verifies pc1 = 1 ~> pc1 = 3 below.
+FAIRNESS WF Proc1
+FAIRNESS WF Proc2

@@ -1,0 +1,13 @@
+MODULE RoundRobin
+\* A round-robin scheduler over three tasks, exercising modular arithmetic
+\* and sequence indexing in the spec language.
+VARIABLES cur \in 0..2, served \in Seq(0..2, 3)
+
+ACTION Serve == Len(served) < 3 /\ served' = Append(served, cur)
+                /\ cur' = (cur + 1) % 3
+ACTION Drain == Len(served) = 3 /\ served' = <<>> /\ cur' = cur
+
+INIT cur = 0 /\ served = <<>>
+NEXT Serve \/ Drain
+SUBSCRIPT <<cur, served>>
+FAIRNESS WF Serve \/ Drain

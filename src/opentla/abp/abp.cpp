@@ -1,0 +1,181 @@
+#include "opentla/abp/abp.hpp"
+
+#include <algorithm>
+
+namespace opentla {
+
+namespace {
+Expr seq1(Expr e) { return ex::make_tuple({std::move(e)}); }
+Expr empty_seq() { return ex::constant(Value::empty_seq()); }
+Expr flip(VarId bit) { return ex::sub(ex::integer(1), ex::var(bit)); }
+}  // namespace
+
+CanonicalSpec AbpSystem::system_with_weak_fairness_only() const {
+  CanonicalSpec weak = system;
+  weak.name = "ABP_WF";
+  for (Fairness& f : weak.fairness) {
+    f.kind = Fairness::Kind::Weak;
+  }
+  return weak;
+}
+
+AbpSystem make_abp_system(int num_values) {
+  AbpSystem sys;
+  const Domain values = range_domain(0, num_values - 1);
+  sys.in = declare_channel(sys.vars, "in", values);
+  sys.out = declare_channel(sys.vars, "out", values);
+  sys.d_full = sys.vars.declare("d.full", bool_domain());
+  sys.d_val = sys.vars.declare("d.val", values);
+  sys.d_bit = sys.vars.declare("d.bit", bit_domain());
+  sys.a_full = sys.vars.declare("a.full", bool_domain());
+  sys.a_bit = sys.vars.declare("a.bit", bit_domain());
+  sys.s_buf = sys.vars.declare("s.buf", seq_domain(values, 1));
+  sys.s_bit = sys.vars.declare("s.bit", bit_domain());
+  sys.r_buf = sys.vars.declare("r.buf", seq_domain(values, 1));
+  sys.r_bit = sys.vars.declare("r.bit", bit_domain());
+  sys.q = sys.vars.declare("q", seq_domain(values, 2));
+
+  const std::vector<VarId> protocol_vars = {
+      sys.in.sig,  sys.in.ack, sys.in.val, sys.out.sig, sys.out.ack, sys.out.val,
+      sys.d_full,  sys.d_val,  sys.d_bit,  sys.a_full,  sys.a_bit,
+      sys.s_buf,   sys.s_bit,  sys.r_buf,  sys.r_bit};
+
+  // Pins every protocol variable outside `changed` (q is never part of the
+  // protocol; the refinement witness reconstructs it).
+  auto pin_rest = [&](std::vector<VarId> changed) {
+    std::vector<VarId> rest;
+    for (VarId v : protocol_vars) {
+      if (std::find(changed.begin(), changed.end(), v) == changed.end()) rest.push_back(v);
+    }
+    return ex::unchanged(rest);
+  };
+  auto clear_d = [&] {
+    return ex::land({ex::eq(ex::primed_var(sys.d_full), ex::boolean(false)),
+                     ex::eq(ex::primed_var(sys.d_val), ex::constant(values[0])),
+                     ex::eq(ex::primed_var(sys.d_bit), ex::integer(0))});
+  };
+  auto clear_a = [&] {
+    return ex::land(ex::eq(ex::primed_var(sys.a_full), ex::boolean(false)),
+                    ex::eq(ex::primed_var(sys.a_bit), ex::integer(0)));
+  };
+
+  // --- Sender ---
+  sys.s_accept = ex::land({ex::neq(ex::var(sys.in.sig), ex::var(sys.in.ack)),
+                           ex::eq(ex::var(sys.s_buf), empty_seq()),
+                           ex::eq(ex::primed_var(sys.in.ack), flip(sys.in.ack)),
+                           ex::eq(ex::primed_var(sys.s_buf), seq1(ex::var(sys.in.val))),
+                           pin_rest({sys.in.ack, sys.s_buf})});
+  sys.s_send = ex::land({ex::neq(ex::var(sys.s_buf), empty_seq()),
+                         ex::eq(ex::var(sys.d_full), ex::boolean(false)),
+                         ex::eq(ex::primed_var(sys.d_full), ex::boolean(true)),
+                         ex::eq(ex::primed_var(sys.d_val), ex::head(ex::var(sys.s_buf))),
+                         ex::eq(ex::primed_var(sys.d_bit), ex::var(sys.s_bit)),
+                         pin_rest({sys.d_full, sys.d_val, sys.d_bit})});
+  sys.s_ack_match = ex::land({ex::eq(ex::var(sys.a_full), ex::boolean(true)),
+                              ex::eq(ex::var(sys.a_bit), ex::var(sys.s_bit)),
+                              clear_a(),
+                              ex::eq(ex::primed_var(sys.s_bit), flip(sys.s_bit)),
+                              ex::eq(ex::primed_var(sys.s_buf), empty_seq()),
+                              pin_rest({sys.a_full, sys.a_bit, sys.s_bit, sys.s_buf})});
+  sys.s_ack_stale = ex::land({ex::eq(ex::var(sys.a_full), ex::boolean(true)),
+                              ex::neq(ex::var(sys.a_bit), ex::var(sys.s_bit)),
+                              clear_a(),
+                              pin_rest({sys.a_full, sys.a_bit})});
+
+  // --- Receiver ---
+  sys.r_rcv_new = ex::land({ex::eq(ex::var(sys.d_full), ex::boolean(true)),
+                            ex::eq(ex::var(sys.d_bit), ex::var(sys.r_bit)),
+                            ex::eq(ex::var(sys.r_buf), empty_seq()),
+                            ex::eq(ex::var(sys.a_full), ex::boolean(false)),
+                            clear_d(),
+                            ex::eq(ex::primed_var(sys.r_buf), seq1(ex::var(sys.d_val))),
+                            ex::eq(ex::primed_var(sys.r_bit), flip(sys.r_bit)),
+                            ex::eq(ex::primed_var(sys.a_full), ex::boolean(true)),
+                            ex::eq(ex::primed_var(sys.a_bit), ex::var(sys.d_bit)),
+                            pin_rest({sys.d_full, sys.d_val, sys.d_bit, sys.r_buf,
+                                      sys.r_bit, sys.a_full, sys.a_bit})});
+  sys.r_rcv_dup = ex::land({ex::eq(ex::var(sys.d_full), ex::boolean(true)),
+                            ex::neq(ex::var(sys.d_bit), ex::var(sys.r_bit)),
+                            ex::eq(ex::var(sys.a_full), ex::boolean(false)),
+                            clear_d(),
+                            ex::eq(ex::primed_var(sys.a_full), ex::boolean(true)),
+                            ex::eq(ex::primed_var(sys.a_bit), ex::var(sys.d_bit)),
+                            pin_rest({sys.d_full, sys.d_val, sys.d_bit, sys.a_full,
+                                      sys.a_bit})});
+  sys.r_deliver = ex::land({ex::neq(ex::var(sys.r_buf), empty_seq()),
+                            ex::eq(ex::var(sys.out.sig), ex::var(sys.out.ack)),
+                            ex::eq(ex::primed_var(sys.out.val), ex::head(ex::var(sys.r_buf))),
+                            ex::eq(ex::primed_var(sys.out.sig), flip(sys.out.sig)),
+                            ex::eq(ex::primed_var(sys.r_buf), empty_seq()),
+                            pin_rest({sys.out.val, sys.out.sig, sys.r_buf})});
+
+  // --- Lossy wires ---
+  sys.lose_d = ex::land({ex::eq(ex::var(sys.d_full), ex::boolean(true)), clear_d(),
+                         pin_rest({sys.d_full, sys.d_val, sys.d_bit})});
+  sys.lose_a = ex::land({ex::eq(ex::var(sys.a_full), ex::boolean(true)), clear_a(),
+                         pin_rest({sys.a_full, sys.a_bit})});
+
+  // --- Clients ---
+  Expr put = ex::land({ex::eq(ex::var(sys.in.sig), ex::var(sys.in.ack)),
+                       ex::eq(ex::primed_var(sys.in.sig), flip(sys.in.sig)),
+                       pin_rest({sys.in.sig, sys.in.val})});  // in.val' free
+  Expr get = ex::land({ex::neq(ex::var(sys.out.sig), ex::var(sys.out.ack)),
+                       ex::eq(ex::primed_var(sys.out.ack), flip(sys.out.ack)),
+                       pin_rest({sys.out.ack})});
+  sys.client = ex::lor(put, get);
+
+  // --- The complete system ---
+  CanonicalSpec& s = sys.system;
+  s.name = "ABP";
+  s.init = ex::land({channel_init(sys.in), channel_init(sys.out),
+                     ex::eq(ex::var(sys.d_full), ex::boolean(false)),
+                     ex::eq(ex::var(sys.d_val), ex::constant(values[0])),
+                     ex::eq(ex::var(sys.d_bit), ex::integer(0)),
+                     ex::eq(ex::var(sys.a_full), ex::boolean(false)),
+                     ex::eq(ex::var(sys.a_bit), ex::integer(0)),
+                     ex::eq(ex::var(sys.s_buf), empty_seq()),
+                     ex::eq(ex::var(sys.s_bit), ex::integer(0)),
+                     ex::eq(ex::var(sys.r_buf), empty_seq()),
+                     ex::eq(ex::var(sys.r_bit), ex::integer(0))});
+  s.next = ex::lor({sys.s_accept, sys.s_send, sys.s_ack_match, sys.s_ack_stale,
+                    sys.r_rcv_new, sys.r_rcv_dup, sys.r_deliver, sys.lose_d, sys.lose_a,
+                    sys.client});
+  s.sub = protocol_vars;
+
+  auto weak = [&](Expr action, const char* label) {
+    Fairness f;
+    f.kind = Fairness::Kind::Weak;
+    f.sub = protocol_vars;
+    f.action = std::move(action);
+    f.label = label;
+    return f;
+  };
+  auto strong = [&](Expr action, const char* label) {
+    Fairness f = weak(std::move(action), label);
+    f.kind = Fairness::Kind::Strong;
+    return f;
+  };
+  s.fairness = {
+      weak(sys.s_accept, "WF(SAccept)"),
+      weak(sys.s_send, "WF(SSend)"),
+      weak(ex::lor(sys.s_ack_match, sys.s_ack_stale), "WF(SRcvAck)"),
+      weak(sys.r_deliver, "WF(RDeliver)"),
+      // Loss keeps toggling the enabledness of every receive action, so WF
+      // is too weak: only SF guarantees that infinitely many arrivals mean
+      // infinitely many receptions. This includes duplicates — without
+      // SF(RRcvDup) the wire can eat every retransmission of an already
+      // delivered message and the acknowledgment never regenerates.
+      strong(sys.r_rcv_new, "SF(RRcvNew)"),
+      strong(sys.r_rcv_dup, "SF(RRcvDup)"),
+      strong(sys.s_ack_match, "SF(SAckMatch)"),
+  };
+
+  // --- Refinement target ---
+  sys.queue = build_queue_specs(sys.vars, sys.in, sys.out, sys.q, /*capacity=*/2, "^abp");
+  sys.qbar = ex::concat(ex::var(sys.r_buf),
+                        ex::ite(ex::eq(ex::var(sys.r_bit), ex::var(sys.s_bit)),
+                                ex::var(sys.s_buf), empty_seq()));
+  return sys;
+}
+
+}  // namespace opentla

@@ -1,0 +1,75 @@
+// opentla/abp/abp.hpp
+//
+// The alternating-bit protocol as a second case study (beyond the paper's
+// appendix): a sender and a receiver communicate over LOSSY single-message
+// wires and still implement a reliable 2-place queue between two-phase
+// handshake client interfaces.
+//
+//    in ==> [Sender s_buf, s_bit] --d (lossy)--> [Receiver r_buf, r_bit] ==> out
+//                       ^------------ a (lossy) -----------'
+//
+// The study exercises the pieces of the library the paper's queue does not
+// stress: STRONG fairness (loss defeats weak fairness — a message can be
+// retransmitted forever yet never consumed, because reception keeps being
+// disabled in between; only SF on the receive actions forces progress),
+// and a refinement witness that must decide whether an in-flight value has
+// already been delivered:
+//
+//     qbar = r_buf \o (IF r_bit = s_bit THEN s_buf ELSE <<>>)
+//
+// (once the receiver flips r_bit past s_bit, the sender's copy is a
+// duplicate awaiting acknowledgment, not queue content).
+
+#pragma once
+
+#include "opentla/queue/queue_spec.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+struct AbpSystem {
+  VarTable vars;
+  Channel in;   // client -> sender handshake
+  Channel out;  // receiver -> client handshake
+  // Data wire d: at most one (value, tag) message; zeroed when empty.
+  VarId d_full = 0, d_val = 0, d_bit = 0;
+  // Ack wire a: at most one tag.
+  VarId a_full = 0, a_bit = 0;
+  // Sender: the value being transmitted (if any) and the current tag.
+  VarId s_buf = 0, s_bit = 0;
+  // Receiver: the value awaiting delivery (if any) and the expected tag.
+  VarId r_buf = 0, r_bit = 0;
+
+  // Actions (each pins every other system variable: the closed system is
+  // interleaving by construction).
+  Expr s_accept;     // take a client value into s_buf, acknowledge `in`
+  Expr s_send;       // (re)transmit <Head(s_buf), s_bit> on d
+  Expr s_ack_match;  // consume a matching ack: transfer complete
+  Expr s_ack_stale;  // consume and ignore a stale ack
+  Expr r_rcv_new;    // consume a fresh message: buffer, flip r_bit, ack
+  Expr r_rcv_dup;    // consume a duplicate: re-acknowledge its tag
+  Expr r_deliver;    // hand r_buf to the client on `out`
+  Expr lose_d;       // the wire drops the data message
+  Expr lose_a;       // the wire drops the ack
+  Expr client;       // Put on `in` \/ Get on `out` (no fairness: open world)
+
+  /// The complete system: client + sender + receiver + lossy wires, with
+  /// the protocol's fairness (WF on send/accept/deliver/ack handling, SF
+  /// on the two receive-success actions).
+  CanonicalSpec system;
+
+  // The refinement target: a 2-place queue between `in` and `out`, with
+  // hidden buffer `q` and WF(QM).
+  VarId q = 0;
+  QueueSpecs queue;
+  Expr qbar;  // the refinement witness described above
+
+  /// The same system with every SF weakened to WF — NOT sufficient for
+  /// liveness under loss (used by the negative tests).
+  CanonicalSpec system_with_weak_fairness_only() const;
+};
+
+/// Values are 0..num_values-1.
+AbpSystem make_abp_system(int num_values);
+
+}  // namespace opentla

@@ -1,0 +1,22 @@
+#include "opentla/ag/ag_spec.hpp"
+
+namespace opentla {
+
+CanonicalSpec trivial_assumption() {
+  CanonicalSpec spec;
+  spec.name = "TRUE";
+  spec.init = ex::top();
+  spec.next = ex::top();
+  // Empty subscript: [TRUE]_<<>> holds of every step.
+  return spec;
+}
+
+AGSpec property_as_ag(CanonicalSpec g, bool mover) {
+  AGSpec ag;
+  ag.assumption = trivial_assumption();
+  ag.guarantee = std::move(g);
+  ag.guarantee_is_mover = mover;
+  return ag;
+}
+
+}  // namespace opentla

@@ -1,0 +1,42 @@
+// opentla/ag/ag_spec.hpp
+//
+// Assumption/guarantee specifications E +> M (Section 3): the system
+// guarantees M at least one step longer than the environment satisfies E.
+// E and M are component specifications in canonical form (Section 2.2); in
+// practice E is a safety property (the paper: "we write the environment
+// assumption as a safety property") and M carries the fairness.
+//
+// `trivial_assumption` builds TRUE as a canonical spec, which turns a plain
+// property G into the A/G specification TRUE +> G = G — how the paper
+// threads the interleaving assumption G through the Composition Theorem
+// (Section 5: "we just let M_1 equal G and E_1 equal true").
+
+#pragma once
+
+#include <string>
+
+#include "opentla/tla/formula.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+struct AGSpec {
+  CanonicalSpec assumption;  // E (safety: fairness must be empty)
+  CanonicalSpec guarantee;   // M
+  /// Whether M's next-state action generates candidate steps in product
+  /// explorations. Set false for constraint-only guarantees such as
+  /// Disjoint, whose action has no executable assignments.
+  bool guarantee_is_mover = true;
+
+  std::string name() const { return assumption.name + " +> " + guarantee.name; }
+  /// The formula E +> M.
+  Formula to_formula() const { return tf::while_plus(assumption, guarantee); }
+};
+
+/// The specification TRUE (Init = TRUE, [][TRUE]_<<>>, no fairness).
+CanonicalSpec trivial_assumption();
+
+/// G as an A/G spec: TRUE +> G (equal to G).
+AGSpec property_as_ag(CanonicalSpec g, bool mover = false);
+
+}  // namespace opentla

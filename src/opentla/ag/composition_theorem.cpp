@@ -1,0 +1,511 @@
+#include "opentla/ag/composition_theorem.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "opentla/ag/propositions.hpp"
+#include "opentla/automata/freeze.hpp"
+#include "opentla/check/inclusion.hpp"
+#include "opentla/check/invariant.hpp"
+#include "opentla/check/machine_closure.hpp"
+#include "opentla/check/orthogonality.hpp"
+#include "opentla/check/refinement.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/expr/analysis.hpp"
+
+namespace opentla {
+
+namespace {
+
+bool is_trivial_spec(const CanonicalSpec& s) {
+  return s.sub.empty() && s.fairness.empty() &&
+         structurally_equal(s.init, ex::top());
+}
+
+std::string short_trace(const VarTable& vars, const std::vector<State>& states,
+                        std::size_t max_states = 12) {
+  std::vector<State> shown(states.begin(),
+                           states.begin() + std::min(states.size(), max_states));
+  std::string out = "counterexample (" + std::to_string(states.size()) + " states):\n" +
+                    format_trace(vars, shown);
+  if (shown.size() < states.size()) out += "  ...\n";
+  return out;
+}
+
+Mover free_tuple_mover(const VarTable& vars, const std::vector<VarId>& tuple) {
+  std::vector<VarId> complement;
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (std::find(tuple.begin(), tuple.end(), v) == tuple.end()) complement.push_back(v);
+  }
+  Mover m;
+  m.generator = std::make_shared<ActionSuccessors>(vars, ex::unchanged(complement));
+  m.machine_index = -1;
+  m.label = "free-move";
+  return m;
+}
+
+}  // namespace
+
+ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& components,
+                               const AGSpec& goal, const CompositionOptions& opts) {
+  ProofReport report;
+  {
+    std::ostringstream os;
+    for (std::size_t j = 0; j < components.size(); ++j) {
+      if (j != 0) os << " /\\ ";
+      os << "(" << components[j].name() << ")";
+    }
+    os << "  =>  (" << goal.name() << ")";
+    report.theorem = os.str();
+  }
+
+  // --- 0. assumptions must be safety properties ---
+  for (const AGSpec* ag : [&] {
+         std::vector<const AGSpec*> all;
+         for (const AGSpec& c : components) all.push_back(&c);
+         all.push_back(&goal);
+         return all;
+       }()) {
+    if (!ag->assumption.fairness.empty()) {
+      Obligation ob;
+      ob.id = "safety-assumption";
+      ob.description = "environment assumption " + ag->assumption.name + " is a safety property";
+      ob.method = "syntactic";
+      ob.discharged = false;
+      ob.detail = "assumption carries fairness conditions; write it as a safety property "
+                  "(Section 3)";
+      report.add(std::move(ob));
+      return report;
+    }
+  }
+
+  // --- hidden, relevant, and irrelevant variables; the freeze tuple ---
+  std::set<VarId> hidden_set(goal.guarantee.hidden.begin(), goal.guarantee.hidden.end());
+  std::set<VarId> relevant = spec_variables(goal.guarantee);
+  {
+    std::set<VarId> s = spec_variables(goal.assumption);
+    relevant.insert(s.begin(), s.end());
+  }
+  for (const AGSpec& c : components) {
+    hidden_set.insert(c.guarantee.hidden.begin(), c.guarantee.hidden.end());
+    hidden_set.insert(c.assumption.hidden.begin(), c.assumption.hidden.end());
+    for (const CanonicalSpec* s : {&c.guarantee, &c.assumption}) {
+      std::set<VarId> sv = spec_variables(*s);
+      relevant.insert(sv.begin(), sv.end());
+    }
+  }
+  for (const auto& [name, witness] : opts.goal_witness) {
+    FreeVars fv = free_vars(witness);
+    relevant.insert(fv.unprimed.begin(), fv.unprimed.end());
+  }
+  // Universe variables no spec mentions can be held constant: neither side
+  // of any hypothesis depends on them, and leaving them free would only
+  // blow up the exploration.
+  std::vector<VarId> irrelevant;
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (!relevant.contains(v)) irrelevant.push_back(v);
+  }
+  // Normalized variables: hidden ones (tracked by machines) plus the
+  // irrelevant ones (pinned).
+  std::vector<VarId> normalize(hidden_set.begin(), hidden_set.end());
+  normalize.insert(normalize.end(), irrelevant.begin(), irrelevant.end());
+  std::vector<VarId> plus_v = opts.plus_tuple;
+  if (plus_v.empty()) {
+    for (VarId v = 0; v < vars.size(); ++v) {
+      if (!hidden_set.contains(v) && relevant.contains(v)) plus_v.push_back(v);
+    }
+  }
+
+  // --- 1. Proposition 1: syntactic closures ---
+  std::vector<CanonicalSpec> closures;  // C(M_j)
+  for (const AGSpec& c : components) {
+    Prop1Result p1 = prop1_closure(c.guarantee);
+    report.add(p1.obligation);
+    closures.push_back(std::move(p1.closure));
+  }
+  Prop1Result goal_p1 = prop1_closure(goal.guarantee);
+  report.add(goal_p1.obligation);
+  if (!report.all_discharged()) return report;
+
+  // --- Proposition 2: hidden variables are private ---
+  {
+    std::vector<const CanonicalSpec*> all_specs;
+    all_specs.push_back(&goal.assumption);
+    for (const CanonicalSpec& c : closures) all_specs.push_back(&c);
+    report.add(prop2_side_conditions(vars, all_specs, goal.guarantee));
+    if (!report.all_discharged()) return report;
+  }
+
+  // --- shared exploration pieces ---
+  std::vector<Expr> init_conjuncts = {goal.assumption.init};
+  for (const AGSpec& c : components) init_conjuncts.push_back(c.guarantee.init);
+  const Expr init_enum = ex::land(std::move(init_conjuncts));
+
+  // With the interleaving optimization, a component's mover varies only
+  // its declared outputs and hidden variables; everything else is pinned
+  // (the Disjoint conjunct among the components filters any step the
+  // pinning could miss).
+  const bool interleaved = !opts.component_outputs.empty();
+  auto pinned_for = [&](const std::vector<VarId>& outputs,
+                        const std::vector<VarId>& hidden) {
+    std::vector<VarId> pinned = normalize;
+    if (!interleaved || outputs.empty()) return pinned;
+    std::set<VarId> own(outputs.begin(), outputs.end());
+    own.insert(hidden.begin(), hidden.end());
+    for (VarId v = 0; v < vars.size(); ++v) {
+      if (!own.contains(v)) pinned.push_back(v);
+    }
+    return pinned;
+  };
+
+  auto build_movers = [&]() {
+    std::vector<Mover> movers;
+    std::set<VarId> covered;
+    if (!is_trivial_spec(goal.assumption) && !goal.assumption.sub.empty()) {
+      movers.push_back(mover_from_spec(
+          vars, goal.assumption, 0,
+          pinned_for(opts.env_outputs, goal.assumption.hidden)));
+      covered.insert(goal.assumption.sub.begin(), goal.assumption.sub.end());
+    }
+    for (std::size_t j = 0; j < components.size(); ++j) {
+      if (!components[j].guarantee_is_mover || components[j].guarantee.sub.empty()) continue;
+      const std::vector<VarId> outputs =
+          j < opts.component_outputs.size() ? opts.component_outputs[j]
+                                            : std::vector<VarId>{};
+      movers.push_back(mover_from_spec(vars, closures[j], static_cast<int>(1 + j),
+                                       pinned_for(outputs, closures[j].hidden)));
+      covered.insert(closures[j].sub.begin(), closures[j].sub.end());
+    }
+    for (const std::vector<VarId>& tuple : opts.free_tuples) {
+      movers.push_back(free_tuple_mover(vars, tuple));
+      covered.insert(tuple.begin(), tuple.end());
+    }
+    // Relevant visible variables no mover writes are unconstrained by the
+    // conjunction (no [N]_v mentions them): they may change at any step.
+    // Changes combined with component moves are enumerated by the movers
+    // themselves (such variables are never pinned); changes while every
+    // component stutters need an explicit free mover.
+    std::vector<VarId> uncovered;
+    for (VarId v = 0; v < vars.size(); ++v) {
+      if (relevant.contains(v) && !hidden_set.contains(v) && !covered.contains(v)) {
+        uncovered.push_back(v);
+      }
+    }
+    if (!uncovered.empty()) movers.push_back(free_tuple_mover(vars, uncovered));
+    return movers;
+  };
+
+  // --- H1: |= C(E) /\ /\_j C(M_j) => E_i ---
+  {
+    std::vector<std::shared_ptr<const SafetyMachine>> constraints;
+    constraints.push_back(std::make_shared<PrefixMachine>(vars, goal.assumption));
+    for (const CanonicalSpec& c : closures) {
+      constraints.push_back(std::make_shared<PrefixMachine>(vars, c));
+    }
+    ConstraintExplorer explorer(vars, constraints, build_movers(), init_enum, normalize,
+                                opts.max_nodes);
+    for (std::size_t i = 0; i < components.size(); ++i) {
+      Obligation ob;
+      ob.id = "H1[" + components[i].assumption.name + "]";
+      ob.description = "C(" + goal.assumption.name + ") /\\ /\\_j C(M_j) => " +
+                       components[i].assumption.name;
+      if (is_trivial_spec(components[i].assumption)) {
+        ob.method = "trivial";
+        ob.discharged = true;
+        report.add(std::move(ob));
+        continue;
+      }
+      ob.method = "product-inclusion";
+      ConstraintExplorer::Verdict verdict = [&] {
+        ObligationTimer timer(ob);
+        PrefixMachine target(vars, components[i].assumption);
+        return explorer.check_target(target);
+      }();
+      ob.discharged = verdict.holds;
+      ob.detail = "product nodes: " + std::to_string(explorer.num_nodes()) +
+                  ", pairs: " + std::to_string(verdict.pairs_visited);
+      if (!verdict.holds) ob.detail += "\n" + short_trace(vars, verdict.counterexample);
+      report.add(std::move(ob));
+    }
+  }
+
+  // --- H2a: |= C(E)_{+v} /\ /\_j C(M_j) => C(M) ---
+  {
+    Obligation ob;
+    ob.id = "H2a";
+    ob.description = "C(" + goal.assumption.name + ")_{+v} /\\ /\\_j C(M_j) => C(" +
+                     goal.guarantee.name + ")";
+    ob.method = "product-inclusion(freeze)";
+    {
+      ObligationTimer timer(ob);
+      std::vector<std::shared_ptr<const SafetyMachine>> constraints;
+      constraints.push_back(std::make_shared<FreezeMachine>(
+          std::make_shared<PrefixMachine>(vars, goal.assumption), plus_v));
+      for (const CanonicalSpec& c : closures) {
+        constraints.push_back(std::make_shared<PrefixMachine>(vars, c));
+      }
+      std::vector<Mover> movers = build_movers();
+      // After E fails, variables outside v may still change freely.
+      std::vector<VarId> unfrozen;
+      for (VarId v = 0; v < vars.size(); ++v) {
+        if (hidden_set.contains(v) || !relevant.contains(v)) continue;
+        if (std::find(plus_v.begin(), plus_v.end(), v) == plus_v.end()) unfrozen.push_back(v);
+      }
+      if (!unfrozen.empty()) movers.push_back(free_tuple_mover(vars, unfrozen));
+
+      ConstraintExplorer explorer(vars, constraints, std::move(movers), init_enum, normalize,
+                                  opts.max_nodes);
+      PrefixMachine target(vars, goal_p1.closure);
+      ConstraintExplorer::Verdict verdict = explorer.check_target(target);
+      ob.discharged = verdict.holds;
+      ob.detail = "product nodes: " + std::to_string(explorer.num_nodes()) +
+                  ", pairs: " + std::to_string(verdict.pairs_visited);
+      if (!verdict.holds) ob.detail += "\n" + short_trace(vars, verdict.counterexample);
+    }
+    report.add(std::move(ob));
+  }
+
+  // --- H2b: |= E /\ /\_j M_j => M ---
+  {
+    Obligation ob;
+    ob.id = "H2b";
+    ob.description =
+        goal.assumption.name + " /\\ /\\_j M_j => " + goal.guarantee.name;
+    ob.method = "complete-system refinement";
+    {
+    ObligationTimer timer_guard(ob);
+    std::vector<CompositePart> parts;
+    if (!is_trivial_spec(goal.assumption)) {
+      parts.push_back({goal.assumption, /*mover=*/true,
+                       pinned_for(opts.env_outputs, goal.assumption.hidden)});
+    }
+    std::vector<Fairness> low_fairness = goal.assumption.fairness;
+    for (std::size_t j = 0; j < components.size(); ++j) {
+      const AGSpec& c = components[j];
+      const std::vector<VarId> outputs =
+          j < opts.component_outputs.size() ? opts.component_outputs[j]
+                                            : std::vector<VarId>{};
+      // The unhidden part's buffer variables move with its own actions.
+      std::vector<VarId> own_hidden = c.guarantee.hidden;
+      parts.push_back({c.guarantee.unhidden(), c.guarantee_is_mover,
+                       pinned_for(outputs, own_hidden)});
+      low_fairness.insert(low_fairness.end(), c.guarantee.fairness.begin(),
+                          c.guarantee.fairness.end());
+    }
+    // Pin whatever no part constrains: the goal guarantee's hidden
+    // variables when they are fresh (the refinement witness supplies their
+    // values), and the irrelevant variables.
+    std::vector<VarId> pin_tuple;
+    {
+      std::set<VarId> covered;
+      for (const CompositePart& p : parts) covered.insert(p.spec.sub.begin(), p.spec.sub.end());
+      for (VarId v : goal.guarantee.hidden) {
+        if (!covered.contains(v)) pin_tuple.push_back(v);
+      }
+      for (VarId v : irrelevant) {
+        if (!covered.contains(v)) pin_tuple.push_back(v);
+      }
+    }
+    if (!pin_tuple.empty()) {
+      parts.push_back({make_pin(vars, pin_tuple, "PinUnconstrained"), /*mover=*/false});
+    }
+    try {
+      StateGraph low = build_composite_graph(vars, parts, opts.free_tuples, pin_tuple,
+                                             opts.max_states);
+      RefinementMapping mapping = mapping_by_name(vars, vars, opts.goal_witness);
+      RefinementResult r = check_refinement(low, low_fairness, goal.guarantee, mapping);
+      ob.discharged = r.holds;
+      ob.detail = "low states: " + std::to_string(r.states) +
+                  ", edges: " + std::to_string(r.edges);
+      if (!r.holds) {
+        ob.detail += "\nfailed: " + r.failed_part + "\n" +
+                     short_trace(vars, r.counterexample_prefix);
+        if (!r.counterexample_cycle.empty()) {
+          ob.detail += "cycle:\n" + format_trace(vars, r.counterexample_cycle);
+        }
+      }
+    } catch (const std::exception& e) {
+      ob.discharged = false;
+      ob.detail = std::string("exploration failed: ") + e.what();
+    }
+    }  // timer scope
+    report.add(std::move(ob));
+  }
+
+  return report;
+}
+
+ProofReport verify_refinement_corollary(const VarTable& vars, const CanonicalSpec& assumption,
+                                        const CanonicalSpec& low, const CanonicalSpec& high,
+                                        const CompositionOptions& opts) {
+  AGSpec component{assumption, low};
+  AGSpec goal{assumption, high};
+  return verify_composition(vars, {component}, goal, opts);
+}
+
+std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
+                                                const std::vector<AGSpec>& components,
+                                                const AGSpec& goal, const Prop3Route& route,
+                                                const CompositionOptions& opts) {
+  std::vector<Obligation> out;
+
+  // Closures (Proposition 1) and the relevant/irrelevant split, as in
+  // verify_composition.
+  std::vector<CanonicalSpec> closures;
+  for (const AGSpec& c : components) {
+    Prop1Result p1 = prop1_closure(c.guarantee);
+    if (!p1.obligation) {
+      out.push_back(p1.obligation);
+      return out;
+    }
+    closures.push_back(std::move(p1.closure));
+  }
+  Prop1Result goal_p1 = prop1_closure(goal.guarantee);
+  if (!goal_p1.obligation) {
+    out.push_back(goal_p1.obligation);
+    return out;
+  }
+
+  std::set<VarId> hidden_set(goal.guarantee.hidden.begin(), goal.guarantee.hidden.end());
+  std::set<VarId> relevant = spec_variables(goal.guarantee);
+  {
+    std::set<VarId> s = spec_variables(goal.assumption);
+    relevant.insert(s.begin(), s.end());
+  }
+  for (const AGSpec& c : components) {
+    hidden_set.insert(c.guarantee.hidden.begin(), c.guarantee.hidden.end());
+    for (const CanonicalSpec* s : {&c.guarantee, &c.assumption}) {
+      std::set<VarId> sv = spec_variables(*s);
+      relevant.insert(sv.begin(), sv.end());
+    }
+  }
+  std::vector<VarId> normalize(hidden_set.begin(), hidden_set.end());
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (!relevant.contains(v)) normalize.push_back(v);
+  }
+  std::vector<VarId> plus_v = opts.plus_tuple;
+  if (plus_v.empty()) {
+    for (VarId v = 0; v < vars.size(); ++v) {
+      if (!hidden_set.contains(v) && relevant.contains(v)) plus_v.push_back(v);
+    }
+  }
+
+  // --- Proposition 3's side condition: free vars of C(M) within v ---
+  out.push_back(prop3_side_condition(vars, goal_p1.closure, plus_v));
+  if (!out.back()) return out;
+
+  // --- Proposition 4's syntactic side conditions for C(E) _|_ C(M) ---
+  out.push_back(prop4_orthogonality(vars, goal.assumption, route.env_outputs,
+                                    goal.guarantee, route.guarantee_outputs));
+  if (!out.back()) return out;
+
+  // --- Step 2.1 (semantic): |= R => C(E) _|_ C(M) on R's behaviors ---
+  {
+    Obligation ob;
+    ob.id = "2.1";
+    ob.description = "/\\_j C(M_j) => C(" + goal.assumption.name + ") _|_ C(" +
+                     goal.guarantee.name + ")";
+    ob.method = "orthogonality(product)";
+    {
+      ObligationTimer timer(ob);
+      // R's generator: the closures with hidden variables explicit, plus a
+      // single free tuple for everything no mover constrains (environment
+      // moves; the components' own step filters reject what R forbids).
+      std::vector<CompositePart> parts;
+      std::set<VarId> covered;
+      for (std::size_t j = 0; j < components.size(); ++j) {
+        parts.push_back({closures[j].unhidden(), components[j].guarantee_is_mover});
+        covered.insert(closures[j].sub.begin(), closures[j].sub.end());
+      }
+      std::vector<VarId> env_free;
+      std::vector<VarId> pin_tuple;
+      for (VarId v = 0; v < vars.size(); ++v) {
+        if (covered.contains(v)) continue;
+        if (relevant.contains(v) && !hidden_set.contains(v)) {
+          env_free.push_back(v);
+        } else {
+          pin_tuple.push_back(v);
+        }
+      }
+      if (!env_free.empty()) {
+        // Cover the free environment variables with a frame part so the
+        // coverage check passes; the free tuple generates their moves.
+        CanonicalSpec frame;
+        frame.name = "EnvFrame";
+        frame.init = ex::top();
+        frame.next = ex::top();
+        frame.sub = env_free;
+        parts.push_back({frame, /*mover=*/false});
+      }
+      if (!pin_tuple.empty()) {
+        parts.push_back({make_pin(vars, pin_tuple, "Pin"), /*mover=*/false});
+      }
+      std::vector<std::vector<VarId>> free_tuples = opts.free_tuples;
+      if (!env_free.empty()) free_tuples.push_back(env_free);
+
+      StateGraph r_graph =
+          build_composite_graph(vars, parts, free_tuples, pin_tuple, opts.max_states);
+      PrefixMachine e_machine(vars, goal.assumption);
+      PrefixMachine m_machine(vars, goal_p1.closure);
+      OrthogonalityResult orth = check_orthogonality(r_graph, e_machine, m_machine);
+      ob.discharged = orth.holds;
+      ob.detail = "R states: " + std::to_string(r_graph.num_states()) +
+                  ", pairs: " + std::to_string(orth.pairs_visited);
+      if (!orth.holds) ob.detail += "\n" + short_trace(vars, orth.counterexample);
+    }
+    out.push_back(std::move(ob));
+    if (!out.back()) return out;
+  }
+
+  // --- Step 2.2: |= C(E) /\ R => C(M) (no freeze) ---
+  {
+    Obligation ob;
+    ob.id = "2.2";
+    ob.description =
+        "C(" + goal.assumption.name + ") /\\ /\\_j C(M_j) => C(" + goal.guarantee.name + ")";
+    ob.method = "product-inclusion";
+    {
+      ObligationTimer timer(ob);
+      std::vector<std::shared_ptr<const SafetyMachine>> constraints;
+      constraints.push_back(std::make_shared<PrefixMachine>(vars, goal.assumption));
+      for (const CanonicalSpec& c : closures) {
+        constraints.push_back(std::make_shared<PrefixMachine>(vars, c));
+      }
+      std::vector<Mover> movers;
+      if (!is_trivial_spec(goal.assumption) && !goal.assumption.sub.empty()) {
+        movers.push_back(mover_from_spec(vars, goal.assumption, 0, normalize));
+      }
+      for (std::size_t j = 0; j < components.size(); ++j) {
+        if (!components[j].guarantee_is_mover || components[j].guarantee.sub.empty()) continue;
+        movers.push_back(mover_from_spec(vars, closures[j], static_cast<int>(1 + j), normalize));
+      }
+      std::vector<Expr> init_conjuncts = {goal.assumption.init};
+      for (const AGSpec& c : components) init_conjuncts.push_back(c.guarantee.init);
+      ConstraintExplorer explorer(vars, constraints, std::move(movers),
+                                  ex::land(std::move(init_conjuncts)), normalize,
+                                  opts.max_nodes);
+      PrefixMachine target(vars, goal_p1.closure);
+      ConstraintExplorer::Verdict verdict = explorer.check_target(target);
+      ob.discharged = verdict.holds;
+      ob.detail = "product nodes: " + std::to_string(explorer.num_nodes()) +
+                  ", pairs: " + std::to_string(verdict.pairs_visited);
+      if (!verdict.holds) ob.detail += "\n" + short_trace(vars, verdict.counterexample);
+    }
+    out.push_back(std::move(ob));
+    if (!out.back()) return out;
+  }
+
+  // --- Conclusion: Proposition 3 assembles H2a ---
+  Obligation concl;
+  concl.id = "H2a(via Prop3)";
+  concl.description = "C(" + goal.assumption.name + ")_{+v} /\\ /\\_j C(M_j) => C(" +
+                      goal.guarantee.name + ")";
+  concl.method = "prop3";
+  concl.discharged = true;
+  concl.detail = "from 2.1, 2.2 and Proposition 3";
+  out.push_back(std::move(concl));
+  return out;
+}
+
+}  // namespace opentla

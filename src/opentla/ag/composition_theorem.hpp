@@ -1,0 +1,112 @@
+// opentla/ag/composition_theorem.hpp
+//
+// The Composition Theorem (Section 5) as a mechanical verifier. To
+// establish
+//
+//     |= /\_{j=1..n} (E_j +> M_j)  =>  (E +> M)
+//
+// it discharges, for i = 1..n,
+//
+//   (H1)   |= C(E) /\ /\_j C(M_j)        => E_i
+//   (H2a)  |= C(E)_{+v} /\ /\_j C(M_j)   => C(M)
+//   (H2b)  |= E /\ /\_j M_j              => M
+//
+// Closures are computed syntactically after verifying machine closure
+// (Proposition 1); hidden variables are handled by the prefix machines'
+// subset constructions (justified by Proposition 2, whose side conditions
+// are checked). H1 and H2a are safety inclusions checked by product
+// exploration (check/inclusion); the freeze operator of H2a is the
+// machine transform of automata/freeze. H2b is a full (safety + liveness)
+// implication checked on the explicit complete system (compose) against
+// the goal guarantee under a refinement mapping (check/refinement), which
+// supplies the witness for the goal's hidden variables — exactly the
+// paper's "standard TLA reasoning using a simple refinement mapping".
+//
+// The refinement Corollary ((E +> M') => (E +> M) for safety E) is the
+// n = 1 instance.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "opentla/ag/ag_spec.hpp"
+#include "opentla/proof/report.hpp"
+
+namespace opentla {
+
+struct CompositionOptions {
+  /// The freeze tuple v of C(E)_{+v} in H2a. Empty: all universe variables
+  /// that are hidden in no spec (the paper's <<i, o, z>> for the queues).
+  std::vector<VarId> plus_tuple;
+  /// Refinement witnesses for H2b, by high-variable name. Must cover the
+  /// goal guarantee's hidden variables (e.g. the double queue's
+  /// q |-> q2 \o buffer(z) \o q1); identically-named variables map to
+  /// themselves.
+  std::vector<std::pair<std::string, Expr>> goal_witness;
+  /// Extra "free environment move" tuples for the product explorations:
+  /// for each tuple, candidate steps setting exactly those variables to
+  /// arbitrary values. Needed only when no component's action generates
+  /// the steps some assumption permits.
+  std::vector<std::vector<VarId>> free_tuples;
+  /// OPTIONAL interleaving optimization. When nonempty, declares the
+  /// output tuple of each component (aligned with the components vector;
+  /// the goal assumption's outputs go in `env_outputs`). Candidate steps
+  /// for component j then vary only its own outputs and hidden variables.
+  /// SOUND ONLY when a Disjoint over exactly these tuples is among the
+  /// components (simultaneous cross-component moves are then filtered
+  /// anyway); with no such G conjunct, leave empty — the exploration stays
+  /// exhaustive.
+  std::vector<std::vector<VarId>> component_outputs;
+  std::vector<VarId> env_outputs;
+  std::size_t max_nodes = 1'000'000;
+  std::size_t max_states = 2'000'000;
+  /// Also verify H1/H2a's closure side conditions semantically on graphs
+  /// (slower; default is the syntactic Proposition 1 check only).
+  bool semantic_machine_closure = false;
+};
+
+/// Verifies the Composition Theorem instance
+///     /\_j components[j]  =>  goal
+/// over the single universe `vars` (which contains every variable,
+/// including all hidden ones). Returns the full obligation report; the
+/// conclusion holds iff report.all_discharged().
+ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& components,
+                               const AGSpec& goal, const CompositionOptions& opts = {});
+
+/// The Corollary: |= (E +> M_low) => (E +> M_high) for a safety E, i.e.
+/// refinement under a fixed environment assumption.
+ProofReport verify_refinement_corollary(const VarTable& vars, const CanonicalSpec& assumption,
+                                        const CanonicalSpec& low, const CanonicalSpec& high,
+                                        const CompositionOptions& opts = {});
+
+/// Inputs for the paper's own discharge of hypothesis 2(a) — Figure 9's
+/// steps 2.1/2.2 — via Propositions 3 and 4 instead of the direct
+/// freeze-product exploration:
+///
+///   2.2  |= C(E) /\ R => C(M)            (a plain product inclusion)
+///   2.1  |= R => C(E) _|_ C(M)           (orthogonality: by Proposition 4's
+///        side conditions, and checked semantically on R's behaviors)
+///   side |= vars(M) within v             (Proposition 3's side condition)
+///   =>   |= C(E)_{+v} /\ R => C(M)       (hypothesis 2(a))
+///
+/// where R = /\_j C(M_j). `env_outputs` / `guarantee_outputs` are the
+/// output tuples e and m of the goal's environment and system components
+/// (Proposition 4's interleaving shape).
+struct Prop3Route {
+  std::vector<VarId> env_outputs;
+  std::vector<VarId> guarantee_outputs;
+};
+
+/// Returns the Figure-9-style obligations for H2a discharged by the
+/// Proposition 3/4 route. All obligations discharged iff H2a holds by this
+/// route (the route is sound but may be less complete than the direct
+/// check when its side conditions fail).
+std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
+                                                const std::vector<AGSpec>& components,
+                                                const AGSpec& goal, const Prop3Route& route,
+                                                const CompositionOptions& opts = {});
+
+}  // namespace opentla

@@ -1,0 +1,46 @@
+#include "opentla/ag/freeze_spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opentla {
+
+CanonicalSpec freeze_spec(const CanonicalSpec& e, const std::vector<VarId>& v, VarId flag) {
+  if (!e.fairness.empty()) {
+    throw std::runtime_error("freeze_spec: E must be a safety property (no fairness)");
+  }
+  if (!e.hidden.empty()) {
+    throw std::runtime_error("freeze_spec: E must have no hidden variables");
+  }
+
+  const Expr b = ex::var(flag);
+  const Expr b_next = ex::primed_var(flag);
+  const Expr not_yet = ex::eq(b, ex::boolean(false));
+  const Expr frozen = ex::eq(b, ex::boolean(true));
+  const Expr stays_unfrozen = ex::eq(b_next, ex::boolean(false));
+  const Expr freezes = ex::eq(b_next, ex::boolean(true));
+
+  CanonicalSpec out;
+  out.name = e.name + "_plus";
+  out.init = ex::lor(ex::land(not_yet, e.init), frozen);
+  out.next = ex::lor(
+      // Still following E: an [N]_w step with the flag down.
+      ex::land(not_yet, stays_unfrozen, e.box_step_action()),
+      // The freeze step: the flag goes up; this step is unconstrained
+      // ("v never changes from the (n+1)st state on" starts afterwards).
+      ex::land(not_yet, freezes),
+      // Frozen: v is pinned (and the flag stays up).
+      ex::land(frozen, freezes, ex::eq(ex::primed_var_tuple(v), ex::var_tuple(v))));
+
+  // Subscript: E's subscript plus v plus the flag, deduplicated.
+  std::vector<VarId> sub = e.sub;
+  sub.insert(sub.end(), v.begin(), v.end());
+  sub.push_back(flag);
+  std::sort(sub.begin(), sub.end());
+  sub.erase(std::unique(sub.begin(), sub.end()), sub.end());
+  out.sub = std::move(sub);
+  out.hidden = {flag};
+  return out;
+}
+
+}  // namespace opentla

@@ -1,0 +1,32 @@
+// opentla/ag/freeze_spec.hpp
+//
+// The explicit canonical form of the freeze operator (Section 4.1: "When E
+// is a safety property in canonical form, it is easy to write E_{+v}
+// explicitly"). For E = Init /\ [][N]_w, the formula E_{+v} equals
+//
+//   EE b :  /\ (~b /\ Init) \/ b
+//           /\ [][ \/ ~b /\ ~b' /\ [N]_w     (still following E)
+//                 \/ ~b /\ b'                (the freeze step; unconstrained)
+//                 \/ b /\ b' /\ v' = v ]_u   (frozen: v pinned)
+//
+// where b is a fresh boolean history variable ("E has been abandoned") and
+// u is the tuple <w, v, b>. The initial disjunct b = TRUE is the n = 0
+// case (v constant from the very first state). This realization is
+// verified against the semantic freeze machine by the test suite — the
+// paper's claim that +v "can be expressed in terms of the primitives",
+// made checkable.
+
+#pragma once
+
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+/// Builds the explicit spec for E_{+v}. `flag` must be a fresh
+/// boolean-domain variable of the universe, used as the hidden history
+/// variable b. E must be a safety property (no fairness) whose hidden list
+/// is empty (apply to closures of component assumptions, as the
+/// Composition Theorem does).
+CanonicalSpec freeze_spec(const CanonicalSpec& e, const std::vector<VarId>& v, VarId flag);
+
+}  // namespace opentla

@@ -1,0 +1,119 @@
+#include "opentla/ag/propositions.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "opentla/check/machine_closure.hpp"
+#include "opentla/expr/analysis.hpp"
+
+namespace opentla {
+
+Prop1Result prop1_closure(const CanonicalSpec& spec) {
+  Prop1Result result;
+  result.obligation.id = "Prop1[" + spec.name + "]";
+  result.obligation.description =
+      "C(" + spec.name + ") = Init /\\ [][N]_v  (machine closure)";
+  result.obligation.method = "prop1-syntactic";
+  MachineClosureResult mc = check_prop1_syntactic(spec);
+  result.obligation.discharged = mc.machine_closed;
+  result.obligation.detail = mc.detail;
+  result.closure = spec.safety_part();
+  return result;
+}
+
+Obligation prop2_side_conditions(const VarTable& vars,
+                                 const std::vector<const CanonicalSpec*>& specs,
+                                 const CanonicalSpec& m) {
+  Obligation ob;
+  ob.id = "Prop2";
+  ob.description = "hidden variables are private to their components";
+  ob.method = "prop2-syntactic";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (VarId x : specs[i]->hidden) {
+      for (std::size_t j = 0; j < specs.size(); ++j) {
+        if (i == j) continue;
+        if (spec_variables(*specs[j]).contains(x)) {
+          ob.discharged = false;
+          ob.detail = "hidden variable '" + vars.name(x) + "' of " + specs[i]->name +
+                      " occurs in " + specs[j]->name;
+          return ob;
+        }
+      }
+      // x must not occur in M's formula except as M's own hidden variable.
+      if (spec_variables(m).contains(x) &&
+          std::find(m.hidden.begin(), m.hidden.end(), x) == m.hidden.end()) {
+        ob.discharged = false;
+        ob.detail = "hidden variable '" + vars.name(x) + "' of " + specs[i]->name +
+                    " occurs free in " + m.name;
+        return ob;
+      }
+    }
+  }
+  ob.discharged = true;
+  ob.detail = "quantifiers commute with the closure implication (Proposition 2)";
+  return ob;
+}
+
+Obligation prop3_side_condition(const VarTable& vars, const CanonicalSpec& m,
+                                const std::vector<VarId>& v) {
+  Obligation ob;
+  ob.id = "Prop3-side";
+  ob.description = "every variable of " + m.name + " occurs in the freeze tuple v";
+  ob.method = "prop3-syntactic";
+  for (VarId x : spec_variables(m)) {
+    // Hidden variables are bound by the quantifier, not free in M.
+    if (std::find(m.hidden.begin(), m.hidden.end(), x) != m.hidden.end()) continue;
+    if (std::find(v.begin(), v.end(), x) == v.end()) {
+      ob.discharged = false;
+      ob.detail = "variable '" + vars.name(x) + "' of " + m.name + " is not in v";
+      return ob;
+    }
+  }
+  ob.discharged = true;
+  return ob;
+}
+
+Obligation prop4_orthogonality(const VarTable& vars, const CanonicalSpec& e,
+                               const std::vector<VarId>& e_out, const CanonicalSpec& m,
+                               const std::vector<VarId>& m_out) {
+  Obligation ob;
+  ob.id = "Prop4[" + e.name + " _|_ " + m.name + "]";
+  ob.description = "interleaving component specs are orthogonal";
+  ob.method = "prop4-syntactic";
+  // Side condition 1: output tuples are disjoint variable sets.
+  for (VarId x : e_out) {
+    if (std::find(m_out.begin(), m_out.end(), x) != m_out.end()) {
+      ob.discharged = false;
+      ob.detail = "output variable '" + vars.name(x) + "' shared by both components";
+      return ob;
+    }
+  }
+  // Side condition 2: each spec can only be falsified by changing its own
+  // outputs (or hidden variables): its subscript is outputs + hidden.
+  auto sub_is_out_plus_hidden = [](const CanonicalSpec& s, const std::vector<VarId>& out) {
+    std::set<VarId> expect(out.begin(), out.end());
+    expect.insert(s.hidden.begin(), s.hidden.end());
+    return std::set<VarId>(s.sub.begin(), s.sub.end()) == expect;
+  };
+  if (!sub_is_out_plus_hidden(e, e_out)) {
+    ob.discharged = false;
+    ob.detail = e.name + "'s subscript is not its output tuple (plus hidden variables)";
+    return ob;
+  }
+  if (!sub_is_out_plus_hidden(m, m_out)) {
+    ob.discharged = false;
+    ob.detail = m.name + "'s subscript is not its output tuple (plus hidden variables)";
+    return ob;
+  }
+  // Side condition 3: closures computable by Proposition 1.
+  if (!prop1_closure(e).obligation || !prop1_closure(m).obligation) {
+    ob.discharged = false;
+    ob.detail = "a component's closure is not syntactically computable (Proposition 1)";
+    return ob;
+  }
+  ob.discharged = true;
+  ob.detail = "under Disjoint(e, m) and the initial condition, no step falsifies both";
+  return ob;
+}
+
+}  // namespace opentla

@@ -1,0 +1,66 @@
+// opentla/ag/propositions.hpp
+//
+// The paper's Propositions 1-4 as checkable reduction rules. Each returns
+// an Obligation describing what was established (or why it failed), so the
+// theorem verifier's reports read like the paper's proofs.
+//
+//   Proposition 1 (machine closure): if every fairness action implies N,
+//     C(Init /\ [][N]_v /\ L) = Init /\ [][N]_v; the closure of a spec is
+//     then computed syntactically by dropping L.
+//
+//   Proposition 2 (closure vs hiding): if the hidden tuples x_i are
+//     pairwise disjoint and do not occur in the other specs,
+//     |= /\ C(M_i) => EE x : C(M)  implies  |= /\ C(EE x_i : M_i) => C(EE x : M).
+//     Operationally this is what justifies checking closures with prefix
+//     machines that carry their own hidden assignments; the rule here
+//     verifies the variable side conditions.
+//
+//   Proposition 3 (freeze elimination): for safety E, M, R with vars(M)
+//     included in v:  |= E /\ R => M  and  |= R => (E _|_ M)  imply
+//     |= E_{+v} /\ R => M. This is the paper's route for hypothesis 2(a);
+//     `prop3_side_condition` checks the variable inclusion.
+//
+//   Proposition 4 (interleaving orthogonality): for interleaving component
+//     specs E (outputs e) and M (outputs m),
+//     |= (EE x: Init_E \/ EE y: Init_M) /\ Disjoint(e, m) => C(E) _|_ C(M).
+//     `prop4` checks the side conditions (closures in canonical form via
+//     Proposition 1, initial condition, output disjointness) and concludes
+//     orthogonality.
+
+#pragma once
+
+#include <vector>
+
+#include "opentla/proof/obligation.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+/// Proposition 1: returns the closure (the safety part) when the spec is
+/// syntactically machine-closed; the obligation records the check.
+struct Prop1Result {
+  Obligation obligation;
+  CanonicalSpec closure;
+};
+Prop1Result prop1_closure(const CanonicalSpec& spec);
+
+/// Proposition 2's side conditions: each spec's hidden variables occur in
+/// no other spec of `specs` (including the goal `m`).
+Obligation prop2_side_conditions(const VarTable& vars,
+                                 const std::vector<const CanonicalSpec*>& specs,
+                                 const CanonicalSpec& m);
+
+/// Proposition 3's side condition: every free variable of M is in v.
+Obligation prop3_side_condition(const VarTable& vars, const CanonicalSpec& m,
+                                const std::vector<VarId>& v);
+
+/// Proposition 4: concludes C(E) _|_ C(M) for interleaving component specs
+/// with output tuples `e_out` and `m_out`, given that Disjoint(e_out,
+/// m_out) is among the behaviors considered. Checks the side conditions
+/// syntactically; the semantic content (no step falsifies both) is
+/// validated elsewhere by check_orthogonality when desired.
+Obligation prop4_orthogonality(const VarTable& vars, const CanonicalSpec& e,
+                               const std::vector<VarId>& e_out, const CanonicalSpec& m,
+                               const std::vector<VarId>& m_out);
+
+}  // namespace opentla

@@ -1,0 +1,29 @@
+#include "opentla/automata/freeze.hpp"
+
+namespace opentla {
+
+FreezeMachine::FreezeMachine(std::shared_ptr<const SafetyMachine> inner, std::vector<VarId> v)
+    : inner_(std::move(inner)), v_(std::move(v)) {}
+
+Value FreezeMachine::initial(const State& s) const {
+  // n = 0: "F holds for the first 0 states" is vacuous, so a behavior whose
+  // v never changes from the first state on satisfies F_{+v} regardless of F.
+  return Value::tuple({inner_->initial(s), Value::boolean(true)});
+}
+
+Value FreezeMachine::step(const Value& config, const State& s, const State& t) const {
+  const Value::Tuple& parts = config.as_tuple();
+  const Value& inner_before = parts[0];
+  const bool frozen_before = parts[1].as_bool();
+  const bool can_freeze_now = inner_->alive(inner_before);
+  const bool stays_frozen = frozen_before && !changes_tuple(v_, s, t);
+  return Value::tuple(
+      {inner_->step(inner_before, s, t), Value::boolean(can_freeze_now || stays_frozen)});
+}
+
+bool FreezeMachine::alive(const Value& config) const {
+  const Value::Tuple& parts = config.as_tuple();
+  return inner_->alive(parts[0]) || parts[1].as_bool();
+}
+
+}  // namespace opentla

@@ -1,0 +1,49 @@
+// opentla/automata/freeze.hpp
+//
+// The freeze operator F_{+v} (Section 4.1): a behavior satisfies F_{+v}
+// iff either it satisfies F, or F holds for its first n states and the
+// state function v never changes from the (n+1)st state on.
+//
+// As a safety machine over prefixes: alongside the inner machine for F we
+// track a single "frozen" bit. All surviving frozen branches necessarily
+// agree that v equals its value in the current state (a frozen branch dies
+// the moment v changes), so one bit suffices:
+//
+//   frozen after <s>              =  TRUE   (n = 0 vacuously holds)
+//   frozen after step <.., s, t>  =  alive(inner before step)   [freeze now]
+//                                    \/ (frozen /\ v(t) = v(s)) [stay frozen]
+//
+// and the prefix satisfies F_{+v} iff the inner machine is alive or the
+// frozen bit is set.
+
+#pragma once
+
+#include <memory>
+
+#include "opentla/automata/prefix_machine.hpp"
+
+namespace opentla {
+
+class FreezeMachine final : public SafetyMachine {
+ public:
+  /// Wraps `inner` (the machine for a safety property F, typically C(E))
+  /// with freeze tuple `v`. The tuple must consist of visible variables.
+  FreezeMachine(std::shared_ptr<const SafetyMachine> inner, std::vector<VarId> v);
+
+  Value initial(const State& s) const override;
+  Value step(const Value& config, const State& s, const State& t) const override;
+  bool alive(const Value& config) const override;
+  std::string name() const override { return inner_->name() + "_plus"; }
+  /// Movers draw hidden sources from the inner machine's configuration.
+  Value mover_configs(const Value& config) const override {
+    return inner_->mover_configs(config.as_tuple()[0]);
+  }
+
+  const std::vector<VarId>& freeze_tuple() const { return v_; }
+
+ private:
+  std::shared_ptr<const SafetyMachine> inner_;
+  std::vector<VarId> v_;
+};
+
+}  // namespace opentla

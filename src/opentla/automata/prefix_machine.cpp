@@ -1,0 +1,136 @@
+#include "opentla/automata/prefix_machine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "opentla/expr/eval.hpp"
+#include "opentla/state/state_space.hpp"
+
+namespace opentla {
+
+Value encode_config(std::vector<Value> assignments) {
+  std::sort(assignments.begin(), assignments.end());
+  assignments.erase(std::unique(assignments.begin(), assignments.end()), assignments.end());
+  return Value::tuple(std::move(assignments));
+}
+
+Value dead_config() { return Value::tuple({}); }
+
+PrefixMachine::PrefixMachine(const VarTable& vars, CanonicalSpec spec)
+    : vars_(&vars), spec_(std::move(spec)), is_hidden_(vars.size(), 0) {
+  for (VarId v : spec_.hidden) is_hidden_[v] = 1;
+  for (VarId v : spec_.sub) {
+    (is_hidden_[v] ? hidden_sub_ : visible_sub_).push_back(v);
+  }
+  // Canonical form (Section 2.2) has v = <m, x>: every hidden variable is
+  // part of the subscript. The stuttering branch below relies on this (a
+  // [N]_v stutter pins the hidden assignment).
+  if (hidden_sub_.size() != spec_.hidden.size()) {
+    throw std::runtime_error("PrefixMachine: spec '" + spec_.name +
+                             "' has hidden variables outside its subscript");
+  }
+  for (ActionDisjunct& d : decompose_action(spec_.next)) {
+    Disjunct cd;
+    cd.parts = std::move(d);
+    std::vector<char> assigned(vars.size(), 0);
+    for (const auto& [v, rhs] : cd.parts.assignments) assigned[v] = 1;
+    for (VarId v : spec_.hidden) {
+      if (!assigned[v]) cd.hidden_free.push_back(v);
+    }
+    disjuncts_.push_back(std::move(cd));
+  }
+}
+
+State PrefixMachine::compose(const State& visible, const Value& hidden_vals) const {
+  State out = visible;
+  const Value::Tuple& h = hidden_vals.as_tuple();
+  for (std::size_t i = 0; i < spec_.hidden.size(); ++i) out[spec_.hidden[i]] = h[i];
+  return out;
+}
+
+Value PrefixMachine::initial(const State& s) const {
+  std::vector<Value> alive_assignments;
+  StateSpace space(*vars_);
+  space.for_each_completion(s, spec_.hidden, [&](const State& full) {
+    if (!eval_pred(spec_.init, *vars_, full)) return;
+    Value::Tuple h;
+    h.reserve(spec_.hidden.size());
+    for (VarId v : spec_.hidden) h.push_back(full[v]);
+    alive_assignments.push_back(Value::tuple(std::move(h)));
+  });
+  Value config = encode_config(std::move(alive_assignments));
+  max_config_ = std::max(max_config_, config.length());
+  return config;
+}
+
+void PrefixMachine::hidden_successors(const State& s_full, const State& t,
+                                      const std::function<void(Value)>& emit) const {
+  StateSpace space(*vars_);
+  for (const Disjunct& cd : disjuncts_) {
+    EvalContext ctx;
+    ctx.vars = vars_;
+    ctx.current = &s_full;
+
+    bool feasible = true;
+    for (const Expr& g : cd.parts.guards) {
+      if (!eval_bool(g, ctx)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    // Assignments either pin a hidden variable of the successor or must
+    // agree with the given visible successor t.
+    State t_full = t;
+    for (const auto& [v, rhs] : cd.parts.assignments) {
+      Value val = eval(rhs, ctx);
+      if (is_hidden_[v]) {
+        if (!vars_->domain(v).contains(val)) {
+          feasible = false;
+          break;
+        }
+        t_full[v] = val;
+      } else if (!(t[v] == val)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    space.for_each_completion(t_full, cd.hidden_free, [&](const State& cand) {
+      EvalContext actx;
+      actx.vars = vars_;
+      actx.current = &s_full;
+      actx.next = &cand;
+      for (const Expr& r : cd.parts.residual) {
+        if (!eval_bool(r, actx)) return;
+      }
+      Value::Tuple h;
+      h.reserve(spec_.hidden.size());
+      for (VarId v : spec_.hidden) h.push_back(cand[v]);
+      emit(Value::tuple(std::move(h)));
+    });
+  }
+}
+
+Value PrefixMachine::step(const Value& config, const State& s, const State& t) const {
+  std::vector<Value> next_assignments;
+  const bool visible_stutter = !changes_tuple(visible_sub_, s, t);
+  for (const Value& h : config.as_tuple()) {
+    // Stuttering branch of [N]_v: the whole subscript (visible and hidden
+    // parts) is unchanged, which the choice h' = h realizes.
+    if (visible_stutter) next_assignments.push_back(h);
+    const State s_full = compose(s, h);
+    hidden_successors(s_full, t,
+                      [&](Value h_next) { next_assignments.push_back(std::move(h_next)); });
+  }
+  Value next = encode_config(std::move(next_assignments));
+  max_config_ = std::max(max_config_, next.length());
+  return next;
+}
+
+bool PrefixMachine::alive(const Value& config) const { return config.length() > 0; }
+
+}  // namespace opentla

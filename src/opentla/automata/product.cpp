@@ -1,0 +1,46 @@
+#include "opentla/automata/product.hpp"
+
+namespace opentla {
+
+ProductMachine::ProductMachine(std::vector<std::shared_ptr<const SafetyMachine>> factors)
+    : factors_(std::move(factors)) {}
+
+Value ProductMachine::initial(const State& s) const {
+  Value::Tuple configs;
+  configs.reserve(factors_.size());
+  for (const auto& f : factors_) configs.push_back(f->initial(s));
+  return Value::tuple(std::move(configs));
+}
+
+Value ProductMachine::step(const Value& config, const State& s, const State& t) const {
+  const Value::Tuple& parts = config.as_tuple();
+  Value::Tuple configs;
+  configs.reserve(factors_.size());
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    configs.push_back(factors_[i]->step(parts[i], s, t));
+  }
+  return Value::tuple(std::move(configs));
+}
+
+bool ProductMachine::alive(const Value& config) const {
+  const Value::Tuple& parts = config.as_tuple();
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    if (!factors_[i]->alive(parts[i])) return false;
+  }
+  return true;
+}
+
+std::string ProductMachine::name() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    if (i != 0) out += " /\\ ";
+    out += factors_[i]->name();
+  }
+  return out + ")";
+}
+
+Value ProductMachine::factor_config(const Value& config, std::size_t i) const {
+  return config.as_tuple()[i];
+}
+
+}  // namespace opentla

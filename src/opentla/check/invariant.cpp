@@ -1,0 +1,36 @@
+#include "opentla/check/invariant.hpp"
+
+#include <sstream>
+
+#include "opentla/expr/eval.hpp"
+
+namespace opentla {
+
+InvariantResult check_invariant(const StateGraph& g, const Expr& invariant) {
+  InvariantResult result;
+  result.states_checked = g.num_states();
+  std::vector<signed char> bad(g.num_states(), -1);
+  auto is_bad = [&](StateId s) {
+    if (bad[s] < 0) bad[s] = eval_pred(invariant, g.vars(), g.state(s)) ? 0 : 1;
+    return bad[s] == 1;
+  };
+  std::vector<StateId> path = g.shortest_path_to(is_bad);
+  if (path.empty()) {
+    result.holds = true;
+    return result;
+  }
+  result.holds = false;
+  result.counterexample.reserve(path.size());
+  for (StateId s : path) result.counterexample.push_back(g.state(s));
+  return result;
+}
+
+std::string format_trace(const VarTable& vars, const std::vector<State>& states) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    os << "  state " << i << ": " << states[i].to_string(vars) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace opentla

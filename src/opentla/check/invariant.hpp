@@ -1,0 +1,34 @@
+// opentla/check/invariant.hpp
+//
+// Invariance checking: is []P true of every behavior of an explored
+// system? Since the graph contains exactly the reachable states, this is a
+// scan plus counterexample reconstruction.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opentla/expr/expr.hpp"
+#include "opentla/graph/state_graph.hpp"
+
+namespace opentla {
+
+struct InvariantResult {
+  bool holds = false;
+  /// States along a shortest path from an initial state to the violation
+  /// (empty when the invariant holds).
+  std::vector<State> counterexample;
+  std::size_t states_checked = 0;
+
+  explicit operator bool() const { return holds; }
+};
+
+/// Checks that every reachable state of `g` satisfies `invariant`.
+InvariantResult check_invariant(const StateGraph& g, const Expr& invariant);
+
+/// Renders a counterexample path for diagnostics.
+std::string format_trace(const VarTable& vars, const std::vector<State>& states);
+
+}  // namespace opentla

@@ -1,0 +1,52 @@
+// opentla/check/machine_closure.hpp
+//
+// Proposition 1: if L is a conjunction of WF_w(A) / SF_w(A) conditions with
+// each A implying the next-state action N, then
+//
+//     C(Init /\ [][N]_v /\ L)  =  Init /\ [][N]_v
+//
+// i.e. the specification is machine-closed and its closure is computed
+// syntactically by dropping the fairness conjuncts. This module checks the
+// hypothesis "A implies N":
+//
+//   - syntactically: every disjunct of A is (structurally) a disjunct of N,
+//     which covers the paper's usage (fairness on sub-actions of N);
+//   - semantically: |= A => N over all state pairs of the finite universe
+//     (exact but exponential in the number of variables — callers choose).
+//
+// A semantic double check of the conclusion is also provided: every
+// reachable state of the safety part can be extended to a fair behavior
+// (every state reaches an SCC hosting a cycle satisfying all fairness
+// constraints).
+
+#pragma once
+
+#include <string>
+
+#include "opentla/graph/state_graph.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+struct MachineClosureResult {
+  bool machine_closed = false;
+  std::string detail;
+
+  explicit operator bool() const { return machine_closed; }
+};
+
+/// Checks Proposition 1's hypothesis syntactically (disjunct inclusion).
+MachineClosureResult check_prop1_syntactic(const CanonicalSpec& spec);
+
+/// Checks Proposition 1's hypothesis semantically: A => [N]_v valid over
+/// every pair of states of the universe. Exponential in the variable count;
+/// intended for small universes and tests.
+MachineClosureResult check_prop1_semantic(const VarTable& vars, const CanonicalSpec& spec);
+
+/// Checks the machine-closure *conclusion* on the spec's reachable graph:
+/// from every reachable state of the safety part some fair behavior
+/// continues. `graph` must be the graph of the spec's safety part.
+MachineClosureResult check_machine_closure_on_graph(const StateGraph& graph,
+                                                    const CanonicalSpec& spec);
+
+}  // namespace opentla

@@ -1,0 +1,83 @@
+#include "opentla/check/orthogonality.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace opentla {
+
+namespace {
+struct Key {
+  StateId state;
+  Value ce;
+  Value cm;
+  bool operator==(const Key& o) const {
+    return state == o.state && ce == o.ce && cm == o.cm;
+  }
+};
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return (k.ce.hash() * 31 + k.cm.hash()) * 1099511628211ULL + k.state;
+  }
+};
+}  // namespace
+
+OrthogonalityResult check_orthogonality(const StateGraph& generator, const SafetyMachine& e,
+                                        const SafetyMachine& m) {
+  OrthogonalityResult result;
+  std::unordered_map<Key, Key, KeyHash> parent;
+  std::deque<Key> frontier;
+  const Key no_parent{StateStore::kNone, Value(), Value()};
+
+  auto trace = [&](const Key& last) {
+    std::vector<State> out;
+    Key cur = last;
+    while (cur.state != StateStore::kNone) {
+      out.push_back(generator.state(cur.state));
+      auto it = parent.find(cur);
+      if (it == parent.end()) break;
+      cur = it->second;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  };
+
+  for (StateId s : generator.initial()) {
+    Key k{s, e.initial(generator.state(s)), m.initial(generator.state(s))};
+    // The n = 0 instance of the definition: both properties hold for the
+    // empty prefix (vacuously) and fail for the first state.
+    if (!e.alive(k.ce) && !m.alive(k.cm)) {
+      result.holds = false;
+      result.counterexample = {generator.state(s)};
+      result.pairs_visited = parent.size();
+      return result;
+    }
+    if (parent.emplace(k, no_parent).second) frontier.push_back(std::move(k));
+  }
+
+  while (!frontier.empty()) {
+    Key u = std::move(frontier.front());
+    frontier.pop_front();
+    const State& s = generator.state(u.state);
+    const bool e_alive = e.alive(u.ce);
+    const bool m_alive = m.alive(u.cm);
+    for (StateId vid : generator.successors(u.state)) {
+      const State& t = generator.state(vid);
+      Key v{vid, e.step(u.ce, s, t), m.step(u.cm, s, t)};
+      if (e_alive && m_alive && !e.alive(v.ce) && !m.alive(v.cm)) {
+        std::vector<State> prefix = trace(u);
+        prefix.push_back(t);
+        result.holds = false;
+        result.counterexample = std::move(prefix);
+        result.pairs_visited = parent.size();
+        return result;
+      }
+      if (parent.emplace(v, u).second) frontier.push_back(std::move(v));
+    }
+  }
+  result.holds = true;
+  result.pairs_visited = parent.size();
+  return result;
+}
+
+}  // namespace opentla

@@ -1,0 +1,38 @@
+// opentla/check/orthogonality.hpp
+//
+// Orthogonality (Section 4.2): E _|_ M holds of a behavior iff there is no
+// n such that E and M both hold for the first n states and both fail for
+// the first n+1 states — no single step falsifies both. This is the key to
+// removing the freeze operator from proof obligations (Proposition 3), and
+// interleaving (Disjoint) guarantees it (Proposition 4).
+//
+// The checker decides |= R => (E _|_ M) where the behaviors of R are given
+// by an explored StateGraph and E, M by safety machines: it walks the
+// product of the graph with both machines and looks for a reachable step
+// killing both at once.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opentla/automata/prefix_machine.hpp"
+#include "opentla/graph/state_graph.hpp"
+
+namespace opentla {
+
+struct OrthogonalityResult {
+  bool holds = false;
+  /// On failure: states of a finite R-behavior whose last step falsifies
+  /// both E and M simultaneously.
+  std::vector<State> counterexample;
+  std::size_t pairs_visited = 0;
+
+  explicit operator bool() const { return holds; }
+};
+
+/// Checks |= (behaviors of `generator`) => (E _|_ M).
+OrthogonalityResult check_orthogonality(const StateGraph& generator, const SafetyMachine& e,
+                                        const SafetyMachine& m);
+
+}  // namespace opentla

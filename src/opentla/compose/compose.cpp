@@ -1,0 +1,113 @@
+#include "opentla/compose/compose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "opentla/expr/analysis.hpp"
+#include "opentla/graph/successor.hpp"
+
+namespace opentla {
+
+CanonicalSpec conjunction_as_spec(const std::vector<CanonicalSpec>& parts, std::string name) {
+  CanonicalSpec out;
+  out.name = std::move(name);
+
+  std::vector<Expr> inits;
+  std::vector<Expr> steps;
+  std::vector<VarId> sub;
+  for (const CanonicalSpec& p : parts) {
+    inits.push_back(p.init);
+    steps.push_back(p.box_step_action());
+    sub.insert(sub.end(), p.sub.begin(), p.sub.end());
+    out.hidden.insert(out.hidden.end(), p.hidden.begin(), p.hidden.end());
+    out.fairness.insert(out.fairness.end(), p.fairness.begin(), p.fairness.end());
+  }
+  std::sort(sub.begin(), sub.end());
+  sub.erase(std::unique(sub.begin(), sub.end()), sub.end());
+  std::sort(out.hidden.begin(), out.hidden.end());
+  out.hidden.erase(std::unique(out.hidden.begin(), out.hidden.end()), out.hidden.end());
+
+  out.init = ex::land(std::move(inits));
+  // /\_j [N_j]_{v_j}, expanded so successor generation and prefix machines
+  // get executable disjuncts with assignments.
+  out.next = to_dnf(ex::land(std::move(steps)));
+  out.sub = std::move(sub);
+  return out;
+}
+
+std::vector<Fairness> all_fairness(const std::vector<CanonicalSpec>& parts) {
+  std::vector<Fairness> out;
+  for (const CanonicalSpec& p : parts) {
+    out.insert(out.end(), p.fairness.begin(), p.fairness.end());
+  }
+  return out;
+}
+
+CanonicalSpec make_pin(const VarTable& vars, const std::vector<VarId>& tuple,
+                       std::string name) {
+  CanonicalSpec pin;
+  pin.name = std::move(name);
+  std::vector<Expr> init;
+  for (VarId v : tuple) init.push_back(ex::eq(ex::var(v), ex::constant(vars.domain(v)[0])));
+  pin.init = ex::land(std::move(init));
+  pin.next = ex::bottom();  // [FALSE]_tuple: the tuple never changes
+  pin.sub = tuple;
+  return pin;
+}
+
+StateGraph build_composite_graph(const VarTable& vars, const std::vector<CompositePart>& parts,
+                                 const std::vector<std::vector<VarId>>& free_tuples,
+                                 const std::vector<VarId>& pinned, std::size_t max_states) {
+  // Coverage check: a variable outside every subscript is unconstrained.
+  std::vector<char> covered(vars.size(), 0);
+  for (const CompositePart& p : parts) {
+    for (VarId v : p.spec.sub) covered[v] = 1;
+  }
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (!covered[v]) {
+      throw std::runtime_error("build_composite_graph: variable '" + vars.name(v) +
+                               "' is in no part's subscript");
+    }
+  }
+
+  std::vector<Expr> inits;
+  std::vector<ActionSuccessors> movers;
+  for (const CompositePart& p : parts) {
+    inits.push_back(p.spec.init);
+    if (!p.mover) continue;
+    std::vector<VarId> part_pinned = pinned;
+    part_pinned.insert(part_pinned.end(), p.extra_pinned.begin(), p.extra_pinned.end());
+    movers.emplace_back(vars, p.spec.next, std::move(part_pinned));
+  }
+  for (const std::vector<VarId>& tuple : free_tuples) {
+    // Everything outside the tuple is pinned by assignment; the tuple's
+    // variables range over their domains.
+    std::vector<VarId> complement;
+    for (VarId v = 0; v < vars.size(); ++v) {
+      if (std::find(tuple.begin(), tuple.end(), v) == tuple.end()) complement.push_back(v);
+    }
+    movers.emplace_back(vars, ex::unchanged(complement));
+  }
+
+  const std::vector<State> init_states =
+      ActionSuccessors::states_satisfying(vars, ex::land(std::move(inits)), pinned);
+
+  auto succ = [&vars, &parts, movers = std::move(movers)](
+                  const State& s, const std::function<void(const State&)>& emit) {
+    std::unordered_set<State, StateHash> seen;
+    for (const ActionSuccessors& mover : movers) {
+      mover.for_each_successor(s, [&](const State& t) {
+        if (!seen.insert(t).second) return;
+        for (const CompositePart& p : parts) {
+          if (!p.spec.step_ok(vars, s, t)) return;
+        }
+        emit(t);
+      });
+    }
+  };
+
+  return StateGraph(vars, init_states, succ, /*add_self_loops=*/true, max_states);
+}
+
+}  // namespace opentla

@@ -1,0 +1,79 @@
+// opentla/compose/compose.hpp
+//
+// Composition is conjunction (Section 1). This module builds the explicit
+// complete system denoted by a conjunction of canonical specifications
+// over one universe:
+//
+//   - `conjunction_as_spec` realizes the paper's observation (Section 5)
+//     that P /\ /\_j Q_j is itself a canonical-form complete-system
+//     specification: Init = conjunction of Inits, N = /\_j [N_j]_{v_j}
+//     (expanded to DNF so it stays executable), v = the union of the
+//     subscripts, L = the union of the fairness conditions.
+//
+//   - `build_composite_graph` explores the conjunction directly: candidate
+//     steps are the union of the parts' next-state actions (every step
+//     allowed by the conjunction that changes a subscript variable of some
+//     part is an action step of that part), filtered by every part's
+//     [N_j]_{v_j}. Hidden variables are explored explicitly (hiding on the
+//     left of an implication is free).
+
+#pragma once
+
+#include <vector>
+
+#include "opentla/graph/state_graph.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+/// The conjunction of `parts` as one canonical complete-system spec.
+/// All parts' hidden variables become hidden variables of the result (the
+/// caller must ensure they are distinct, which renaming guarantees).
+CanonicalSpec conjunction_as_spec(const std::vector<CanonicalSpec>& parts, std::string name);
+
+/// One conjunct of an explicit composition.
+struct CompositePart {
+  CanonicalSpec spec;
+  /// Whether the part's next-state action generates candidate steps. Parts
+  /// whose actions have no executable assignments (e.g. Disjoint, or a
+  /// variable-pinning frame) should be filter-only; candidate steps they
+  /// would allow must then come from other movers or `free_tuples`.
+  bool mover = true;
+  /// Extra variables this part's generator keeps at their current value
+  /// when its action leaves them unconstrained (on top of the graph-wide
+  /// `pinned` list). Used by the interleaving optimization: under a
+  /// Disjoint conjunct, a part's candidates need only vary its own
+  /// outputs and state.
+  std::vector<VarId> extra_pinned;
+
+  CompositePart(CanonicalSpec s, bool is_mover = true, std::vector<VarId> pinned = {})
+      : spec(std::move(s)), mover(is_mover), extra_pinned(std::move(pinned)) {}
+};
+
+/// Explores the complete system /\_j parts[j] with hidden variables
+/// explicit. `free_tuples` adds, for each tuple, candidate steps that set
+/// the tuple's variables to arbitrary domain values and leave every other
+/// variable unchanged — the "unconstrained environment" moves that a
+/// composition without an environment conjunct permits (within Disjoint).
+/// Throws if some universe variable is in no part's subscript (such a
+/// variable could change arbitrarily at every step; cover it with a part
+/// or pin it).
+/// `pinned` variables are excluded from successor enumeration when a
+/// part's action leaves them unconstrained (use for variables a filter-only
+/// part pins anyway, e.g. a make_pin frame — the enumeration would generate
+/// candidates the pin rejects).
+StateGraph build_composite_graph(const VarTable& vars, const std::vector<CompositePart>& parts,
+                                 const std::vector<std::vector<VarId>>& free_tuples = {},
+                                 const std::vector<VarId>& pinned = {},
+                                 std::size_t max_states = 2'000'000);
+
+/// A canonical frame spec pinning `tuple` to its initial values: init sets
+/// each variable to its first domain value, and no step may change them.
+/// Used to close a composition over variables none of its parts constrain
+/// (e.g. the goal specification's hidden variable in hypothesis 2(b)).
+CanonicalSpec make_pin(const VarTable& vars, const std::vector<VarId>& tuple, std::string name);
+
+/// All fairness conditions of the parts, concatenated.
+std::vector<Fairness> all_fairness(const std::vector<CanonicalSpec>& parts);
+
+}  // namespace opentla

@@ -1,0 +1,224 @@
+#include "opentla/expr/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opentla {
+
+namespace {
+void collect_free(const Expr& e, FreeVars& out) {
+  const ExprNode& n = e.node();
+  switch (n.kind) {
+    case ExprKind::Var:
+      (n.primed ? out.primed : out.unprimed).insert(n.var);
+      return;
+    case ExprKind::Enabled: {
+      // ENABLED A is a state predicate: the primed variables of A are
+      // quantified away; its unprimed variables remain free.
+      FreeVars inner = free_vars(n.kids[0]);
+      out.unprimed.insert(inner.unprimed.begin(), inner.unprimed.end());
+      return;
+    }
+    default:
+      for (const Expr& k : n.kids) collect_free(k, out);
+      return;
+  }
+}
+}  // namespace
+
+FreeVars free_vars(const Expr& e) {
+  FreeVars out;
+  collect_free(e, out);
+  return out;
+}
+
+bool is_state_function(const Expr& e) { return free_vars(e).primed.empty(); }
+
+namespace {
+void flatten(const Expr& e, ExprKind kind, const Expr* skip_const, std::vector<Expr>& out) {
+  const ExprNode& n = e.node();
+  if (n.kind == kind) {
+    for (const Expr& k : n.kids) flatten(k, kind, skip_const, out);
+    return;
+  }
+  // Drop the connective's unit: TRUE in a conjunction, FALSE in a
+  // disjunction.
+  if (n.kind == ExprKind::Const && n.value.is_bool()) {
+    const bool unit = (kind == ExprKind::And);
+    if (n.value.as_bool() == unit) return;
+  }
+  (void)skip_const;
+  out.push_back(e);
+}
+}  // namespace
+
+std::vector<Expr> flatten_and(const Expr& e) {
+  std::vector<Expr> out;
+  flatten(e, ExprKind::And, nullptr, out);
+  return out;
+}
+
+std::vector<Expr> flatten_or(const Expr& e) {
+  std::vector<Expr> out;
+  flatten(e, ExprKind::Or, nullptr, out);
+  return out;
+}
+
+namespace {
+
+// Tries to turn `conjunct` into zero or more assignments v' = rhs with
+// state-function rhs. Handles <<a', b'>> = <<x, y>> structurally and the
+// symmetric orientation rhs = v'. Returns false if the conjunct is not an
+// assignment shape; `assigns` is unchanged in that case.
+bool match_assignments(const Expr& conjunct, std::vector<std::pair<VarId, Expr>>& assigns) {
+  const ExprNode& n = conjunct.node();
+  if (n.kind != ExprKind::Eq) return false;
+  const Expr* lhs = &n.kids[0];
+  const Expr* rhs = &n.kids[1];
+  // Orient so a primed side is on the left.
+  auto is_primed_shape = [](const Expr& e) {
+    const ExprNode& m = e.node();
+    if (m.kind == ExprKind::Var && m.primed) return true;
+    if (m.kind == ExprKind::MakeTuple) {
+      return std::all_of(m.kids.begin(), m.kids.end(), [](const Expr& k) {
+        return k.node().kind == ExprKind::Var && k.node().primed;
+      });
+    }
+    return false;
+  };
+  if (!is_primed_shape(*lhs)) {
+    std::swap(lhs, rhs);
+    if (!is_primed_shape(*lhs)) return false;
+  }
+  if (!is_state_function(*rhs)) return false;
+
+  const ExprNode& l = lhs->node();
+  if (l.kind == ExprKind::Var) {
+    assigns.emplace_back(l.var, *rhs);
+    return true;
+  }
+  // <<v1', ..., vk'>> = rhs. Decompose only when rhs is a literal tuple of
+  // the same arity; otherwise leave as residual (rhs might evaluate to a
+  // tuple, but we cannot split it syntactically).
+  const ExprNode& r = rhs->node();
+  if (r.kind != ExprKind::MakeTuple || r.kids.size() != l.kids.size()) return false;
+  for (std::size_t i = 0; i < l.kids.size(); ++i) {
+    assigns.emplace_back(l.kids[i].node().var, r.kids[i]);
+  }
+  return true;
+}
+
+ActionDisjunct build_disjunct(const Expr& disjunct) {
+  ActionDisjunct out;
+  std::set<VarId> assigned;
+  std::set<VarId> residual_primed;
+  for (const Expr& c : flatten_and(disjunct)) {
+    if (is_state_function(c)) {
+      out.guards.push_back(c);
+      continue;
+    }
+    std::vector<std::pair<VarId, Expr>> assigns;
+    if (match_assignments(c, assigns)) {
+      bool fresh = true;
+      for (const auto& [v, rhs] : assigns) {
+        if (assigned.contains(v)) fresh = false;
+      }
+      if (fresh) {
+        for (auto& [v, rhs] : assigns) {
+          assigned.insert(v);
+          out.assignments.emplace_back(v, rhs);
+        }
+        continue;
+      }
+      // A second constraint on an already-assigned variable: keep it as a
+      // residual so it is checked, not silently dropped.
+    }
+    FreeVars fv = free_vars(c);
+    residual_primed.insert(fv.primed.begin(), fv.primed.end());
+    out.residual.push_back(c);
+  }
+  for (VarId v : residual_primed) {
+    if (!assigned.contains(v)) out.unassigned_primed.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ActionDisjunct> decompose_action(const Expr& action) {
+  std::vector<ActionDisjunct> out;
+  for (const Expr& d : flatten_or(action)) {
+    out.push_back(build_disjunct(d));
+  }
+  return out;
+}
+
+Expr to_dnf(const Expr& e, std::size_t max_disjuncts) {
+  const ExprNode& n = e.node();
+  // Each element of the result is one conjunct list.
+  std::vector<std::vector<Expr>> disjuncts;
+  if (n.kind == ExprKind::Or) {
+    for (const Expr& k : n.kids) {
+      Expr kd = to_dnf(k, max_disjuncts);
+      for (const Expr& d : flatten_or(kd)) {
+        disjuncts.push_back(flatten_and(d));
+        if (disjuncts.size() > max_disjuncts) {
+          throw std::runtime_error("to_dnf: expansion too large");
+        }
+      }
+    }
+  } else if (n.kind == ExprKind::And) {
+    disjuncts.push_back({});
+    for (const Expr& k : n.kids) {
+      Expr kd = to_dnf(k, max_disjuncts);
+      std::vector<Expr> kid_disjuncts = flatten_or(kd);
+      std::vector<std::vector<Expr>> next;
+      next.reserve(disjuncts.size() * kid_disjuncts.size());
+      for (const std::vector<Expr>& base : disjuncts) {
+        for (const Expr& d : kid_disjuncts) {
+          std::vector<Expr> merged = base;
+          for (const Expr& c : flatten_and(d)) merged.push_back(c);
+          next.push_back(std::move(merged));
+          if (next.size() > max_disjuncts) {
+            throw std::runtime_error("to_dnf: expansion too large");
+          }
+        }
+      }
+      disjuncts = std::move(next);
+    }
+  } else {
+    return e;
+  }
+  std::vector<Expr> out;
+  out.reserve(disjuncts.size());
+  for (std::vector<Expr>& conj : disjuncts) out.push_back(ex::land(std::move(conj)));
+  return ex::lor(std::move(out));
+}
+
+bool structurally_equal(const Expr& a, const Expr& b) {
+  if (&a.node() == &b.node()) return true;
+  const ExprNode& x = a.node();
+  const ExprNode& y = b.node();
+  if (x.kind != y.kind) return false;
+  switch (x.kind) {
+    case ExprKind::Const:
+      return x.value == y.value;
+    case ExprKind::Var:
+      return x.var == y.var && x.primed == y.primed;
+    case ExprKind::Local:
+      return x.local == y.local;
+    case ExprKind::ExistsVal:
+    case ExprKind::ForallVal:
+      if (x.local != y.local || !(x.domain == y.domain)) return false;
+      break;
+    default:
+      break;
+  }
+  if (x.kids.size() != y.kids.size()) return false;
+  for (std::size_t i = 0; i < x.kids.size(); ++i) {
+    if (!structurally_equal(x.kids[i], y.kids[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace opentla

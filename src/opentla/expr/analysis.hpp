@@ -1,0 +1,70 @@
+// opentla/expr/analysis.hpp
+//
+// Syntactic analysis of expressions: free-variable collection, flattening
+// of n-ary connectives, and TLC-style decomposition of a next-state action
+// into disjuncts with guards and explicit assignments. The decomposition is
+// what makes successor generation cheap: instead of enumerating the full
+// next-state space, each disjunct determines most primed variables by
+// evaluating assignment right-hand sides.
+
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "opentla/expr/expr.hpp"
+
+namespace opentla {
+
+/// Free flexible variables of an expression, split by primed-ness.
+struct FreeVars {
+  std::set<VarId> unprimed;
+  std::set<VarId> primed;
+};
+
+/// Collects free flexible variables. Variables under ENABLED count only as
+/// unprimed occurrences of the ENABLED expression (ENABLED A is a state
+/// predicate; its primed variables are internally quantified).
+FreeVars free_vars(const Expr& e);
+
+/// True iff `e` mentions no primed variable (i.e. is a state function).
+bool is_state_function(const Expr& e);
+
+/// Flattens nested conjunctions into a conjunct list (top() vanishes).
+std::vector<Expr> flatten_and(const Expr& e);
+/// Flattens nested disjunctions into a disjunct list (bottom() vanishes).
+std::vector<Expr> flatten_or(const Expr& e);
+
+/// One disjunct of a next-state action, decomposed for execution.
+///
+/// The disjunct is equivalent to
+///     /\ guards  /\ (v' = rhs for each assignment)  /\ residual
+/// where guards mention no primed variable, each assignment's rhs mentions
+/// no primed variable, and `unassigned_primed` lists primed variables that
+/// occur in `residual` but have no assignment (successor generation
+/// enumerates their domains). Primed variables that occur nowhere in the
+/// disjunct are unconstrained by it (TLA actions have no frame condition).
+struct ActionDisjunct {
+  std::vector<Expr> guards;
+  std::vector<std::pair<VarId, Expr>> assignments;
+  std::vector<Expr> residual;
+  std::vector<VarId> unassigned_primed;
+};
+
+/// Decomposes `action` into executable disjuncts. Always succeeds; in the
+/// worst case a disjunct has no assignments and everything in `residual`.
+std::vector<ActionDisjunct> decompose_action(const Expr& action);
+
+/// Structural equality of expression trees (same shape, same leaves).
+/// Used for syntactic side conditions such as Proposition 1's "A implies N"
+/// check when A is literally a sub-disjunct of N.
+bool structurally_equal(const Expr& a, const Expr& b);
+
+/// Distributes \/ over /\ at the boolean skeleton level, producing a
+/// disjunction of conjunctions. Leaves (comparisons, quantifiers, ...) are
+/// treated as atoms. Throws if the expansion would exceed `max_disjuncts`.
+/// Used to turn conjunctions of step formulas /\_j [N_j]_{v_j} into
+/// executable disjuncts for successor generation and prefix machines.
+Expr to_dnf(const Expr& e, std::size_t max_disjuncts = 4096);
+
+}  // namespace opentla

@@ -1,0 +1,238 @@
+#include "opentla/expr/eval.hpp"
+
+#include <stdexcept>
+
+#include "opentla/expr/analysis.hpp"
+#include "opentla/state/state_space.hpp"
+
+namespace opentla {
+
+namespace {
+[[noreturn]] void eval_error(const std::string& msg) {
+  throw std::runtime_error("eval: " + msg);
+}
+
+std::int64_t as_int(const Expr& e, EvalContext& ctx) { return eval(e, ctx).as_int(); }
+}  // namespace
+
+Value eval(const Expr& e, EvalContext& ctx) {
+  if (e.is_null()) eval_error("null expression");
+  const ExprNode& n = e.node();
+  switch (n.kind) {
+    case ExprKind::Const:
+      return n.value;
+
+    case ExprKind::Var: {
+      if (n.primed) {
+        if (ctx.next == nullptr) {
+          eval_error("primed variable in a state-function context");
+        }
+        return (*ctx.next)[n.var];
+      }
+      if (ctx.current == nullptr) eval_error("no current state");
+      return (*ctx.current)[n.var];
+    }
+
+    case ExprKind::Local: {
+      for (auto it = ctx.locals.rbegin(); it != ctx.locals.rend(); ++it) {
+        if (it->first == n.local) return it->second;
+      }
+      eval_error("unbound local '" + n.local + "'");
+    }
+
+    case ExprKind::Not:
+      return Value::boolean(!eval_bool(n.kids[0], ctx));
+
+    case ExprKind::And: {
+      for (const Expr& k : n.kids) {
+        if (!eval_bool(k, ctx)) return Value::boolean(false);
+      }
+      return Value::boolean(true);
+    }
+
+    case ExprKind::Or: {
+      for (const Expr& k : n.kids) {
+        if (eval_bool(k, ctx)) return Value::boolean(true);
+      }
+      return Value::boolean(false);
+    }
+
+    case ExprKind::Implies:
+      return Value::boolean(!eval_bool(n.kids[0], ctx) || eval_bool(n.kids[1], ctx));
+
+    case ExprKind::Equiv:
+      return Value::boolean(eval_bool(n.kids[0], ctx) == eval_bool(n.kids[1], ctx));
+
+    case ExprKind::Eq:
+      return Value::boolean(eval(n.kids[0], ctx) == eval(n.kids[1], ctx));
+    case ExprKind::Neq:
+      return Value::boolean(!(eval(n.kids[0], ctx) == eval(n.kids[1], ctx)));
+    case ExprKind::Lt:
+      return Value::boolean(as_int(n.kids[0], ctx) < as_int(n.kids[1], ctx));
+    case ExprKind::Le:
+      return Value::boolean(as_int(n.kids[0], ctx) <= as_int(n.kids[1], ctx));
+    case ExprKind::Gt:
+      return Value::boolean(as_int(n.kids[0], ctx) > as_int(n.kids[1], ctx));
+    case ExprKind::Ge:
+      return Value::boolean(as_int(n.kids[0], ctx) >= as_int(n.kids[1], ctx));
+
+    case ExprKind::Add:
+      return Value::integer(as_int(n.kids[0], ctx) + as_int(n.kids[1], ctx));
+    case ExprKind::Sub:
+      return Value::integer(as_int(n.kids[0], ctx) - as_int(n.kids[1], ctx));
+    case ExprKind::Mul:
+      return Value::integer(as_int(n.kids[0], ctx) * as_int(n.kids[1], ctx));
+    case ExprKind::Mod: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
+      if (a < 0 || b <= 0) eval_error("mod requires a >= 0 and b > 0");
+      return Value::integer(a % b);
+    }
+    case ExprKind::Neg:
+      return Value::integer(-as_int(n.kids[0], ctx));
+
+    case ExprKind::IfThenElse:
+      return eval_bool(n.kids[0], ctx) ? eval(n.kids[1], ctx) : eval(n.kids[2], ctx);
+
+    case ExprKind::MakeTuple: {
+      Value::Tuple elems;
+      elems.reserve(n.kids.size());
+      for (const Expr& k : n.kids) elems.push_back(eval(k, ctx));
+      return Value::tuple(std::move(elems));
+    }
+
+    case ExprKind::Head:
+      return seq_head(eval(n.kids[0], ctx));
+    case ExprKind::Tail:
+      return seq_tail(eval(n.kids[0], ctx));
+    case ExprKind::Len:
+      return Value::integer(static_cast<std::int64_t>(eval(n.kids[0], ctx).length()));
+    case ExprKind::Concat:
+      return seq_concat(eval(n.kids[0], ctx), eval(n.kids[1], ctx));
+    case ExprKind::Append:
+      return seq_append(eval(n.kids[0], ctx), eval(n.kids[1], ctx));
+    case ExprKind::Index: {
+      Value s = eval(n.kids[0], ctx);
+      const std::int64_t i = as_int(n.kids[1], ctx);
+      const Value::Tuple& t = s.as_tuple();
+      if (i < 1 || static_cast<std::size_t>(i) > t.size()) {
+        eval_error("sequence index " + std::to_string(i) + " out of range for " +
+                   s.to_string());
+      }
+      return t[static_cast<std::size_t>(i) - 1];
+    }
+
+    case ExprKind::ExistsVal:
+    case ExprKind::ForallVal: {
+      const bool is_exists = (n.kind == ExprKind::ExistsVal);
+      ctx.locals.emplace_back(n.local, Value());
+      bool result = !is_exists;
+      for (const Value& v : n.domain.values()) {
+        ctx.locals.back().second = v;
+        const bool b = eval_bool(n.kids[0], ctx);
+        if (b == is_exists) {
+          result = is_exists;
+          break;
+        }
+      }
+      ctx.locals.pop_back();
+      return Value::boolean(result);
+    }
+
+    case ExprKind::Enabled: {
+      if (ctx.vars == nullptr || ctx.current == nullptr) {
+        eval_error("ENABLED requires a VarTable and a current state");
+      }
+      // ENABLED must be evaluated with the *outer* locals visible (the
+      // action may mention bound variables of an enclosing quantifier).
+      return Value::boolean(enabled_with_locals(n.kids[0], *ctx.vars, *ctx.current,
+                                                ctx.locals));
+    }
+  }
+  eval_error("unknown node kind");
+}
+
+bool eval_bool(const Expr& e, EvalContext& ctx) {
+  Value v = eval(e, ctx);
+  if (!v.is_bool()) {
+    eval_error("expected a boolean, got " + v.to_string());
+  }
+  return v.as_bool();
+}
+
+bool eval_pred(const Expr& e, const VarTable& vars, const State& s) {
+  EvalContext ctx;
+  ctx.vars = &vars;
+  ctx.current = &s;
+  return eval_bool(e, ctx);
+}
+
+Value eval_fn(const Expr& e, const VarTable& vars, const State& s) {
+  EvalContext ctx;
+  ctx.vars = &vars;
+  ctx.current = &s;
+  return eval(e, ctx);
+}
+
+bool eval_action(const Expr& e, const VarTable& vars, const State& s, const State& t) {
+  EvalContext ctx;
+  ctx.vars = &vars;
+  ctx.current = &s;
+  ctx.next = &t;
+  return eval_bool(e, ctx);
+}
+
+bool eval_enabled(const Expr& action, const VarTable& vars, const State& s) {
+  return enabled_with_locals(action, vars, s, {});
+}
+
+bool enabled_with_locals(const Expr& action, const VarTable& vars, const State& s,
+                         const std::vector<std::pair<std::string, Value>>& locals) {
+  StateSpace space(vars);
+  for (const ActionDisjunct& d : decompose_action(action)) {
+    EvalContext ctx;
+    ctx.vars = &vars;
+    ctx.current = &s;
+    ctx.locals = locals;
+
+    bool feasible = true;
+    for (const Expr& g : d.guards) {
+      if (!eval_bool(g, ctx)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    State t = s;
+    for (const auto& [v, rhs] : d.assignments) {
+      Value val = eval(rhs, ctx);
+      if (!vars.domain(v).contains(val)) {
+        feasible = false;  // the required successor lies outside the space
+        break;
+      }
+      t[v] = val;
+    }
+    if (!feasible) continue;
+
+    if (d.residual.empty()) return true;
+
+    bool found = false;
+    space.for_each_completion(t, d.unassigned_primed, [&](const State& cand) {
+      if (found) return;
+      EvalContext actx;
+      actx.vars = &vars;
+      actx.current = &s;
+      actx.next = &cand;
+      actx.locals = locals;
+      for (const Expr& r : d.residual) {
+        if (!eval_bool(r, actx)) return;
+      }
+      found = true;
+    });
+    if (found) return true;
+  }
+  return false;
+}
+
+}  // namespace opentla

@@ -1,0 +1,207 @@
+#include <sstream>
+
+#include "opentla/expr/expr.hpp"
+
+namespace opentla {
+
+namespace {
+
+// Precedence levels, loosest first. Parenthesization is conservative: a
+// child is parenthesized whenever its level is not strictly tighter.
+int prec(ExprKind k) {
+  switch (k) {
+    case ExprKind::Equiv:
+      return 1;
+    case ExprKind::Implies:
+      return 2;
+    case ExprKind::Or:
+      return 3;
+    case ExprKind::And:
+      return 4;
+    case ExprKind::Not:
+      return 5;
+    case ExprKind::Eq:
+    case ExprKind::Neq:
+    case ExprKind::Lt:
+    case ExprKind::Le:
+    case ExprKind::Gt:
+    case ExprKind::Ge:
+      return 6;
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Concat:
+      return 7;
+    case ExprKind::Mul:
+    case ExprKind::Mod:
+      return 8;
+    case ExprKind::Neg:
+      return 9;
+    default:
+      return 10;  // atoms and function-call syntax
+  }
+}
+
+void print(const Expr& e, const VarTable& vars, std::ostream& os);
+
+void print_child(const Expr& child, int parent_prec, const VarTable& vars, std::ostream& os) {
+  const bool parens = prec(child.kind()) <= parent_prec;
+  if (parens) os << '(';
+  print(child, vars, os);
+  if (parens) os << ')';
+}
+
+void print_nary(const Expr& e, const char* op, const VarTable& vars, std::ostream& os) {
+  const auto& kids = e.kids();
+  const int p = prec(e.kind());
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    if (i != 0) os << ' ' << op << ' ';
+    print_child(kids[i], p, vars, os);
+  }
+}
+
+void print_call(const char* name, const Expr& e, const VarTable& vars, std::ostream& os) {
+  os << name << '(';
+  const auto& kids = e.kids();
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    if (i != 0) os << ", ";
+    print(kids[i], vars, os);
+  }
+  os << ')';
+}
+
+void print(const Expr& e, const VarTable& vars, std::ostream& os) {
+  if (e.is_null()) {
+    os << "<null>";
+    return;
+  }
+  const ExprNode& n = e.node();
+  const int p = prec(n.kind);
+  switch (n.kind) {
+    case ExprKind::Const:
+      os << n.value;
+      return;
+    case ExprKind::Var:
+      os << vars.name(n.var) << (n.primed ? "'" : "");
+      return;
+    case ExprKind::Local:
+      os << n.local;
+      return;
+    case ExprKind::Not:
+      os << '~';
+      print_child(n.kids[0], p, vars, os);
+      return;
+    case ExprKind::And:
+      if (n.kids.empty()) {
+        os << "TRUE";
+        return;
+      }
+      print_nary(e, "/\\", vars, os);
+      return;
+    case ExprKind::Or:
+      if (n.kids.empty()) {
+        os << "FALSE";
+        return;
+      }
+      print_nary(e, "\\/", vars, os);
+      return;
+    case ExprKind::Implies:
+      print_nary(e, "=>", vars, os);
+      return;
+    case ExprKind::Equiv:
+      print_nary(e, "<=>", vars, os);
+      return;
+    case ExprKind::Eq:
+      print_nary(e, "=", vars, os);
+      return;
+    case ExprKind::Neq:
+      print_nary(e, "#", vars, os);
+      return;
+    case ExprKind::Lt:
+      print_nary(e, "<", vars, os);
+      return;
+    case ExprKind::Le:
+      print_nary(e, "<=", vars, os);
+      return;
+    case ExprKind::Gt:
+      print_nary(e, ">", vars, os);
+      return;
+    case ExprKind::Ge:
+      print_nary(e, ">=", vars, os);
+      return;
+    case ExprKind::Add:
+      print_nary(e, "+", vars, os);
+      return;
+    case ExprKind::Sub:
+      print_nary(e, "-", vars, os);
+      return;
+    case ExprKind::Mul:
+      print_nary(e, "*", vars, os);
+      return;
+    case ExprKind::Mod:
+      print_nary(e, "%", vars, os);
+      return;
+    case ExprKind::Neg:
+      os << '-';
+      print_child(n.kids[0], p, vars, os);
+      return;
+    case ExprKind::IfThenElse:
+      os << "IF ";
+      print(n.kids[0], vars, os);
+      os << " THEN ";
+      print(n.kids[1], vars, os);
+      os << " ELSE ";
+      print(n.kids[2], vars, os);
+      return;
+    case ExprKind::MakeTuple: {
+      os << "<<";
+      for (std::size_t i = 0; i < n.kids.size(); ++i) {
+        if (i != 0) os << ", ";
+        print(n.kids[i], vars, os);
+      }
+      os << ">>";
+      return;
+    }
+    case ExprKind::Head:
+      print_call("Head", e, vars, os);
+      return;
+    case ExprKind::Tail:
+      print_call("Tail", e, vars, os);
+      return;
+    case ExprKind::Len:
+      print_call("Len", e, vars, os);
+      return;
+    case ExprKind::Concat:
+      print_nary(e, "\\o", vars, os);
+      return;
+    case ExprKind::Append:
+      print_call("Append", e, vars, os);
+      return;
+    case ExprKind::Index:
+      // Atoms (precedence 10) need no parentheses as the indexed base.
+      print_child(n.kids[0], /*parent_prec=*/9, vars, os);
+      os << '[';
+      print(n.kids[1], vars, os);
+      os << ']';
+      return;
+    case ExprKind::ExistsVal:
+    case ExprKind::ForallVal:
+      os << (n.kind == ExprKind::ExistsVal ? "\\E " : "\\A ") << n.local << " \\in "
+         << n.domain.to_string() << " : ";
+      print(n.kids[0], vars, os);
+      return;
+    case ExprKind::Enabled:
+      os << "ENABLED ";
+      print_child(n.kids[0], p, vars, os);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Expr::to_string(const VarTable& vars) const {
+  std::ostringstream os;
+  print(*this, vars, os);
+  return os.str();
+}
+
+}  // namespace opentla

@@ -1,0 +1,36 @@
+// opentla/expr/substitute.hpp
+//
+// Syntactic transforms on expressions: priming (f |-> f'), variable
+// renaming (the paper's F[z/o, q1/q] substitutions that build the two
+// component queues out of one queue spec), and variable-to-expression
+// substitution (refinement mappings: replace a high-level variable with a
+// state function over low-level variables).
+
+#pragma once
+
+#include <map>
+
+#include "opentla/expr/expr.hpp"
+
+namespace opentla {
+
+/// f': primes every unprimed flexible variable of `f`. Throws if `f`
+/// already contains primed variables or ENABLED (priming an action is not
+/// meaningful in TLA).
+Expr prime(const Expr& f);
+
+/// F[w/v ...]: renames variables according to `renaming` (both primed and
+/// unprimed occurrences). Ids absent from the map are unchanged. The result
+/// may refer to a different VarTable (cross-universe renaming).
+Expr rename_vars(const Expr& e, const std::map<VarId, VarId>& renaming);
+
+/// Replaces each occurrence of variable v (resp. v') by `map[v]` (resp. by
+/// `prime(map[v])`). Substituted expressions must be state functions.
+/// Used to push refinement mappings through high-level actions. ENABLED
+/// subexpressions are substituted inside as well (sound when substituted
+/// variables do not occur primed under the ENABLED, which holds for the
+/// mappings we build; callers needing exact high-level ENABLED evaluate it
+/// in the high universe instead — see check/refinement).
+Expr substitute_vars(const Expr& e, const std::map<VarId, Expr>& map);
+
+}  // namespace opentla

@@ -1,0 +1,205 @@
+#include "opentla/graph/fair_cycle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace opentla {
+
+namespace {
+
+// Membership-restricted view of the query's subgraph.
+struct Region {
+  const FairCycleQuery* query;
+  std::vector<char> member;  // indexed by StateId
+
+  SubgraphFilter filter() const {
+    SubgraphFilter f;
+    f.node_ok = [this](StateId s) { return member[s] && query->filter.node(s); };
+    f.edge_ok = [this](StateId s, StateId t) { return query->filter.edge(s, t); };
+    return f;
+  }
+};
+
+// An edge witness inside a component.
+struct EdgeWitness {
+  StateId from;
+  StateId to;
+};
+
+// Checks one SCC; recurses after Streett trigger removal. On success fills
+// `cycle_out` with a closed walk satisfying every obligation.
+bool check_component(const StateGraph& g, const FairCycleQuery& q,
+                     const std::vector<StateId>& comp, std::vector<StateId>& cycle_out) {
+  Region region{&q, std::vector<char>(g.num_states(), 0)};
+  for (StateId s : comp) region.member[s] = 1;
+  const SubgraphFilter in_comp = region.filter();
+
+  if (!component_has_cycle(g, comp, in_comp)) return false;
+
+  // --- Streett pass ---
+  std::vector<char> needs_discharge(q.streett.size(), 0);
+  std::vector<EdgeWitness> discharge(q.streett.size());
+  for (std::size_t i = 0; i < q.streett.size(); ++i) {
+    const StreettObligation& ob = q.streett[i];
+    bool has_trigger = std::any_of(comp.begin(), comp.end(),
+                                   [&](StateId s) { return ob.trigger(s); });
+    if (!has_trigger) continue;
+    bool found = false;
+    for (StateId u : comp) {
+      for (StateId v : g.successors(u)) {
+        if (!region.member[v] || !q.filter.edge(u, v)) continue;
+        if (ob.step_ok(u, v)) {
+          discharge[i] = {u, v};
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (found) {
+      needs_discharge[i] = 1;
+      continue;
+    }
+    // The pair's triggers cannot be discharged inside this SCC: remove them
+    // and re-decompose.
+    std::vector<StateId> remaining;
+    for (StateId s : comp) {
+      if (!ob.trigger(s)) remaining.push_back(s);
+    }
+    if (remaining.empty()) return false;
+    Region sub{&q, std::vector<char>(g.num_states(), 0)};
+    for (StateId s : remaining) sub.member[s] = 1;
+    for (const std::vector<StateId>& c :
+         strongly_connected_components(g, remaining, sub.filter())) {
+      if (check_component(g, q, c, cycle_out)) return true;
+    }
+    return false;
+  }
+
+  // --- Buechi pass ---
+  // Witnesses to visit: a node (to == kNone) or an edge.
+  std::vector<EdgeWitness> witnesses;
+  for (const BuchiObligation& ob : q.buchi) {
+    bool satisfied = false;
+    if (ob.state_ok) {
+      for (StateId s : comp) {
+        if (ob.state_ok(s)) {
+          witnesses.push_back({s, StateStore::kNone});
+          satisfied = true;
+          break;
+        }
+      }
+    }
+    if (!satisfied && ob.step_ok) {
+      for (StateId u : comp) {
+        for (StateId v : g.successors(u)) {
+          if (!region.member[v] || !q.filter.edge(u, v)) continue;
+          if (ob.step_ok(u, v)) {
+            witnesses.push_back({u, v});
+            satisfied = true;
+            break;
+          }
+        }
+        if (satisfied) break;
+      }
+    }
+    // Shrinking the SCC cannot create a Buechi witness, so fail outright.
+    if (!satisfied) return false;
+  }
+  for (std::size_t i = 0; i < q.streett.size(); ++i) {
+    if (needs_discharge[i]) witnesses.push_back(discharge[i]);
+  }
+
+  // --- Cycle construction: stitch witnesses into a closed walk ---
+  if (witnesses.empty()) {
+    // Any cycle in the SCC will do; find one allowed edge and close it.
+    for (StateId u : comp) {
+      for (StateId v : g.successors(u)) {
+        if (!region.member[v] || !q.filter.edge(u, v)) continue;
+        witnesses.push_back({u, v});
+        break;
+      }
+      if (!witnesses.empty()) break;
+    }
+  }
+
+  std::vector<StateId> walk;
+  const StateId anchor = witnesses.front().from;
+  walk.push_back(anchor);
+  auto extend_to = [&](StateId target) {
+    if (walk.back() == target) return;
+    std::vector<StateId> leg =
+        g.path(walk.back(), [&](StateId s) { return s == target; }, in_comp.node_ok);
+    if (leg.empty()) {
+      throw std::logic_error("fair_cycle: SCC members not mutually reachable");
+    }
+    walk.insert(walk.end(), leg.begin() + 1, leg.end());
+  };
+  for (const EdgeWitness& w : witnesses) {
+    extend_to(w.from);
+    if (w.to != StateStore::kNone) walk.push_back(w.to);
+  }
+  // Close the cycle back to the anchor.
+  if (walk.back() != anchor) {
+    extend_to(anchor);
+    walk.pop_back();  // anchor repeats at the wrap-around
+  } else if (walk.size() > 1) {
+    walk.pop_back();
+  }
+  // A single-node walk denotes the self-loop on the anchor; if the anchor
+  // has no allowed self-loop, route the cycle through a neighbor (the SCC
+  // is strongly connected, so a round trip exists).
+  if (walk.size() == 1) {
+    bool self_loop = false;
+    for (StateId v : g.successors(anchor)) {
+      if (v == anchor && q.filter.edge(anchor, anchor)) {
+        self_loop = true;
+        break;
+      }
+    }
+    if (!self_loop) {
+      for (StateId v : g.successors(anchor)) {
+        if (v != anchor && region.member[v] && q.filter.edge(anchor, v)) {
+          walk.push_back(v);
+          break;
+        }
+      }
+      if (walk.size() == 1) return false;  // no outgoing edge at all
+      extend_to(anchor);
+      walk.pop_back();
+    }
+  }
+  cycle_out = std::move(walk);
+  return true;
+}
+
+}  // namespace
+
+bool component_hosts_fair_cycle(const StateGraph& g, const FairCycleQuery& q,
+                                const std::vector<StateId>& component,
+                                std::vector<StateId>& cycle) {
+  return check_component(g, q, component, cycle);
+}
+
+std::optional<Lasso> find_fair_cycle(const StateGraph& g, const FairCycleQuery& q) {
+  // Every node of a StateGraph is reachable from an initial state by
+  // construction, and only the *cycle* must satisfy the query's subgraph
+  // restriction (the prefix runs on the unrestricted graph). So the SCC
+  // decomposition of the restricted subgraph is rooted at every node.
+  std::vector<StateId> roots(g.num_states());
+  for (std::size_t i = 0; i < roots.size(); ++i) roots[i] = static_cast<StateId>(i);
+  std::vector<std::vector<StateId>> components =
+      strongly_connected_components(g, roots, q.filter);
+  for (const std::vector<StateId>& comp : components) {
+    std::vector<StateId> cycle;
+    if (!check_component(g, q, comp, cycle)) continue;
+    Lasso lasso;
+    lasso.cycle = std::move(cycle);
+    const StateId anchor = lasso.cycle.front();
+    lasso.prefix = g.shortest_path_to([&](StateId s) { return s == anchor; });
+    return lasso;
+  }
+  return std::nullopt;
+}
+
+}  // namespace opentla

@@ -1,0 +1,73 @@
+// opentla/graph/fair_cycle.hpp
+//
+// Fair-cycle (emptiness) search. Finds a reachable cycle satisfying a set
+// of generalized-Buechi obligations ("visit this state set or take this
+// step set infinitely often") and Streett obligations ("if these trigger
+// states are visited infinitely often, these steps must be taken
+// infinitely often"), within a filtered subgraph.
+//
+// The two obligation shapes are exactly what TLA fairness compiles to on a
+// lasso (see check/liveness):
+//   WF_v(A) holds on a cycle  iff  the cycle takes an <A>_v step or visits
+//                                  a state where <A>_v is disabled
+//                                  (a Buechi obligation);
+//   SF_v(A) holds on a cycle  iff  it takes an <A>_v step or visits no
+//                                  state where <A>_v is enabled
+//                                  (a Streett obligation).
+//
+// The Streett pairs are handled by the classical SCC-refinement algorithm:
+// an SCC that contains trigger states but no discharging edge cannot host
+// a fair cycle through those triggers, so the triggers are removed and the
+// remainder re-decomposed.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opentla/graph/scc.hpp"
+#include "opentla/graph/state_graph.hpp"
+
+namespace opentla {
+
+struct BuchiObligation {
+  std::function<bool(StateId)> state_ok;            // may be null
+  std::function<bool(StateId, StateId)> step_ok;    // may be null
+  std::string label;
+};
+
+struct StreettObligation {
+  std::function<bool(StateId)> trigger;
+  std::function<bool(StateId, StateId)> step_ok;
+  std::string label;
+};
+
+/// A reachable ultimately-periodic run: prefix from an initial state to the
+/// cycle's anchor (prefix.back() == cycle.front()), then the cycle nodes in
+/// order (the closing edge cycle.back() -> cycle.front() is implicit).
+/// A one-node cycle denotes the self-loop on that node.
+struct Lasso {
+  std::vector<StateId> prefix;
+  std::vector<StateId> cycle;
+};
+
+struct FairCycleQuery {
+  SubgraphFilter filter;
+  std::vector<BuchiObligation> buchi;
+  std::vector<StreettObligation> streett;
+};
+
+/// Searches for a reachable fair cycle; nullopt when none exists (the
+/// verified outcome for liveness proofs).
+std::optional<Lasso> find_fair_cycle(const StateGraph& g, const FairCycleQuery& q);
+
+/// Tests whether `component` (an SCC of the query's filtered subgraph)
+/// hosts a cycle satisfying all obligations; fills `cycle` on success.
+/// Used by machine-closure checking to find all fairness-supporting SCCs.
+bool component_hosts_fair_cycle(const StateGraph& g, const FairCycleQuery& q,
+                                const std::vector<StateId>& component,
+                                std::vector<StateId>& cycle);
+
+}  // namespace opentla

@@ -1,0 +1,115 @@
+#include "opentla/graph/state_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace opentla {
+
+StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_states,
+                       const SuccessorFn& succ, bool add_self_loops, std::size_t max_states)
+    : vars_(&vars) {
+  std::deque<StateId> frontier;
+  for (const State& s : init_states) {
+    const std::size_t before = store_.size();
+    const StateId id = store_.intern(s);
+    if (store_.size() > before) {
+      frontier.push_back(id);
+      adjacency_.emplace_back();
+    }
+    init_.push_back(id);
+  }
+  std::sort(init_.begin(), init_.end());
+  init_.erase(std::unique(init_.begin(), init_.end()), init_.end());
+
+  while (!frontier.empty()) {
+    const StateId id = frontier.front();
+    frontier.pop_front();
+    // Copy: store_ may reallocate while successors are interned.
+    const State s = store_.get(id);
+    // Collected locally: the callback may grow adjacency_ (invalidating
+    // references into it) while new successors are interned.
+    std::vector<StateId> out;
+    succ(s, [&](const State& t) {
+      const std::size_t before = store_.size();
+      const StateId tid = store_.intern(t);
+      if (store_.size() > before) {
+        if (store_.size() > max_states) {
+          throw std::runtime_error("StateGraph: state limit exceeded");
+        }
+        frontier.push_back(tid);
+        adjacency_.emplace_back();
+      }
+      out.push_back(tid);
+    });
+    if (add_self_loops) out.push_back(id);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    num_edges_ += out.size();
+    adjacency_[id] = std::move(out);
+  }
+}
+
+std::vector<StateId> StateGraph::shortest_path_to(
+    const std::function<bool(StateId)>& goal) const {
+  for (StateId s : init_) {
+    if (goal(s)) return {s};
+  }
+  // Multi-source BFS.
+  std::vector<StateId> parent(num_states(), StateStore::kNone);
+  std::deque<StateId> queue;
+  std::vector<bool> visited(num_states(), false);
+  for (StateId s : init_) {
+    visited[s] = true;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const StateId u = queue.front();
+    queue.pop_front();
+    for (StateId v : adjacency_[u]) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      parent[v] = u;
+      if (goal(v)) {
+        std::vector<StateId> path = {v};
+        for (StateId p = u; p != StateStore::kNone; p = parent[p]) path.push_back(p);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return {};
+}
+
+std::vector<StateId> StateGraph::path(StateId from, const std::function<bool(StateId)>& goal,
+                                      const std::function<bool(StateId)>& filter) const {
+  if (goal(from)) return {from};
+  std::vector<StateId> parent(num_states(), StateStore::kNone);
+  std::vector<bool> visited(num_states(), false);
+  std::deque<StateId> queue = {from};
+  visited[from] = true;
+  while (!queue.empty()) {
+    const StateId u = queue.front();
+    queue.pop_front();
+    for (StateId v : adjacency_[u]) {
+      if (visited[v]) continue;
+      if (filter && !filter(v)) continue;
+      visited[v] = true;
+      parent[v] = u;
+      if (goal(v)) {
+        std::vector<StateId> path = {v};
+        for (StateId p = u; p != StateStore::kNone && p != from; p = parent[p]) {
+          path.push_back(p);
+        }
+        path.push_back(from);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace opentla

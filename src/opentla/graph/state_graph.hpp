@@ -1,0 +1,55 @@
+// opentla/graph/state_graph.hpp
+//
+// Explicit reachable-state graphs. A StateGraph is built from a set of
+// initial states and a successor provider by breadth-first exploration.
+// Because every canonical-form specification's [][N]_v admits stuttering,
+// each node carries an implicit self-loop; they are materialized so that
+// liveness analysis sees the stuttering behaviors.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "opentla/state/state.hpp"
+#include "opentla/state/var_table.hpp"
+
+namespace opentla {
+
+class StateGraph {
+ public:
+  using SuccessorFn = std::function<void(const State&, const std::function<void(const State&)>&)>;
+
+  /// Explores from `init_states` using `succ`; `add_self_loops` materializes
+  /// the stuttering step on every node. Throws if more than `max_states`
+  /// states are reached (guards against runaway spaces).
+  StateGraph(const VarTable& vars, const std::vector<State>& init_states, const SuccessorFn& succ,
+             bool add_self_loops = true, std::size_t max_states = 2'000'000);
+
+  const VarTable& vars() const { return *vars_; }
+  const StateStore& store() const { return store_; }
+  std::size_t num_states() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+  const std::vector<StateId>& initial() const { return init_; }
+  const std::vector<StateId>& successors(StateId s) const { return adjacency_[s]; }
+  const State& state(StateId s) const { return store_.get(s); }
+
+  /// Shortest path (as a state-id sequence, inclusive of both ends) from an
+  /// initial state to any state satisfying `goal`; empty if unreachable.
+  std::vector<StateId> shortest_path_to(const std::function<bool(StateId)>& goal) const;
+
+  /// Shortest path from `from` to any state satisfying `goal`, restricted to
+  /// states allowed by `filter` (null = all). Empty if unreachable.
+  std::vector<StateId> path(StateId from, const std::function<bool(StateId)>& goal,
+                            const std::function<bool(StateId)>& filter) const;
+
+ private:
+  const VarTable* vars_;
+  StateStore store_;
+  std::vector<StateId> init_;
+  std::vector<std::vector<StateId>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace opentla

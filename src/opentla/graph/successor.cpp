@@ -1,0 +1,106 @@
+#include "opentla/graph/successor.hpp"
+
+#include <unordered_set>
+
+#include "opentla/expr/eval.hpp"
+#include "opentla/expr/substitute.hpp"
+
+namespace opentla {
+
+ActionSuccessors::ActionSuccessors(const VarTable& vars, Expr action, std::vector<VarId> pinned)
+    : vars_(&vars), action_(std::move(action)), space_(vars) {
+  std::vector<bool> is_pinned(vars.size(), false);
+  for (VarId v : pinned) is_pinned[v] = true;
+  for (ActionDisjunct& d : decompose_action(action_)) {
+    CompiledDisjunct cd;
+    cd.parts = std::move(d);
+    std::vector<bool> assigned(vars.size(), false);
+    for (const auto& [v, rhs] : cd.parts.assignments) assigned[v] = true;
+    std::vector<bool> in_residual(vars.size(), false);
+    for (VarId v : cd.parts.unassigned_primed) in_residual[v] = true;
+    for (VarId v = 0; v < vars.size(); ++v) {
+      if (assigned[v]) continue;
+      if (is_pinned[v] && !in_residual[v]) continue;  // keeps current value
+      cd.free_vars.push_back(v);
+    }
+    disjuncts_.push_back(std::move(cd));
+  }
+}
+
+bool ActionSuccessors::run(const State& s, bool existential_only,
+                           const std::function<bool(const State&)>& fn) const {
+  // `fn` returns true to stop early. Duplicates across disjuncts are
+  // filtered here so callers see each successor once.
+  std::unordered_set<State, StateHash> seen;
+  for (const CompiledDisjunct& cd : disjuncts_) {
+    EvalContext ctx;
+    ctx.vars = vars_;
+    ctx.current = &s;
+
+    bool feasible = true;
+    for (const Expr& g : cd.parts.guards) {
+      if (!eval_bool(g, ctx)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    State base = s;
+    for (const auto& [v, rhs] : cd.parts.assignments) {
+      Value val = eval(rhs, ctx);
+      if (!vars_->domain(v).contains(val)) {
+        feasible = false;  // successor falls outside the declared space
+        break;
+      }
+      base[v] = val;
+    }
+    if (!feasible) continue;
+
+    bool stop = false;
+    const std::vector<VarId>& enumerate =
+        existential_only ? cd.parts.unassigned_primed : cd.free_vars;
+    space_.for_each_completion(base, enumerate, [&](const State& t) {
+      if (stop) return;
+      EvalContext actx;
+      actx.vars = vars_;
+      actx.current = &s;
+      actx.next = &t;
+      for (const Expr& r : cd.parts.residual) {
+        if (!eval_bool(r, actx)) return;
+      }
+      if (!seen.insert(t).second) return;
+      if (fn(t)) stop = true;
+    });
+    if (stop) return true;
+  }
+  return false;
+}
+
+void ActionSuccessors::for_each_successor(
+    const State& s, const std::function<void(const State&)>& fn) const {
+  run(s, /*existential_only=*/false, [&](const State& t) {
+    fn(t);
+    return false;
+  });
+}
+
+std::vector<State> ActionSuccessors::successors(const State& s) const {
+  std::vector<State> out;
+  for_each_successor(s, [&](const State& t) { out.push_back(t); });
+  return out;
+}
+
+bool ActionSuccessors::enabled(const State& s) const {
+  return run(s, /*existential_only=*/true, [](const State&) { return true; });
+}
+
+std::vector<State> ActionSuccessors::states_satisfying(const VarTable& vars,
+                                                       const Expr& predicate,
+                                                       std::vector<VarId> pinned) {
+  ActionSuccessors gen(vars, prime(predicate), std::move(pinned));
+  StateSpace space(vars);
+  return gen.successors(space.first_state());
+}
+
+}  // namespace opentla

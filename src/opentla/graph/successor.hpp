@@ -1,0 +1,77 @@
+// opentla/graph/successor.hpp
+//
+// TLC-style successor generation. Given an action A over a finite-domain
+// universe, enumerates all states t with A(s, t) for a given s, using the
+// guard/assignment decomposition of expr/analysis: guards prune disjuncts
+// without touching the next state, assignments determine most primed
+// variables by evaluation, and only genuinely unconstrained primed
+// variables are enumerated over their domains.
+//
+// TLA actions have no frame condition: a primed variable that does not
+// occur in a disjunct is unconstrained and is enumerated over its domain.
+// Successor generation therefore produces exactly the A-successors within
+// the declared finite space.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "opentla/expr/analysis.hpp"
+#include "opentla/expr/expr.hpp"
+#include "opentla/state/state.hpp"
+#include "opentla/state/state_space.hpp"
+#include "opentla/state/var_table.hpp"
+
+namespace opentla {
+
+class ActionSuccessors {
+ public:
+  /// `pinned` variables are never enumerated: if a disjunct leaves one
+  /// unconstrained, it keeps its current value instead of ranging over its
+  /// domain. Callers use this for variables whose successor values are
+  /// tracked elsewhere (e.g. other components' hidden variables in a
+  /// product exploration). A pinned variable that occurs primed in a
+  /// residual constraint is still enumerated, so pinning never loses
+  /// genuine constraints.
+  ActionSuccessors(const VarTable& vars, Expr action, std::vector<VarId> pinned = {});
+
+  const Expr& action() const { return action_; }
+
+  /// Calls `fn` for every state t with action(s, t), without duplicates.
+  void for_each_successor(const State& s, const std::function<void(const State&)>& fn) const;
+
+  /// Convenience: the successor list of s.
+  std::vector<State> successors(const State& s) const;
+
+  /// True iff s has at least one successor (= ENABLED action at s).
+  bool enabled(const State& s) const;
+
+  /// Enumerates all states satisfying a state predicate, by treating the
+  /// primed predicate as an action from an arbitrary base state. Used to
+  /// enumerate initial states. `pinned` variables not constrained by the
+  /// predicate keep the first value of their domain instead of being
+  /// enumerated (for variables whose value the caller normalizes anyway).
+  static std::vector<State> states_satisfying(const VarTable& vars, const Expr& predicate,
+                                              std::vector<VarId> pinned = {});
+
+ private:
+  struct CompiledDisjunct {
+    ActionDisjunct parts;
+    std::vector<VarId> free_vars;  // all variables with no assignment
+  };
+
+  /// `existential_only`: enumerate only the residual-constrained primed
+  /// variables (sufficient for the EXISTENCE of a successor — any other
+  /// variable can keep its current value); full generation enumerates
+  /// every unassigned variable.
+  bool run(const State& s, bool existential_only,
+           const std::function<bool(const State&)>& fn) const;
+
+  const VarTable* vars_;
+  Expr action_;
+  StateSpace space_;
+  std::vector<CompiledDisjunct> disjuncts_;
+};
+
+}  // namespace opentla

@@ -1,0 +1,293 @@
+#include "opentla/parser/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace opentla {
+
+namespace {
+[[noreturn]] void lex_error(std::size_t line, std::size_t col, const std::string& msg) {
+  throw std::runtime_error("lex error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + msg);
+}
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto emit = [&](TokenKind kind, std::string text, std::int64_t number = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = number;
+    t.line = line;
+    t.column = col;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (c == '\n') {
+      // Collapse runs of newlines into one token.
+      if (out.empty() || out.back().kind != TokenKind::Newline) emit(TokenKind::Newline, "\n");
+      advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // \* comment to end of line
+    if (c == '\\' && peek(1) == '*') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num.push_back(peek());
+        advance();
+      }
+      emit(TokenKind::Number, num, std::stoll(num));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+             (peek() == '.' && peek(1) != '.')) {
+        ident.push_back(peek());
+        advance();
+      }
+      emit(TokenKind::Ident, ident);
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string s;
+      while (peek() != '"') {
+        if (peek() == '\0' || peek() == '\n') lex_error(line, col, "unterminated string");
+        s.push_back(peek());
+        advance();
+      }
+      advance();
+      emit(TokenKind::String, s);
+      continue;
+    }
+    switch (c) {
+      case '/':
+        if (peek(1) == '\\') {
+          emit(TokenKind::And, "/\\");
+          advance(2);
+          continue;
+        }
+        lex_error(line, col, "unexpected '/'");
+      case '\\':
+        if (peek(1) == '/') {
+          emit(TokenKind::Or, "\\/");
+          advance(2);
+          continue;
+        }
+        if (peek(1) == 'o' && !std::isalnum(static_cast<unsigned char>(peek(2)))) {
+          emit(TokenKind::ConcatOp, "\\o");
+          advance(2);
+          continue;
+        }
+        if (peek(1) == 'E') {
+          emit(TokenKind::Exists, "\\E");
+          advance(2);
+          continue;
+        }
+        if (peek(1) == 'A') {
+          emit(TokenKind::Forall, "\\A");
+          advance(2);
+          continue;
+        }
+        if (src.compare(i, 3, "\\in") == 0) {
+          emit(TokenKind::In, "\\in");
+          advance(3);
+          continue;
+        }
+        lex_error(line, col, "unexpected '\\'");
+      case '~':
+        emit(TokenKind::Not, "~");
+        advance();
+        continue;
+      case '=':
+        if (peek(1) == '>') {
+          emit(TokenKind::Implies, "=>");
+          advance(2);
+          continue;
+        }
+        if (peek(1) == '=') {
+          emit(TokenKind::DefEq, "==");
+          advance(2);
+          continue;
+        }
+        emit(TokenKind::Eq, "=");
+        advance();
+        continue;
+      case '#':
+        emit(TokenKind::Neq, "#");
+        advance();
+        continue;
+      case '<':
+        if (peek(1) == '=' && peek(2) == '>') {
+          emit(TokenKind::Equiv, "<=>");
+          advance(3);
+          continue;
+        }
+        if (peek(1) == '=') {
+          emit(TokenKind::Le, "<=");
+          advance(2);
+          continue;
+        }
+        if (peek(1) == '<') {
+          emit(TokenKind::LTuple, "<<");
+          advance(2);
+          continue;
+        }
+        emit(TokenKind::Lt, "<");
+        advance();
+        continue;
+      case '>':
+        if (peek(1) == '>') {
+          emit(TokenKind::RTuple, ">>");
+          advance(2);
+          continue;
+        }
+        if (peek(1) == '=') {
+          emit(TokenKind::Ge, ">=");
+          advance(2);
+          continue;
+        }
+        emit(TokenKind::Gt, ">");
+        advance();
+        continue;
+      case '+':
+        emit(TokenKind::Plus, "+");
+        advance();
+        continue;
+      case '-':
+        emit(TokenKind::Minus, "-");
+        advance();
+        continue;
+      case '*':
+        emit(TokenKind::Star, "*");
+        advance();
+        continue;
+      case '%':
+        emit(TokenKind::Percent, "%");
+        advance();
+        continue;
+      case '[':
+        emit(TokenKind::LBracket, "[");
+        advance();
+        continue;
+      case ']':
+        emit(TokenKind::RBracket, "]");
+        advance();
+        continue;
+      case '\'':
+        emit(TokenKind::Prime, "'");
+        advance();
+        continue;
+      case '(':
+        emit(TokenKind::LParen, "(");
+        advance();
+        continue;
+      case ')':
+        emit(TokenKind::RParen, ")");
+        advance();
+        continue;
+      case '{':
+        emit(TokenKind::LBrace, "{");
+        advance();
+        continue;
+      case '}':
+        emit(TokenKind::RBrace, "}");
+        advance();
+        continue;
+      case ',':
+        emit(TokenKind::Comma, ",");
+        advance();
+        continue;
+      case ':':
+        emit(TokenKind::Colon, ":");
+        advance();
+        continue;
+      case '.':
+        if (peek(1) == '.') {
+          emit(TokenKind::DotDot, "..");
+          advance(2);
+          continue;
+        }
+        lex_error(line, col, "unexpected '.'");
+      default:
+        lex_error(line, col, std::string("unexpected character '") + c + "'");
+    }
+  }
+  emit(TokenKind::End, "");
+  return out;
+}
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::End: return "<end>";
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::And: return "/\\";
+    case TokenKind::Or: return "\\/";
+    case TokenKind::Not: return "~";
+    case TokenKind::Implies: return "=>";
+    case TokenKind::Equiv: return "<=>";
+    case TokenKind::Eq: return "=";
+    case TokenKind::Neq: return "#";
+    case TokenKind::Lt: return "<";
+    case TokenKind::Le: return "<=";
+    case TokenKind::Gt: return ">";
+    case TokenKind::Ge: return ">=";
+    case TokenKind::Plus: return "+";
+    case TokenKind::Minus: return "-";
+    case TokenKind::Star: return "*";
+    case TokenKind::Percent: return "%";
+    case TokenKind::LBracket: return "[";
+    case TokenKind::RBracket: return "]";
+    case TokenKind::Prime: return "'";
+    case TokenKind::LParen: return "(";
+    case TokenKind::RParen: return ")";
+    case TokenKind::LTuple: return "<<";
+    case TokenKind::RTuple: return ">>";
+    case TokenKind::LBrace: return "{";
+    case TokenKind::RBrace: return "}";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Colon: return ":";
+    case TokenKind::DotDot: return "..";
+    case TokenKind::ConcatOp: return "\\o";
+    case TokenKind::Exists: return "\\E";
+    case TokenKind::Forall: return "\\A";
+    case TokenKind::In: return "\\in";
+    case TokenKind::DefEq: return "==";
+    case TokenKind::Newline: return "<newline>";
+  }
+  return "?";
+}
+
+}  // namespace opentla

@@ -1,0 +1,71 @@
+// opentla/parser/lexer.hpp
+//
+// Tokenizer for the mini-TLA concrete syntax. ASCII operator spellings
+// follow TLA+: /\ \/ ~ => <=> = # < <= > >= ' << >> \o \E \A \in ==
+// plus keywords (TRUE, FALSE, IF, THEN, ELSE, ENABLED, UNCHANGED, module
+// structure keywords) and identifiers that may contain dots (channel
+// fields such as i.sig are plain flexible variables here).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opentla {
+
+enum class TokenKind : std::uint8_t {
+  End,
+  Ident,       // x, i.sig, Head (names and builtins are resolved by the parser)
+  Number,      // 42
+  String,      // "abc"
+  And,         // /\.
+  Or,          // \/
+  Not,         // ~
+  Implies,     // =>
+  Equiv,       // <=>
+  Eq,          // =
+  Neq,         // #
+  Lt,          // <
+  Le,          // <=
+  Gt,          // >
+  Ge,          // >=
+  Plus,        // +
+  Minus,       // -
+  Star,        // *
+  Percent,     // %
+  Prime,       // '
+  LParen,      // (
+  RParen,      // )
+  LTuple,      // <<
+  RTuple,      // >>
+  LBrace,      // {
+  RBrace,      // }
+  LBracket,    // [
+  RBracket,    // ]
+  Comma,       // ,
+  Colon,       // :
+  DotDot,      // ..
+  ConcatOp,    // \o
+  Exists,      // \E
+  Forall,      // \A
+  In,          // \in
+  DefEq,       // ==
+  Newline,     // significant for module structure
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;
+  std::int64_t number = 0;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// Tokenizes `src`. `\*` comments run to end of line. Throws
+/// std::runtime_error with line/column on malformed input.
+std::vector<Token> tokenize(const std::string& src);
+
+const char* to_string(TokenKind kind);
+
+}  // namespace opentla

@@ -1,0 +1,57 @@
+// opentla/parser/parser.hpp
+//
+// Recursive-descent parser for the mini-TLA concrete syntax: expressions
+// and actions over a declared universe, and whole modules that assemble a
+// canonical-form specification. Example module:
+//
+//     MODULE Counter
+//     VARIABLE x \in 0..3
+//     DEFINE AtMax == x = 3
+//     INIT x = 0
+//     ACTION Incr == x < 3 /\ x' = x + 1
+//     ACTION Reset == AtMax /\ x' = 0
+//     NEXT Incr \/ Reset
+//     SUBSCRIPT <<x>>
+//     FAIRNESS WF Incr
+//
+// Domains: `a..b` (integer range), `{1, 2, 5}`, `BOOLEAN`,
+// `Seq(<domain>, maxlen)`. `HIDDEN` declares an internal variable (it is
+// appended to the subscript automatically if missing). Definitions are
+// macros: each use splices the defining expression.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "opentla/expr/expr.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+/// Parses one expression/action over `vars`. `definitions` (optional)
+/// provides named macros.
+Expr parse_expression(const std::string& src, const VarTable& vars,
+                      const std::map<std::string, Expr>* definitions = nullptr);
+
+struct ParsedModule {
+  std::string name;
+  std::shared_ptr<VarTable> vars;
+  std::map<std::string, Expr> definitions;
+  CanonicalSpec spec;
+};
+
+/// Parses a full module into a canonical specification. Throws
+/// std::runtime_error with position information on syntax or resolution
+/// errors.
+///
+/// `shared_vars` (optional) supplies the universe: declarations of a name
+/// already present must repeat the same domain (modules describing
+/// components of one system each declare the variables they touch, and the
+/// tables merge). A `DISJOINT <<a, b>>, <<c>>, ...` statement replaces
+/// INIT/NEXT and produces the interleaving spec of Section 2.3.
+ParsedModule parse_module(const std::string& src,
+                          std::shared_ptr<VarTable> shared_vars = nullptr);
+
+}  // namespace opentla

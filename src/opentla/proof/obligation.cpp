@@ -1,0 +1,5 @@
+#include "opentla/proof/obligation.hpp"
+
+// Data-only translation unit: Obligation has no out-of-line members, but
+// the file anchors the module in the build.
+namespace opentla {}

@@ -1,0 +1,41 @@
+// opentla/proof/report.hpp
+
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "opentla/proof/obligation.hpp"
+
+namespace opentla {
+
+/// The outcome of verifying a theorem instance: a conclusion plus the list
+/// of discharged (or failed) hypotheses.
+struct ProofReport {
+  std::string theorem;  // rendered conclusion, e.g. "(QE1 +> QM1) /\ ... => (QE +> QM)"
+  std::vector<Obligation> obligations;
+
+  bool all_discharged() const;
+  double total_millis() const;
+  /// Figure-9-style rendering: one line per obligation with status, method
+  /// and timing, then the verdict.
+  std::string to_string() const;
+
+  Obligation& add(Obligation ob);
+};
+
+/// Scoped wall-clock timer filling an obligation's `millis`.
+class ObligationTimer {
+ public:
+  explicit ObligationTimer(Obligation& ob);
+  ~ObligationTimer();
+  ObligationTimer(const ObligationTimer&) = delete;
+  ObligationTimer& operator=(const ObligationTimer&) = delete;
+
+ private:
+  Obligation* ob_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace opentla

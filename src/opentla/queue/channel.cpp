@@ -1,0 +1,46 @@
+#include "opentla/queue/channel.hpp"
+
+namespace opentla {
+
+Channel declare_channel(VarTable& vars, const std::string& name, const Domain& values) {
+  Channel c;
+  c.sig = vars.declare(name + ".sig", bit_domain());
+  c.ack = vars.declare(name + ".ack", bit_domain());
+  c.val = vars.declare(name + ".val", values);
+  return c;
+}
+
+Expr channel_init(const Channel& c) {
+  return ex::land(ex::eq(ex::var(c.sig), ex::integer(0)),
+                  ex::eq(ex::var(c.ack), ex::integer(0)));
+}
+
+namespace {
+Expr flip(VarId bit) { return ex::sub(ex::integer(1), ex::var(bit)); }
+}  // namespace
+
+Expr send_action(Expr v, const Channel& c) {
+  return ex::land({ex::eq(ex::var(c.sig), ex::var(c.ack)),
+                   ex::eq(ex::primed_var(c.val), std::move(v)),
+                   ex::eq(ex::primed_var(c.sig), flip(c.sig)),
+                   ex::eq(ex::primed_var(c.ack), ex::var(c.ack))});
+}
+
+Expr send_any_action(const Channel& c) {
+  // c.val' is deliberately unconstrained: successor generation ranges it
+  // over its domain, which is exactly \E v \in D : Send(v, c).
+  return ex::land({ex::eq(ex::var(c.sig), ex::var(c.ack)),
+                   ex::eq(ex::primed_var(c.sig), flip(c.sig)),
+                   ex::eq(ex::primed_var(c.ack), ex::var(c.ack))});
+}
+
+Expr ack_action(const Channel& c) {
+  return ex::land({ex::neq(ex::var(c.sig), ex::var(c.ack)),
+                   ex::eq(ex::primed_var(c.ack), flip(c.ack)),
+                   ex::eq(ex::primed_var(c.sig), ex::var(c.sig)),
+                   ex::eq(ex::primed_var(c.val), ex::var(c.val))});
+}
+
+Expr channel_unchanged(const Channel& c) { return ex::unchanged(c.all()); }
+
+}  // namespace opentla

@@ -1,0 +1,58 @@
+// opentla/queue/channel.hpp
+//
+// Two-phase handshake channels (Section A.1, Figure 2). A channel c has
+// three wires: c.sig and c.ack (bits) and c.val (the value being sent);
+// c.snd denotes the pair <c.sig, c.val>. The channel is ready to send when
+// c.sig = c.ack; a value v is sent by setting c.val to v and complementing
+// c.sig; receipt is acknowledged by complementing c.ack.
+//
+// Note on fidelity: the paper's Send(v, c) constrains only c.snd', leaving
+// c.ack' syntactically unconstrained. Under TLA's frameless action
+// semantics that reading would let a sender scramble c.ack, contradicting
+// both Figure 2 (ack changes only on acknowledge steps) and the identity
+// CQ = QE /\ QM used in the Figure 9 proof. We therefore pin c.ack' = c.ack
+// in Send (and symmetrically c.snd' = c.snd in Ack, as the paper already
+// does), which is the evident intent.
+
+#pragma once
+
+#include <string>
+
+#include "opentla/expr/expr.hpp"
+#include "opentla/state/var_table.hpp"
+
+namespace opentla {
+
+struct Channel {
+  VarId sig = 0;
+  VarId ack = 0;
+  VarId val = 0;
+
+  /// c = <c.sig, c.ack, c.val>.
+  std::vector<VarId> all() const { return {sig, ack, val}; }
+  /// c.snd = <c.sig, c.val>.
+  std::vector<VarId> snd() const { return {sig, val}; }
+};
+
+/// Declares the three wires of channel `name` ("<name>.sig", "<name>.ack",
+/// "<name>.val") with bit-valued sig/ack and `values` for val.
+Channel declare_channel(VarTable& vars, const std::string& name, const Domain& values);
+
+/// CInit(c): c.sig = c.ack = 0.
+Expr channel_init(const Channel& c);
+
+/// Send(v, c): ready, then set c.val' = v and complement c.sig.
+Expr send_action(Expr v, const Channel& c);
+
+/// SendAny(c): some value of the domain is sent — Send(v, c) with v ranging
+/// over c.val's domain, written executably (c.val' is left to range over
+/// its domain rather than bound by an existential).
+Expr send_any_action(const Channel& c);
+
+/// Ack(c): pending, then complement c.ack; c.snd unchanged.
+Expr ack_action(const Channel& c);
+
+/// UNCHANGED <<c.sig, c.ack, c.val>>.
+Expr channel_unchanged(const Channel& c);
+
+}  // namespace opentla

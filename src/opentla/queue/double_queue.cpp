@@ -1,0 +1,171 @@
+#include "opentla/queue/double_queue.hpp"
+
+namespace opentla {
+
+std::vector<AGSpec> DoubleQueueSystem::components() const {
+  std::vector<AGSpec> out;
+  out.push_back(property_as_ag(g, /*mover=*/false));  // TRUE +> G
+  out.push_back({qe1, qm1});
+  out.push_back({qe2, qm2});
+  return out;
+}
+
+AGSpec DoubleQueueSystem::goal() const { return {dbl.env, dbl.queue}; }
+
+namespace {
+DoubleQueueSystem make_double_queue_impl(int capacity, int num_values, bool interleaving) {
+  DoubleQueueSystem sys;
+  const Domain values = range_domain(0, num_values - 1);
+  const std::size_t n = static_cast<std::size_t>(capacity);
+
+  sys.i = declare_channel(sys.vars, "i", values);
+  sys.z = declare_channel(sys.vars, "z", values);
+  sys.o = declare_channel(sys.vars, "o", values);
+  sys.q1 = sys.vars.declare("q1", seq_domain(values, n));
+  sys.q2 = sys.vars.declare("q2", seq_domain(values, n));
+  sys.q = sys.vars.declare("q", seq_domain(values, 2 * n + 1));
+  sys.capacity = capacity;
+
+  auto build = [&](const Channel& in, const Channel& out, VarId q, int cap,
+                   std::string suffix) {
+    return interleaving ? build_queue_specs(sys.vars, in, out, q, cap, suffix)
+                        : build_queue_specs_ni(sys.vars, in, out, q, cap, suffix);
+  };
+
+  // The base N-queue between i and o, buffering in q; the components are
+  // its substitution instances (Section A.4).
+  sys.base = build(sys.i, sys.o, sys.q, capacity, "");
+
+  const std::map<VarId, VarId> sub1 = {{sys.o.sig, sys.z.sig},
+                                       {sys.o.ack, sys.z.ack},
+                                       {sys.o.val, sys.z.val},
+                                       {sys.q, sys.q1}};
+  const std::map<VarId, VarId> sub2 = {{sys.i.sig, sys.z.sig},
+                                       {sys.i.ack, sys.z.ack},
+                                       {sys.i.val, sys.z.val},
+                                       {sys.q, sys.q2}};
+  sys.qm1 = sys.base.queue.renamed(sub1, "QM^1");  // QM[z/o, q1/q]
+  sys.qe1 = sys.base.env.renamed(sub1, "QE^1");
+  sys.qm2 = sys.base.queue.renamed(sub2, "QM^2");  // QM[z/i, q2/q]
+  sys.qe2 = sys.base.env.renamed(sub2, "QE^2");
+  sys.qm1.fairness[0].label = "WF(QM^1)";
+  sys.qm2.fairness[0].label = "WF(QM^2)";
+
+  // F^[dbl] = F[(2N+1)/N]: the big queue over the same i, o, q.
+  sys.dbl = build(sys.i, sys.o, sys.q, 2 * capacity + 1, "^dbl");
+
+  sys.env_out = {sys.i.sig, sys.i.val, sys.o.ack};  // <i.snd, o.ack>
+  sys.q1_out = {sys.z.sig, sys.z.val, sys.i.ack};   // <z.snd, i.ack>
+  sys.q2_out = {sys.o.sig, sys.o.val, sys.z.ack};   // <o.snd, z.ack>
+  sys.g = make_disjoint({sys.env_out, sys.q1_out, sys.q2_out}, "G");
+
+  // qbar = q2 \o (IF z.sig # z.ack THEN <z.val> ELSE <>) \o q1: the oldest
+  // items sit in q2, a value in flight on z sits between, q1 holds the
+  // youngest.
+  const Expr buffer = ex::ite(ex::neq(ex::var(sys.z.sig), ex::var(sys.z.ack)),
+                              ex::make_tuple({ex::var(sys.z.val)}),
+                              ex::constant(Value::empty_seq()));
+  sys.qbar = ex::concat(ex::concat(ex::var(sys.q2), buffer), ex::var(sys.q1));
+
+  return sys;
+}
+}  // namespace
+
+DoubleQueueSystem make_double_queue(int capacity, int num_values) {
+  return make_double_queue_impl(capacity, num_values, /*interleaving=*/true);
+}
+
+DoubleQueueSystem make_double_queue_ni(int capacity, int num_values) {
+  return make_double_queue_impl(capacity, num_values, /*interleaving=*/false);
+}
+
+std::vector<AGSpec> TripleQueueSystem::components() const {
+  std::vector<AGSpec> out;
+  out.push_back(property_as_ag(g, /*mover=*/false));
+  out.push_back({qe1, qm1});
+  out.push_back({qe2, qm2});
+  out.push_back({qe3, qm3});
+  return out;
+}
+
+AGSpec TripleQueueSystem::goal() const { return {big.env, big.queue}; }
+
+TripleQueueSystem make_triple_queue(int capacity, int num_values) {
+  TripleQueueSystem sys;
+  const Domain values = range_domain(0, num_values - 1);
+  const std::size_t n = static_cast<std::size_t>(capacity);
+
+  sys.i = declare_channel(sys.vars, "i", values);
+  sys.z1 = declare_channel(sys.vars, "z1", values);
+  sys.z2 = declare_channel(sys.vars, "z2", values);
+  sys.o = declare_channel(sys.vars, "o", values);
+  sys.q1 = sys.vars.declare("q1", seq_domain(values, n));
+  sys.q2 = sys.vars.declare("q2", seq_domain(values, n));
+  sys.q3 = sys.vars.declare("q3", seq_domain(values, n));
+  sys.q = sys.vars.declare("q", seq_domain(values, 3 * n + 2));
+  sys.capacity = capacity;
+
+  // Each stage is built directly over its channels (equivalently, by
+  // substitution from one spec, as make_double_queue demonstrates).
+  QueueSpecs s1 = build_queue_specs(sys.vars, sys.i, sys.z1, sys.q1, capacity, "^1");
+  QueueSpecs s2 = build_queue_specs(sys.vars, sys.z1, sys.z2, sys.q2, capacity, "^2");
+  QueueSpecs s3 = build_queue_specs(sys.vars, sys.z2, sys.o, sys.q3, capacity, "^3");
+  sys.qm1 = s1.queue;
+  sys.qe1 = s1.env;
+  sys.qm2 = s2.queue;
+  sys.qe2 = s2.env;
+  sys.qm3 = s3.queue;
+  sys.qe3 = s3.env;
+  sys.big = build_queue_specs(sys.vars, sys.i, sys.o, sys.q, 3 * capacity + 2, "^big");
+
+  const std::vector<VarId> env_out = {sys.i.sig, sys.i.val, sys.o.ack};
+  const std::vector<VarId> q1_out = {sys.z1.sig, sys.z1.val, sys.i.ack};
+  const std::vector<VarId> q2_out = {sys.z2.sig, sys.z2.val, sys.z1.ack};
+  const std::vector<VarId> q3_out = {sys.o.sig, sys.o.val, sys.z2.ack};
+  sys.g = make_disjoint({env_out, q1_out, q2_out, q3_out}, "G3");
+
+  auto buf = [&](const Channel& c) {
+    return ex::ite(ex::neq(ex::var(c.sig), ex::var(c.ack)),
+                   ex::make_tuple({ex::var(c.val)}), ex::constant(Value::empty_seq()));
+  };
+  sys.qbar = ex::concat(
+      ex::concat(ex::concat(ex::concat(ex::var(sys.q3), buf(sys.z2)), ex::var(sys.q2)),
+                 buf(sys.z1)),
+      ex::var(sys.q1));
+  return sys;
+}
+
+CanonicalSpec make_cdq(const DoubleQueueSystem& sys) {
+  CanonicalSpec cdq;
+  cdq.name = "CDQ";
+  cdq.init = ex::land(sys.dbl.env.init, sys.qm1.init, sys.qm2.init);
+  // Figure 8: environment steps pin <q1, q2, z>, queue1 steps pin <q2, o>,
+  // queue2 steps pin <q1, i>.
+  Expr env_step = ex::land(sys.dbl.env.next,
+                           ex::unchanged({sys.q1, sys.q2, sys.z.sig, sys.z.ack, sys.z.val}));
+  Expr q1_step = ex::land(sys.qm1.next,
+                          ex::unchanged({sys.q2, sys.o.sig, sys.o.ack, sys.o.val}));
+  Expr q2_step = ex::land(sys.qm2.next,
+                          ex::unchanged({sys.q1, sys.i.sig, sys.i.ack, sys.i.val}));
+  cdq.next = ex::lor(env_step, q1_step, q2_step);
+  cdq.sub = {sys.i.sig, sys.i.ack, sys.i.val, sys.z.sig, sys.z.ack, sys.z.val,
+             sys.o.sig, sys.o.ack, sys.o.val, sys.q1,    sys.q2};
+  cdq.hidden = {sys.q1, sys.q2};
+  // ICL^1 /\ ICL^2. The fairness actions carry the interleaving pins so
+  // that they imply CDQ's next-state action (Proposition 1's hypothesis);
+  // within CDQ's behaviors this is equivalent to WF(QM^1) / WF(QM^2), since
+  // the pins are always satisfiable and no other disjunct of N performs a
+  // QM^1 / QM^2 step.
+  for (const auto& [action, spec, label] :
+       {std::tuple{q1_step, &sys.qm1, "WF(QM^1)"}, std::tuple{q2_step, &sys.qm2, "WF(QM^2)"}}) {
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = spec->sub;
+    wf.action = action;
+    wf.label = label;
+    cdq.fairness.push_back(std::move(wf));
+  }
+  return cdq;
+}
+
+}  // namespace opentla

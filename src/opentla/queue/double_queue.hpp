@@ -1,0 +1,88 @@
+// opentla/queue/double_queue.hpp
+//
+// The double-queue study of Sections A.4-A.5 (Figures 7-9): two N-element
+// queues in series (i -> queue1 -> z -> queue2 -> o) implement a
+// (2N+1)-element queue. The component specifications are produced from the
+// base queue spec by the paper's substitutions
+//
+//     F^[1] = F[z/o, q1/q]      F^[2] = F[z/i, q2/q]      F^[dbl] = F[(2N+1)/N]
+//
+// and the interleaving side condition is
+//
+//     G = Disjoint(<i.snd, o.ack>, <z.snd, i.ack>, <o.snd, z.ack>).
+//
+// The system also carries the refinement witness
+//
+//     qbar = q2 \o (IF z.sig # z.ack THEN <z.val> ELSE <>) \o q1
+//
+// used to prove CDQ => CQ^[dbl] and to discharge hypothesis 2(b).
+
+#pragma once
+
+#include "opentla/ag/ag_spec.hpp"
+#include "opentla/queue/queue_spec.hpp"
+#include "opentla/tla/disjoint.hpp"
+
+namespace opentla {
+
+struct DoubleQueueSystem {
+  VarTable vars;
+  Channel i, z, o;
+  VarId q1 = 0, q2 = 0;  // component buffers (sequences up to N)
+  VarId q = 0;           // the big queue's hidden buffer (up to 2N+1)
+  int capacity = 0;      // N
+
+  QueueSpecs base;       // the N-queue on (i, o, q) the components are renamed from
+  CanonicalSpec qm1, qe1;  // QM^[1], QE^[1]
+  CanonicalSpec qm2, qe2;  // QM^[2], QE^[2]
+  QueueSpecs dbl;          // the (2N+1)-queue on (i, o, q): QM^[dbl], QE^[dbl], CQ^[dbl]
+  CanonicalSpec g;         // Disjoint(<i.snd,o.ack>, <z.snd,i.ack>, <o.snd,z.ack>)
+
+  Expr qbar;  // refinement witness for q
+
+  /// The components' output tuples (for Proposition 4 and G).
+  std::vector<VarId> env_out, q1_out, q2_out;
+
+  /// The composition-theorem instance of Section A.5:
+  /// components = {TRUE +> G, QE1 +> QM1, QE2 +> QM2},
+  /// goal = QE^dbl +> QM^dbl.
+  std::vector<AGSpec> components() const;
+  AGSpec goal() const;
+};
+
+DoubleQueueSystem make_double_queue(int capacity, int num_values);
+
+/// The same system with NONINTERLEAVING component specifications
+/// (build_queue_specs_ni). For this representation the paper's formula (3)
+/// — composition WITHOUT the Disjoint side condition G — is provable; the
+/// `g` member is still populated but is not needed.
+DoubleQueueSystem make_double_queue_ni(int capacity, int num_values);
+
+/// THREE queues in series (i -> z1 -> z2 -> o) implementing a
+/// (3N+2)-element queue: the n-ary generalization of Appendix A, with four
+/// components (G plus three queues) under one environment assumption.
+struct TripleQueueSystem {
+  VarTable vars;
+  Channel i, z1, z2, o;
+  VarId q1 = 0, q2 = 0, q3 = 0;  // component buffers (up to N each)
+  VarId q = 0;                   // the big queue's hidden buffer (up to 3N+2)
+  int capacity = 0;
+
+  CanonicalSpec qm1, qe1, qm2, qe2, qm3, qe3;
+  QueueSpecs big;   // the (3N+2)-queue on (i, o, q)
+  CanonicalSpec g;  // Disjoint over the four output tuples
+
+  Expr qbar;  // q3 \o buf(z2) \o q2 \o buf(z1) \o q1
+
+  std::vector<AGSpec> components() const;
+  AGSpec goal() const;
+};
+
+TripleQueueSystem make_triple_queue(int capacity, int num_values);
+
+/// CDQ (Figure 8): the complete double-queue system as one canonical spec
+/// with hidden q1, q2 — the conjunction of QE^dbl's environment with both
+/// queues, interleaved.
+CanonicalSpec make_cdq(const DoubleQueueSystem& sys);
+
+}  // namespace opentla

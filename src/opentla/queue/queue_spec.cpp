@@ -1,0 +1,162 @@
+#include "opentla/queue/queue_spec.hpp"
+
+namespace opentla {
+
+QueueSpecs build_queue_specs(const VarTable& vars, const Channel& in, const Channel& out,
+                             VarId q, int capacity, std::string suffix) {
+  (void)vars;
+  QueueSpecs s;
+
+  const Expr q_var = ex::var(q);
+  const Expr q_next = ex::primed_var(q);
+
+  // --- Environment actions (Figure 6) ---
+  s.put = ex::land(send_any_action(in), channel_unchanged(out));
+  s.get = ex::land(ack_action(out), channel_unchanged(in));
+  s.qe = ex::lor(s.put, s.get);
+
+  // --- Queue actions (Figure 6) ---
+  s.enq = ex::land({ex::lt(ex::len(q_var), ex::integer(capacity)),
+                    ack_action(in),
+                    ex::eq(q_next, ex::append(q_var, ex::var(in.val))),
+                    channel_unchanged(out)});
+  s.deq = ex::land({ex::gt(ex::len(q_var), ex::integer(0)),
+                    send_action(ex::head(q_var), out),
+                    ex::eq(q_next, ex::tail(q_var)),
+                    channel_unchanged(in)});
+  s.qm = ex::lor(s.enq, s.deq);
+
+  const Expr init_e = channel_init(in);
+  const Expr init_m = ex::land(channel_init(out), ex::eq(q_var, ex::constant(Value::empty_seq())));
+
+  // --- QE: the environment as a separate component ---
+  s.env.name = "QE" + suffix;
+  s.env.init = init_e;
+  s.env.next = s.qe;
+  s.env.sub = {in.sig, in.val, out.ack};  // <in.snd, out.ack>
+
+  // --- QM = EE q : IQM with ICL = WF(QM) ---
+  s.queue.name = "QM" + suffix;
+  s.queue.init = init_m;
+  s.queue.next = s.qm;
+  s.queue.sub = {in.ack, out.sig, out.val, q};  // <in.ack, out.snd, q>
+  s.queue.hidden = {q};
+  {
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = s.queue.sub;
+    wf.action = s.qm;
+    wf.label = "WF(QM" + suffix + ")";
+    s.queue.fairness.push_back(std::move(wf));
+  }
+
+  // --- CQ = EE q : ICQ (Figure 6) ---
+  s.complete.name = "CQ" + suffix;
+  s.complete.init = ex::land(init_e, init_m);
+  s.complete.next = ex::lor(s.qm, ex::land(s.qe, ex::eq(q_next, q_var)));
+  s.complete.sub = {in.sig,  in.ack,  in.val, out.sig,
+                    out.ack, out.val, q};  // <i, o, q>
+  s.complete.hidden = {q};
+  {
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = s.complete.sub;
+    wf.action = s.qm;
+    wf.label = "WF(QM" + suffix + ")";
+    s.complete.fairness.push_back(std::move(wf));
+  }
+
+  return s;
+}
+
+QueueSpecs build_queue_specs_ni(const VarTable& vars, const Channel& in, const Channel& out,
+                                VarId q, int capacity, std::string suffix) {
+  (void)vars;
+  QueueSpecs s;
+
+  const Expr q_var = ex::var(q);
+  const Expr q_next = ex::primed_var(q);
+  // Pins only the component's OWN outputs on the named channel; the other
+  // side of the channel (the peer's output) stays free.
+  const Expr pin_out_snd = ex::unchanged({out.sig, out.val});
+  const Expr pin_in_ack = ex::unchanged({in.ack});
+  const Expr pin_in_snd = ex::unchanged({in.sig, in.val});
+  const Expr pin_out_ack = ex::unchanged({out.ack});
+
+  // --- Environment: Put / Get and their joint step ---
+  Expr put_core = send_any_action(in);   // pins in.ack itself (Send keeps ack)
+  Expr get_core = ack_action(out);       // pins out.snd itself
+  s.put = ex::land(put_core, pin_out_ack);
+  s.get = ex::land(get_core, pin_in_snd);
+  Expr put_get = ex::land(put_core, get_core);  // both channels move at once
+  s.qe = ex::lor(s.put, s.get, put_get);
+
+  // --- Queue: Enq / Deq and their joint step ---
+  Expr enq_core = ex::land({ex::lt(ex::len(q_var), ex::integer(capacity)),
+                            ack_action(in),
+                            ex::eq(q_next, ex::append(q_var, ex::var(in.val)))});
+  Expr deq_core = ex::land({ex::gt(ex::len(q_var), ex::integer(0)),
+                            send_action(ex::head(q_var), out),
+                            ex::eq(q_next, ex::tail(q_var))});
+  s.enq = ex::land(enq_core, pin_out_snd);
+  s.deq = ex::land(deq_core, pin_in_ack);
+  // Joint Enq/\Deq: both handshakes advance and the buffer does both
+  // updates in one step, q' = Tail(q) \o <in.val>. The only guard is a
+  // nonempty buffer: the departing element frees the slot the arriving one
+  // takes, so |q'| = |q| <= capacity holds automatically.
+  Expr enq_deq = ex::land({ex::gt(ex::len(q_var), ex::integer(0)),
+                           ack_action(in),
+                           send_action(ex::head(q_var), out),
+                           ex::eq(q_next, ex::append(ex::tail(q_var), ex::var(in.val)))});
+  s.qm = ex::lor(s.enq, s.deq, enq_deq);
+
+  const Expr init_e = channel_init(in);
+  const Expr init_m = ex::land(channel_init(out), ex::eq(q_var, ex::constant(Value::empty_seq())));
+
+  s.env.name = "QE" + suffix;
+  s.env.init = init_e;
+  s.env.next = s.qe;
+  s.env.sub = {in.sig, in.val, out.ack};
+
+  s.queue.name = "QM" + suffix;
+  s.queue.init = init_m;
+  s.queue.next = s.qm;
+  s.queue.sub = {in.ack, out.sig, out.val, q};
+  s.queue.hidden = {q};
+  {
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = s.queue.sub;
+    wf.action = s.qm;
+    wf.label = "WF(QM" + suffix + ")";
+    s.queue.fairness.push_back(std::move(wf));
+  }
+
+  s.complete.name = "CQ" + suffix;
+  s.complete.init = ex::land(init_e, init_m);
+  s.complete.next = ex::lor(s.qm, ex::land(s.qe, ex::eq(q_next, q_var)));
+  s.complete.sub = {in.sig, in.ack, in.val, out.sig, out.ack, out.val, q};
+  s.complete.hidden = {q};
+  {
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = s.complete.sub;
+    wf.action = s.qm;
+    wf.label = "WF(QM" + suffix + ")";
+    s.complete.fairness.push_back(std::move(wf));
+  }
+  return s;
+}
+
+QueueSystem make_queue_system(int capacity, int num_values) {
+  QueueSystem sys;
+  const Domain values = range_domain(0, num_values - 1);
+  sys.in = declare_channel(sys.vars, "i", values);
+  sys.out = declare_channel(sys.vars, "o", values);
+  sys.q = sys.vars.declare("q", seq_domain(values, static_cast<std::size_t>(capacity)));
+  sys.capacity = capacity;
+  sys.specs = build_queue_specs(sys.vars, sys.in, sys.out, sys.q, capacity);
+  return sys;
+}
+
+}  // namespace opentla

@@ -1,0 +1,69 @@
+// opentla/queue/queue_spec.hpp
+//
+// The N-element queue of Appendix A (Figures 3-6): component
+// specifications QE (environment) and QM (queue, with hidden buffer q and
+// fairness ICL = WF(QM)), and the complete-system specification CQ.
+
+#pragma once
+
+#include <string>
+
+#include "opentla/queue/channel.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+/// The Appendix-A specifications for one queue between two channels.
+struct QueueSpecs {
+  // Actions (Figure 6).
+  Expr put;  // environment sends some value on `in`
+  Expr get;  // environment acknowledges on `out`
+  Expr enq;  // queue acknowledges `in`, appends in.val to q (|q| < N)
+  Expr deq;  // queue sends Head(q) on `out`, drops it (|q| > 0)
+  Expr qe;   // Put \/ Get
+  Expr qm;   // Enq \/ Deq
+
+  /// QE: Init_E /\ [][QE]_{<in.snd, out.ack>} — no fairness, no hiding.
+  CanonicalSpec env;
+  /// QM = EE q : IQM, with ICL = WF(QM).
+  CanonicalSpec queue;
+  /// CQ = EE q : ICQ: the complete system of queue plus environment.
+  CanonicalSpec complete;
+};
+
+/// Builds the specifications for a queue of capacity `capacity` reading
+/// from `in` and writing to `out`, buffering in variable `q` (whose domain
+/// must hold sequences up to the capacity). `suffix` decorates the spec
+/// names (e.g. "^dbl").
+QueueSpecs build_queue_specs(const VarTable& vars, const Channel& in, const Channel& out,
+                             VarId q, int capacity, std::string suffix = "");
+
+/// NONINTERLEAVING variants (the full paper's "other specification
+/// styles"; the abstract remarks that formula (3) — composition without
+/// the Disjoint side condition G — would be provable for a noninterleaving
+/// representation, which bench/tests verify with these). The differences:
+///
+///   * a component's actions no longer pin its INPUT variables (the
+///     environment may move simultaneously): Enq leaves out.ack free and
+///     Deq leaves in.snd free, and symmetrically for the environment;
+///   * explicit JOINT actions are added for the component's own
+///     independent operations (Enq/\Deq for the queue, Put/\Get for the
+///     environment), merging their effects (q' = Tail(Append(q, in.val))).
+QueueSpecs build_queue_specs_ni(const VarTable& vars, const Channel& in, const Channel& out,
+                                VarId q, int capacity, std::string suffix = "");
+
+/// A self-contained single-queue universe (Figure 5): channels i and o,
+/// buffer q, and the Appendix-A specs over them.
+struct QueueSystem {
+  VarTable vars;
+  Channel in;   // i
+  Channel out;  // o
+  VarId q = 0;
+  int capacity = 0;
+  QueueSpecs specs;
+};
+
+/// Values sent are 0..num_values-1.
+QueueSystem make_queue_system(int capacity, int num_values);
+
+}  // namespace opentla

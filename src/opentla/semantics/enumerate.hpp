@@ -1,0 +1,50 @@
+// opentla/semantics/enumerate.hpp
+//
+// Brute-force validity checking and lasso generation. A TLA formula over a
+// finite universe is valid iff no lasso behavior violates it; enumerating
+// all lassos up to a length bound yields an (under-approximate but exact-
+// per-behavior) refutation engine used to cross-check the production
+// checkers, and random lassos drive the property-based test suites.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+
+#include "opentla/graph/state_graph.hpp"
+#include "opentla/semantics/lasso.hpp"
+#include "opentla/semantics/oracle.hpp"
+#include "opentla/state/var_table.hpp"
+#include "opentla/tla/formula.hpp"
+
+namespace opentla {
+
+/// Invokes `fn` on every lasso of exactly `len` states (all state choices
+/// from the full universe, all loop starts). Beware: |S|^len * len lassos.
+void for_each_lasso(const VarTable& vars, std::size_t len,
+                    const std::function<void(const LassoBehavior&)>& fn);
+
+struct BoundedValidity {
+  bool valid = true;  // no violation found up to the bound
+  std::optional<LassoBehavior> violation;
+  std::size_t behaviors_checked = 0;
+};
+
+/// Checks |= f over all lassos of length 1..max_len. A found violation is
+/// definitive (the formula is invalid); "valid" means only that no lasso up
+/// to the bound violates it.
+BoundedValidity check_validity_bounded(const VarTable& vars, const Formula& f,
+                                       std::size_t max_len);
+
+/// A uniformly random lasso of exactly `len` states over the full universe.
+LassoBehavior random_lasso(const VarTable& vars, std::size_t len, std::mt19937& rng);
+
+/// A random behavior of a StateGraph: a random walk from a random initial
+/// state that closes its loop at the first repeated state (bounded by
+/// `max_steps`; falls back to closing on the stuttering self-loop).
+LassoBehavior random_graph_lasso(const StateGraph& g, std::mt19937& rng,
+                                 std::size_t max_steps = 256);
+
+}  // namespace opentla

@@ -1,0 +1,26 @@
+#include "opentla/semantics/lasso.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace opentla {
+
+LassoBehavior::LassoBehavior(std::vector<State> states, std::size_t loop_start)
+    : states_(std::move(states)), loop_start_(loop_start) {
+  if (states_.empty()) throw std::runtime_error("LassoBehavior: empty");
+  if (loop_start_ >= states_.size()) {
+    throw std::runtime_error("LassoBehavior: loop start out of range");
+  }
+}
+
+std::string LassoBehavior::to_string(const VarTable& vars) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    os << (i == loop_start_ ? "->[" : "   ") << "state " << i << ": "
+       << states_[i].to_string(vars) << "\n";
+  }
+  os << "   (loops back to state " << loop_start_ << ")\n";
+  return os.str();
+}
+
+}  // namespace opentla

@@ -1,0 +1,54 @@
+// opentla/semantics/lasso.hpp
+//
+// Ultimately periodic ("lasso") behaviors. Over a finite universe every
+// satisfiable omega-regular property is witnessed by a lasso, so exact
+// formula evaluation on lassos (semantics/oracle.hpp) yields a brute-force
+// validity checker that the production checkers are tested against.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "opentla/state/state.hpp"
+#include "opentla/state/var_table.hpp"
+
+namespace opentla {
+
+/// The infinite behavior  states[0], ..., states[n-1], states[loop_start],
+/// states[loop_start]+1, ...  (positions >= n wrap into the loop).
+class LassoBehavior {
+ public:
+  LassoBehavior(std::vector<State> states, std::size_t loop_start);
+
+  /// Number of distinct (canonical) positions.
+  std::size_t length() const { return states_.size(); }
+  std::size_t loop_start() const { return loop_start_; }
+  std::size_t loop_length() const { return states_.size() - loop_start_; }
+
+  /// The state at any position i >= 0 (wrapping into the loop).
+  const State& at(std::size_t i) const {
+    return states_[canonical(i)];
+  }
+
+  /// Canonical position of i: itself if i < length(), else its loop image.
+  std::size_t canonical(std::size_t i) const {
+    if (i < states_.size()) return i;
+    return loop_start_ + (i - loop_start_) % loop_length();
+  }
+
+  /// The canonical position following i (wraps length()-1 to loop_start()).
+  std::size_t successor(std::size_t i) const {
+    const std::size_t c = canonical(i);
+    return c + 1 < states_.size() ? c + 1 : loop_start_;
+  }
+
+  std::string to_string(const VarTable& vars) const;
+
+ private:
+  std::vector<State> states_;
+  std::size_t loop_start_;
+};
+
+}  // namespace opentla

@@ -1,0 +1,36 @@
+#include "opentla/state/state.hpp"
+
+#include <sstream>
+
+namespace opentla {
+
+std::size_t State::hash() const {
+  std::size_t h = 1469598103934665603ULL;
+  for (const Value& v : values_) {
+    h ^= v.hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string State::to_string(const VarTable& vars) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << vars.name(static_cast<VarId>(i)) << " = " << values_[i];
+  }
+  return os.str();
+}
+
+StateId StateStore::intern(const State& s) {
+  auto [it, inserted] = ids_.try_emplace(s, static_cast<StateId>(states_.size()));
+  if (inserted) states_.push_back(s);
+  return it->second;
+}
+
+StateId StateStore::find(const State& s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kNone : it->second;
+}
+
+}  // namespace opentla

@@ -1,0 +1,64 @@
+// opentla/state/state.hpp
+//
+// States and state interning. A state assigns a value to every variable of
+// a VarTable ("a state is an assignment of values to variables", Section
+// 2.1). The graph algorithms work over dense `StateId`s produced by a
+// hash-consing `StateStore`.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opentla/state/var_table.hpp"
+#include "opentla/value/value.hpp"
+
+namespace opentla {
+
+/// A state: one value per variable of the owning VarTable, indexed by VarId.
+class State {
+ public:
+  State() = default;
+  explicit State(std::vector<Value> values) : values_(std::move(values)) {}
+
+  std::size_t size() const { return values_.size(); }
+  const Value& operator[](VarId id) const { return values_[id]; }
+  Value& operator[](VarId id) { return values_[id]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  friend bool operator==(const State& a, const State& b) = default;
+  std::size_t hash() const;
+
+  /// Renders as "x = 1, y = <<0, 1>>" using names from `vars`.
+  std::string to_string(const VarTable& vars) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct StateHash {
+  std::size_t operator()(const State& s) const { return s.hash(); }
+};
+
+/// Dense identifier of an interned state.
+using StateId = std::uint32_t;
+
+/// Hash-consing store mapping states to dense ids and back.
+class StateStore {
+ public:
+  /// Interns `s`, returning its id (stable across calls).
+  StateId intern(const State& s);
+  const State& get(StateId id) const { return states_.at(id); }
+  std::size_t size() const { return states_.size(); }
+  /// Id of `s` if already interned, otherwise nullopt-like UINT32_MAX.
+  static constexpr StateId kNone = UINT32_MAX;
+  StateId find(const State& s) const;
+
+ private:
+  std::vector<State> states_;
+  std::unordered_map<State, StateId, StateHash> ids_;
+};
+
+}  // namespace opentla

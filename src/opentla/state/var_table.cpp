@@ -1,0 +1,39 @@
+#include "opentla/state/var_table.hpp"
+
+#include <stdexcept>
+
+namespace opentla {
+
+VarId VarTable::declare(std::string name, Domain domain) {
+  if (by_name_.contains(name)) {
+    throw std::runtime_error("VarTable::declare: duplicate variable '" + name + "'");
+  }
+  if (domain.empty()) {
+    throw std::runtime_error("VarTable::declare: empty domain for '" + name + "'");
+  }
+  const VarId id = static_cast<VarId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  domains_.push_back(std::move(domain));
+  return id;
+}
+
+std::optional<VarId> VarTable::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+VarId VarTable::require(const std::string& name) const {
+  std::optional<VarId> id = find(name);
+  if (!id) throw std::runtime_error("VarTable: unknown variable '" + name + "'");
+  return *id;
+}
+
+std::vector<VarId> VarTable::all_vars() const {
+  std::vector<VarId> out(size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<VarId>(i);
+  return out;
+}
+
+}  // namespace opentla

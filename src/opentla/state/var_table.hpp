@@ -1,0 +1,51 @@
+// opentla/state/var_table.hpp
+//
+// Flexible variables. A `VarTable` interns the flexible variables of a
+// specification universe: each variable has a name and a finite domain and
+// is identified by a dense `VarId`. States are vectors indexed by VarId, so
+// a VarTable fixes the shape of every state in its universe.
+//
+// Distinct systems under comparison (e.g. a low-level and a high-level
+// queue) may use distinct VarTables; refinement mappings translate between
+// them.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opentla/value/domain.hpp"
+
+namespace opentla {
+
+/// Dense identifier of a flexible variable within one VarTable.
+using VarId = std::uint32_t;
+
+/// Registry of flexible variables for one specification universe.
+class VarTable {
+ public:
+  /// Declares a fresh variable; the name must be unused.
+  VarId declare(std::string name, Domain domain);
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(VarId id) const { return names_.at(id); }
+  const Domain& domain(VarId id) const { return domains_.at(id); }
+
+  /// Looks a variable up by name.
+  std::optional<VarId> find(const std::string& name) const;
+  /// Like find(), but throws with a diagnostic when the name is unknown.
+  VarId require(const std::string& name) const;
+
+  /// All declared variable ids, in declaration order (0..size-1).
+  std::vector<VarId> all_vars() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Domain> domains_;
+  std::unordered_map<std::string, VarId> by_name_;
+};
+
+}  // namespace opentla

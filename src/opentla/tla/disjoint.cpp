@@ -1,0 +1,41 @@
+#include "opentla/tla/disjoint.hpp"
+
+#include <algorithm>
+
+namespace opentla {
+
+CanonicalSpec make_disjoint(const std::vector<std::vector<VarId>>& tuples, std::string name) {
+  std::vector<Expr> pair_conditions;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    for (std::size_t j = i + 1; j < tuples.size(); ++j) {
+      pair_conditions.push_back(
+          ex::lor(ex::eq(ex::primed_var_tuple(tuples[i]), ex::var_tuple(tuples[i])),
+                  ex::eq(ex::primed_var_tuple(tuples[j]), ex::var_tuple(tuples[j]))));
+    }
+  }
+  std::vector<VarId> all;
+  for (const auto& t : tuples) all.insert(all.end(), t.begin(), t.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  CanonicalSpec spec;
+  spec.name = std::move(name);
+  spec.init = ex::top();
+  spec.next = ex::land(std::move(pair_conditions));
+  spec.sub = std::move(all);
+  return spec;
+}
+
+bool step_disjoint(const std::vector<std::vector<VarId>>& tuples, const State& s,
+                   const State& t) {
+  bool one_changed = false;
+  for (const auto& tuple : tuples) {
+    if (changes_tuple(tuple, s, t)) {
+      if (one_changed) return false;
+      one_changed = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace opentla

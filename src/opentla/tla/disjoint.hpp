@@ -1,0 +1,29 @@
+// opentla/tla/disjoint.hpp
+//
+// The interleaving assumption of Section 2.3:
+//
+//   Disjoint(v1, ..., vn)  ==  /\_{i # j} [][(vi' = vi) \/ (vj' = vj)]_<<vi, vj>>
+//
+// i.e. no two of the variable tuples change in the same step. We represent
+// it as a canonical-form safety specification (Init = TRUE, N = the pairwise
+// disjointness action, subscript = the union of the tuples), which is
+// logically equivalent: a step that changes any variable of the union must
+// leave one tuple of every pair unchanged.
+
+#pragma once
+
+#include <vector>
+
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+/// Builds Disjoint(tuples[0], ..., tuples[n-1]) as a canonical safety spec.
+CanonicalSpec make_disjoint(const std::vector<std::vector<VarId>>& tuples,
+                            std::string name = "Disjoint");
+
+/// True iff the step <s, t> changes variables from at most one tuple.
+bool step_disjoint(const std::vector<std::vector<VarId>>& tuples, const State& s,
+                   const State& t);
+
+}  // namespace opentla

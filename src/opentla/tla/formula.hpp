@@ -1,0 +1,101 @@
+// opentla/tla/formula.hpp
+//
+// Temporal formulas. The general TLA combinators ([]F, <>F, boolean
+// connectives, [][A]_v, WF/SF) may nest arbitrarily; the paper's open-
+// system operators — closure C(F), while-plus E +> M (the paper's
+// triangle operator), as-long-as E -> M, the freeze operator F_{+v}, and
+// orthogonality E _|_ M — take canonical-form specifications as operands,
+// exactly as the paper applies them (their semantics needs a notion of
+// "holds for the first n states", which the prefix machines of canonical
+// specs provide).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opentla/expr/expr.hpp"
+#include "opentla/tla/spec.hpp"
+
+namespace opentla {
+
+enum class FormulaKind : std::uint8_t {
+  Pred,        // state predicate, evaluated at the first state
+  ActionBox,   // [][A]_v
+  Always,      // []F
+  Eventually,  // <>F
+  WeakFair,    // WF_v(A)
+  StrongFair,  // SF_v(A)
+  Not,
+  And,
+  Or,
+  Implies,
+  Equiv,
+  Spec,        // a canonical-form specification EE x : Init /\ [][N]_v /\ L
+  Closure,     // C(spec)
+  WhilePlus,   // specE +> specM   (assumption/guarantee, Section 3)
+  ArrowWhile,  // specE -> specM   ("M holds at least as long as E", Section 3)
+  Plus,        // spec_{+v}        (Section 4.1)
+  Orthogonal,  // specE _|_ specM  (Section 4.2)
+};
+
+class Formula;
+
+struct FormulaNode {
+  FormulaKind kind;
+  Expr expr;                     // Pred; action of ActionBox/WF/SF
+  std::vector<VarId> sub;        // subscript of ActionBox/WF/SF; tuple of Plus
+  std::vector<Formula> kids;     // temporal children
+  std::shared_ptr<const CanonicalSpec> spec_e;  // Spec/Closure/Plus operand, or E
+  std::shared_ptr<const CanonicalSpec> spec_m;  // M of WhilePlus/ArrowWhile/Orthogonal
+};
+
+/// Value-semantic handle to an immutable temporal formula.
+class Formula {
+ public:
+  Formula() = default;
+  explicit Formula(std::shared_ptr<const FormulaNode> node) : node_(std::move(node)) {}
+
+  bool is_null() const { return node_ == nullptr; }
+  const FormulaNode& node() const { return *node_; }
+  FormulaKind kind() const { return node_->kind; }
+
+  std::string to_string(const VarTable& vars) const;
+
+ private:
+  std::shared_ptr<const FormulaNode> node_;
+};
+
+namespace tf {
+
+Formula pred(Expr p);
+Formula action_box(Expr action, std::vector<VarId> sub);
+Formula always(Formula f);
+Formula eventually(Formula f);
+Formula weak_fair(std::vector<VarId> sub, Expr action);
+Formula strong_fair(std::vector<VarId> sub, Expr action);
+Formula lnot(Formula f);
+Formula land(std::vector<Formula> kids);
+Formula land(Formula a, Formula b);
+Formula lor(std::vector<Formula> kids);
+Formula lor(Formula a, Formula b);
+Formula implies(Formula a, Formula b);
+Formula equiv(Formula a, Formula b);
+Formula spec(CanonicalSpec s);
+Formula closure(CanonicalSpec s);
+/// E +> M: for every n, if E holds for the first n states then M holds for
+/// the first n+1 states; and E => M over the whole behavior.
+Formula while_plus(CanonicalSpec e, CanonicalSpec m);
+/// E -> M: for every n, if E holds for the first n states then M holds for
+/// the first n states; and E => M over the whole behavior.
+Formula arrow_while(CanonicalSpec e, CanonicalSpec m);
+/// spec_{+v}: either spec holds, or spec held for the first n states and
+/// the tuple v never changes from the (n+1)st state on.
+Formula plus(CanonicalSpec s, std::vector<VarId> v);
+/// E _|_ M: no step falsifies E and M simultaneously.
+Formula orthogonal(CanonicalSpec e, CanonicalSpec m);
+
+}  // namespace tf
+
+}  // namespace opentla

@@ -1,0 +1,160 @@
+#include "opentla/value/value.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace opentla {
+
+const char* to_string(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::Bool:
+      return "Bool";
+    case ValueKind::Int:
+      return "Int";
+    case ValueKind::String:
+      return "String";
+    case ValueKind::Tuple:
+      return "Tuple";
+  }
+  return "?";
+}
+
+namespace {
+[[noreturn]] void kind_error(const char* want, ValueKind got) {
+  throw std::runtime_error(std::string("Value kind mismatch: expected ") + want +
+                           ", got " + to_string(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&rep_)) return *b;
+  kind_error("Bool", kind());
+}
+
+std::int64_t Value::as_int() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&rep_)) return *i;
+  kind_error("Int", kind());
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&rep_)) return *s;
+  kind_error("String", kind());
+}
+
+const Value::Tuple& Value::as_tuple() const {
+  if (const Tuple* t = std::get_if<Tuple>(&rep_)) return *t;
+  kind_error("Tuple", kind());
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return a.kind() <=> b.kind();
+  switch (a.kind()) {
+    case ValueKind::Bool:
+      return a.as_bool() <=> b.as_bool();
+    case ValueKind::Int:
+      return a.as_int() <=> b.as_int();
+    case ValueKind::String:
+      return a.as_string().compare(b.as_string()) <=> 0;
+    case ValueKind::Tuple: {
+      const Value::Tuple& x = a.as_tuple();
+      const Value::Tuple& y = b.as_tuple();
+      const std::size_t n = std::min(x.size(), y.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        std::strong_ordering c = x[i] <=> y[i];
+        if (c != std::strong_ordering::equal) return c;
+      }
+      return x.size() <=> y.size();
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+namespace {
+constexpr std::size_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::size_t kFnvPrime = 1099511628211ULL;
+
+std::size_t fnv_mix(std::size_t h, std::size_t x) {
+  // Mix 8 bytes of x into the running FNV-1a hash.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+std::size_t Value::hash() const {
+  std::size_t h = kFnvOffset;
+  h = fnv_mix(h, static_cast<std::size_t>(kind()));
+  switch (kind()) {
+    case ValueKind::Bool:
+      h = fnv_mix(h, as_bool() ? 1 : 0);
+      break;
+    case ValueKind::Int:
+      h = fnv_mix(h, static_cast<std::size_t>(as_int()));
+      break;
+    case ValueKind::String:
+      h = fnv_mix(h, std::hash<std::string>{}(as_string()));
+      break;
+    case ValueKind::Tuple:
+      for (const Value& e : as_tuple()) h = fnv_mix(h, e.hash());
+      h = fnv_mix(h, as_tuple().size());
+      break;
+  }
+  return h;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Bool:
+      return os << (v.as_bool() ? "TRUE" : "FALSE");
+    case ValueKind::Int:
+      return os << v.as_int();
+    case ValueKind::String:
+      return os << '"' << v.as_string() << '"';
+    case ValueKind::Tuple: {
+      os << "<<";
+      const Value::Tuple& t = v.as_tuple();
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << t[i];
+      }
+      return os << ">>";
+    }
+  }
+  return os;
+}
+
+Value seq_head(const Value& s) {
+  const Value::Tuple& t = s.as_tuple();
+  if (t.empty()) throw std::runtime_error("Head of empty sequence");
+  return t.front();
+}
+
+Value seq_tail(const Value& s) {
+  const Value::Tuple& t = s.as_tuple();
+  if (t.empty()) throw std::runtime_error("Tail of empty sequence");
+  return Value::tuple(Value::Tuple(t.begin() + 1, t.end()));
+}
+
+Value seq_concat(const Value& s, const Value& t) {
+  Value::Tuple out = s.as_tuple();
+  const Value::Tuple& u = t.as_tuple();
+  out.insert(out.end(), u.begin(), u.end());
+  return Value::tuple(std::move(out));
+}
+
+Value seq_append(const Value& s, const Value& e) {
+  Value::Tuple out = s.as_tuple();
+  out.push_back(e);
+  return Value::tuple(std::move(out));
+}
+
+}  // namespace opentla

@@ -1,0 +1,101 @@
+// opentla/value/value.hpp
+//
+// TLA values. The logic of "Open Systems in TLA" is untyped: a value may be
+// a boolean, an integer, a string, or a finite tuple/sequence of values
+// (TLA does not distinguish tuples from sequences; both are written
+// <<v1, ..., vn>>).
+//
+// Values are immutable, cheaply copyable for scalars, and carry a total
+// order across kinds (by kind index, then by content) so they can be used
+// as keys in ordered and unordered containers.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace opentla {
+
+/// Discriminator for the four value kinds of the untyped TLA universe.
+enum class ValueKind : std::uint8_t { Bool = 0, Int = 1, String = 2, Tuple = 3 };
+
+/// Human-readable name of a value kind ("Bool", "Int", ...).
+const char* to_string(ValueKind kind);
+
+/// An immutable TLA value.
+///
+/// A `Value` is one of: a boolean, a 64-bit integer, a string, or a tuple
+/// (equivalently, a finite sequence) of values. Tuples own their elements.
+class Value {
+ public:
+  using Tuple = std::vector<Value>;
+
+  /// Constructs the boolean FALSE (the default value).
+  Value() : rep_(false) {}
+
+  static Value boolean(bool b) { return Value(Rep(b)); }
+  static Value integer(std::int64_t i) { return Value(Rep(i)); }
+  static Value string(std::string s) { return Value(Rep(std::move(s))); }
+  static Value tuple(Tuple elems) { return Value(Rep(std::move(elems))); }
+  /// The empty sequence << >>.
+  static Value empty_seq() { return tuple({}); }
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_bool() const { return kind() == ValueKind::Bool; }
+  bool is_int() const { return kind() == ValueKind::Int; }
+  bool is_string() const { return kind() == ValueKind::String; }
+  bool is_tuple() const { return kind() == ValueKind::Tuple; }
+
+  /// Accessors. Each throws `std::runtime_error` on a kind mismatch: a kind
+  /// mismatch means a specification applied an operator to a value outside
+  /// its domain (e.g. Head of an integer), which is a spec error we surface
+  /// rather than hide.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Tuple& as_tuple() const;
+
+  /// Sequence length; requires a tuple value.
+  std::size_t length() const { return as_tuple().size(); }
+
+  /// Structural equality (TLA `=`); values of different kinds are unequal.
+  friend bool operator==(const Value& a, const Value& b) { return a.rep_ == b.rep_; }
+  /// Total order across all kinds: by kind, then content (lexicographic for
+  /// tuples). This is a container ordering, not a TLA-level `<`.
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b);
+
+  /// FNV-1a style structural hash.
+  std::size_t hash() const;
+
+  /// Renders in TLA syntax: TRUE/FALSE, 42, "s", <<1, 2>>.
+  std::string to_string() const;
+
+ private:
+  using Rep = std::variant<bool, std::int64_t, std::string, Tuple>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Hash functor usable with unordered containers.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+
+// --- Sequence operations used by specifications (Appendix A notation) ---
+
+/// Head(s): first element of a nonempty sequence.
+Value seq_head(const Value& s);
+/// Tail(s): all but the first element of a nonempty sequence.
+Value seq_tail(const Value& s);
+/// s \o t: concatenation of two sequences.
+Value seq_concat(const Value& s, const Value& t);
+/// Append(s, e) = s \o <<e>>.
+Value seq_append(const Value& s, const Value& e);
+
+}  // namespace opentla

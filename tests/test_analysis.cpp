@@ -1,0 +1,128 @@
+// Unit tests for expression analysis: free variables, flattening, action
+// decomposition, DNF expansion, structural equality (opentla/expr/analysis).
+
+#include <gtest/gtest.h>
+
+#include "opentla/expr/analysis.hpp"
+#include "opentla/expr/expr.hpp"
+
+namespace opentla {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() {
+    x = vars.declare("x", range_domain(0, 3));
+    y = vars.declare("y", range_domain(0, 3));
+  }
+  VarTable vars;
+  VarId x = 0, y = 0;
+};
+
+TEST_F(AnalysisTest, FreeVarsSplitsPrimed) {
+  Expr e = ex::eq(ex::primed_var(x), ex::add(ex::var(y), ex::integer(1)));
+  FreeVars fv = free_vars(e);
+  EXPECT_EQ(fv.primed, (std::set<VarId>{x}));
+  EXPECT_EQ(fv.unprimed, (std::set<VarId>{y}));
+  EXPECT_FALSE(is_state_function(e));
+  EXPECT_TRUE(is_state_function(ex::var(y)));
+}
+
+TEST_F(AnalysisTest, EnabledHidesPrimedVars) {
+  Expr e = ex::enabled(ex::eq(ex::primed_var(x), ex::var(y)));
+  FreeVars fv = free_vars(e);
+  EXPECT_TRUE(fv.primed.empty());
+  EXPECT_EQ(fv.unprimed, (std::set<VarId>{y}));
+  EXPECT_TRUE(is_state_function(e));
+}
+
+TEST_F(AnalysisTest, FlattenDropsUnits) {
+  Expr e = ex::land(ex::land(ex::var(x), ex::top()), ex::var(y));
+  EXPECT_EQ(flatten_and(e).size(), 2u);
+  Expr o = ex::lor(ex::bottom(), ex::lor(ex::var(x), ex::var(y)));
+  EXPECT_EQ(flatten_or(o).size(), 2u);
+}
+
+TEST_F(AnalysisTest, DecomposeGuardAssignResidual) {
+  // x < 3 /\ x' = x + 1 /\ y' # y
+  Expr act = ex::land({ex::lt(ex::var(x), ex::integer(3)),
+                       ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1))),
+                       ex::neq(ex::primed_var(y), ex::var(y))});
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].guards.size(), 1u);
+  ASSERT_EQ(ds[0].assignments.size(), 1u);
+  EXPECT_EQ(ds[0].assignments[0].first, x);
+  EXPECT_EQ(ds[0].residual.size(), 1u);
+  EXPECT_EQ(ds[0].unassigned_primed, (std::vector<VarId>{y}));
+}
+
+TEST_F(AnalysisTest, DecomposeHandlesSymmetricEquality) {
+  // 0 = x' is an assignment too.
+  Expr act = ex::eq(ex::integer(0), ex::primed_var(x));
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  ASSERT_EQ(ds[0].assignments.size(), 1u);
+  EXPECT_EQ(ds[0].assignments[0].first, x);
+}
+
+TEST_F(AnalysisTest, DecomposeTupleAssignment) {
+  // <<x', y'>> = <<y, x>> splits into two assignments.
+  Expr act = ex::eq(ex::primed_var_tuple({x, y}), ex::make_tuple({ex::var(y), ex::var(x)}));
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].assignments.size(), 2u);
+  EXPECT_TRUE(ds[0].residual.empty());
+}
+
+TEST_F(AnalysisTest, DoubleAssignmentBecomesResidual) {
+  // x' = 0 /\ x' = y: the second constraint must be checked, not dropped.
+  Expr act = ex::land(ex::eq(ex::primed_var(x), ex::integer(0)),
+                      ex::eq(ex::primed_var(x), ex::var(y)));
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].assignments.size(), 1u);
+  EXPECT_EQ(ds[0].residual.size(), 1u);
+}
+
+TEST_F(AnalysisTest, DisjunctsDecomposeIndependently) {
+  Expr a = ex::eq(ex::primed_var(x), ex::integer(0));
+  Expr b = ex::eq(ex::primed_var(y), ex::integer(1));
+  std::vector<ActionDisjunct> ds = decompose_action(ex::lor(a, b));
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].assignments[0].first, x);
+  EXPECT_EQ(ds[1].assignments[0].first, y);
+}
+
+TEST_F(AnalysisTest, ToDnfDistributes) {
+  // (A \/ B) /\ (C \/ D) -> 4 disjuncts.
+  Expr a = ex::eq(ex::var(x), ex::integer(0));
+  Expr b = ex::eq(ex::var(x), ex::integer(1));
+  Expr c = ex::eq(ex::var(y), ex::integer(0));
+  Expr d = ex::eq(ex::var(y), ex::integer(1));
+  Expr dnf = to_dnf(ex::land(ex::lor(a, b), ex::lor(c, d)));
+  EXPECT_EQ(flatten_or(dnf).size(), 4u);
+}
+
+TEST_F(AnalysisTest, ToDnfLimitsExpansion) {
+  std::vector<Expr> big;
+  for (int i = 0; i < 6; ++i) {
+    big.push_back(ex::lor(ex::eq(ex::var(x), ex::integer(0)),
+                          ex::eq(ex::var(x), ex::integer(1))));
+  }
+  EXPECT_THROW(to_dnf(ex::land(std::move(big)), 8), std::runtime_error);
+}
+
+TEST_F(AnalysisTest, StructuralEquality) {
+  Expr a = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));
+  Expr b = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));
+  Expr c = ex::land(ex::eq(ex::var(x), ex::integer(1)), ex::unchanged({y}));
+  EXPECT_TRUE(structurally_equal(a, b));
+  EXPECT_FALSE(structurally_equal(a, c));
+  EXPECT_TRUE(structurally_equal(ex::local("v"), ex::local("v")));
+  EXPECT_FALSE(structurally_equal(ex::local("v"), ex::local("w")));
+  EXPECT_FALSE(structurally_equal(ex::var(x), ex::primed_var(x)));
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,125 @@
+// End-to-end reproduction of the Section 1 examples (Figure 1): two
+// components with circular assumption/guarantee specifications.
+//
+//   Safety:   M_c^0 = "c always 0", M_d^0 = "d always 0".
+//             (M_d^0 +> M_c^0) /\ (M_c^0 +> M_d^0)  =>  M_c^0 /\ M_d^0
+//             is VALID, and the Composition Theorem discharges it.
+//
+//   Liveness: M_c^1 = "eventually c = 1", M_d^1 = "eventually d = 1".
+//             The analogous implication is INVALID (the do-nothing
+//             composition satisfies both A/G specs vacuously), and the
+//             method rejects the liveness assumptions.
+
+#include <gtest/gtest.h>
+
+#include "opentla/ag/composition_theorem.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/semantics/enumerate.hpp"
+#include "opentla/semantics/oracle.hpp"
+
+namespace opentla {
+namespace {
+
+class CircularTest : public ::testing::Test {
+ protected:
+  CircularTest() {
+    c = vars.declare("c", range_domain(0, 1));
+    d = vars.declare("d", range_domain(0, 1));
+    mc0 = always_zero(c, "Mc0");
+    md0 = always_zero(d, "Md0");
+    mc1 = eventually_one(c, "Mc1");
+    md1 = eventually_one(d, "Md1");
+  }
+
+  CanonicalSpec always_zero(VarId v, std::string name) {
+    CanonicalSpec s;
+    s.name = std::move(name);
+    s.init = ex::eq(ex::var(v), ex::integer(0));
+    s.next = ex::bottom();  // [][FALSE]_v: v never changes
+    s.sub = {v};
+    return s;
+  }
+
+  CanonicalSpec eventually_one(VarId v, std::string name) {
+    CanonicalSpec s;
+    s.name = std::move(name);
+    s.init = ex::top();
+    s.next = ex::land(ex::eq(ex::var(v), ex::integer(0)),
+                      ex::eq(ex::primed_var(v), ex::integer(1)));
+    s.sub = {v};
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = {v};
+    wf.action = s.next;
+    wf.label = "WF(set-" + s.name + ")";
+    s.fairness.push_back(wf);
+    return s;
+  }
+
+  VarTable vars;
+  VarId c = 0, d = 0;
+  CanonicalSpec mc0, md0, mc1, md1;
+};
+
+TEST_F(CircularTest, SafetyImplicationIsValidSemantically) {
+  Formula lhs = tf::land(tf::while_plus(md0, mc0), tf::while_plus(mc0, md0));
+  Formula rhs = tf::land(tf::spec(mc0), tf::spec(md0));
+  BoundedValidity r = check_validity_bounded(vars, tf::implies(lhs, rhs), 3);
+  EXPECT_TRUE(r.valid) << (r.violation ? r.violation->to_string(vars) : "");
+  EXPECT_GT(r.behaviors_checked, 100u);
+}
+
+TEST_F(CircularTest, PlainImplicationFormIsNotValid) {
+  // With E => M instead of E +> M the circular argument genuinely fails:
+  // the behavior where both c and d jump to 1 simultaneously satisfies
+  // (Md0 => Mc0) /\ (Mc0 => Md0) vacuously but not Mc0 /\ Md0.
+  Formula lhs = tf::land(tf::implies(tf::spec(md0), tf::spec(mc0)),
+                         tf::implies(tf::spec(mc0), tf::spec(md0)));
+  Formula rhs = tf::land(tf::spec(mc0), tf::spec(md0));
+  BoundedValidity r = check_validity_bounded(vars, tf::implies(lhs, rhs), 3);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST_F(CircularTest, CompositionTheoremDischargesSafetyExample) {
+  std::vector<AGSpec> components = {{md0, mc0}, {mc0, md0}};
+  AGSpec goal = property_as_ag(conjunction_as_spec({mc0, md0}, "Mc0AndMd0"));
+  ProofReport report = verify_composition(vars, components, goal);
+  EXPECT_TRUE(report.all_discharged()) << report.to_string();
+}
+
+TEST_F(CircularTest, LivenessImplicationIsInvalidSemantically) {
+  Formula lhs = tf::land(tf::while_plus(md1, mc1), tf::while_plus(mc1, md1));
+  Formula rhs = tf::land(tf::spec(mc1), tf::spec(md1));
+  BoundedValidity r = check_validity_bounded(vars, tf::implies(lhs, rhs), 2);
+  EXPECT_FALSE(r.valid);
+  ASSERT_TRUE(r.violation.has_value());
+  // The classic counterexample: nobody ever moves.
+  Oracle oracle(vars);
+  EXPECT_TRUE(oracle.evaluate(lhs, *r.violation));
+  EXPECT_FALSE(oracle.evaluate(rhs, *r.violation));
+}
+
+TEST_F(CircularTest, TheoremRejectsLivenessAssumptions) {
+  std::vector<AGSpec> components = {{md1, mc1}, {mc1, md1}};
+  AGSpec goal = property_as_ag(conjunction_as_spec({mc1, md1}, "Mc1AndMd1"));
+  ProofReport report = verify_composition(vars, components, goal);
+  EXPECT_FALSE(report.all_discharged());
+  ASSERT_FALSE(report.obligations.empty());
+  EXPECT_EQ(report.obligations[0].id, "safety-assumption");
+}
+
+TEST_F(CircularTest, ProcessesImplementTheirAGSpecs) {
+  // Pi_c repeatedly sets c := d; it guarantees Mc0 assuming Md0. Semantics:
+  // Pi_c = (c = 0) /\ [][c' = d /\ d' = d]_c. Check Pi_c => (Md0 +> Mc0).
+  CanonicalSpec pi_c;
+  pi_c.name = "PiC";
+  pi_c.init = ex::eq(ex::var(c), ex::integer(0));
+  pi_c.next = ex::land(ex::eq(ex::primed_var(c), ex::var(d)), ex::unchanged({d}));
+  pi_c.sub = {c};
+  Formula claim = tf::implies(tf::spec(pi_c), tf::while_plus(md0, mc0));
+  BoundedValidity r = check_validity_bounded(vars, claim, 3);
+  EXPECT_TRUE(r.valid) << (r.violation ? r.violation->to_string(vars) : "");
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,127 @@
+// Unit tests for composition-as-conjunction (opentla/compose): composite
+// graphs, conjunction_as_spec, pins, free tuples, coverage errors, and the
+// Disjoint interleaving condition.
+
+#include <gtest/gtest.h>
+
+#include "opentla/compose/compose.hpp"
+#include "opentla/expr/eval.hpp"
+#include "opentla/tla/disjoint.hpp"
+
+namespace opentla {
+namespace {
+
+class ComposeTest : public ::testing::Test {
+ protected:
+  ComposeTest() {
+    a = vars.declare("a", range_domain(0, 1));
+    b = vars.declare("b", range_domain(0, 1));
+    // Component A: toggles a; component B: toggles b.
+    toggler_a = toggler(a, "A");
+    toggler_b = toggler(b, "B");
+  }
+
+  CanonicalSpec toggler(VarId v, std::string name) {
+    CanonicalSpec s;
+    s.name = std::move(name);
+    s.init = ex::eq(ex::var(v), ex::integer(0));
+    s.next = ex::eq(ex::primed_var(v), ex::sub(ex::integer(1), ex::var(v)));
+    s.sub = {v};
+    return s;
+  }
+
+  VarTable vars;
+  VarId a = 0, b = 0;
+  CanonicalSpec toggler_a, toggler_b;
+};
+
+TEST_F(ComposeTest, ConjunctionAllowsSimultaneousMoves) {
+  // Without Disjoint, [N_A]_a /\ [N_B]_b admits the step toggling both.
+  StateGraph g = build_composite_graph(vars, {{toggler_a, true}, {toggler_b, true}});
+  EXPECT_EQ(g.num_states(), 4u);
+  // From (0,0): stutter, toggle a (b free via N_A's missing frame? no:
+  // N_A leaves b' unconstrained, so toggling a enumerates b too; B's
+  // constraint then requires b' = b or a toggle — both allowed).
+  const StateId s00 = g.initial()[0];
+  EXPECT_EQ(g.successors(s00).size(), 4u);  // all four states reachable in one step
+}
+
+TEST_F(ComposeTest, DisjointRestrictsToInterleavings) {
+  CanonicalSpec disjoint = make_disjoint({{a}, {b}});
+  StateGraph g = build_composite_graph(
+      vars, {{toggler_a, true}, {toggler_b, true}, {disjoint, false}});
+  const StateId s00 = g.initial()[0];
+  // Now only stutter, toggle-a, toggle-b: the double-toggle is filtered.
+  EXPECT_EQ(g.successors(s00).size(), 3u);
+}
+
+TEST_F(ComposeTest, StepDisjointHelper) {
+  State s({Value::integer(0), Value::integer(0)});
+  State both({Value::integer(1), Value::integer(1)});
+  State onea({Value::integer(1), Value::integer(0)});
+  EXPECT_TRUE(step_disjoint({{a}, {b}}, s, s));
+  EXPECT_TRUE(step_disjoint({{a}, {b}}, s, onea));
+  EXPECT_FALSE(step_disjoint({{a}, {b}}, s, both));
+}
+
+TEST_F(ComposeTest, ConjunctionAsSpecMatchesCompositeGraph) {
+  CanonicalSpec conj = conjunction_as_spec({toggler_a, toggler_b}, "AB");
+  StateGraph direct = build_composite_graph(vars, {{conj, true}});
+  StateGraph parts = build_composite_graph(vars, {{toggler_a, true}, {toggler_b, true}});
+  EXPECT_EQ(direct.num_states(), parts.num_states());
+  EXPECT_EQ(direct.num_edges(), parts.num_edges());
+}
+
+TEST_F(ComposeTest, ConjunctionAsSpecCollectsPieces) {
+  CanonicalSpec fair = toggler_a;
+  Fairness f;
+  f.kind = Fairness::Kind::Weak;
+  f.sub = {a};
+  f.action = fair.next;
+  fair.fairness.push_back(f);
+  fair.hidden = {a};
+  CanonicalSpec conj = conjunction_as_spec({fair, toggler_b}, "AB");
+  EXPECT_EQ(conj.sub.size(), 2u);
+  EXPECT_EQ(conj.fairness.size(), 1u);
+  EXPECT_EQ(conj.hidden, std::vector<VarId>{a});
+}
+
+TEST_F(ComposeTest, CoverageErrorForUnconstrainedVariable) {
+  EXPECT_THROW(build_composite_graph(vars, {{toggler_a, true}}), std::runtime_error);
+}
+
+TEST_F(ComposeTest, PinFreezesVariables) {
+  CanonicalSpec pin = make_pin(vars, {b}, "PinB");
+  StateGraph g = build_composite_graph(vars, {{toggler_a, true}, {pin, false}}, {}, {b});
+  EXPECT_EQ(g.num_states(), 2u);  // b stays at its first domain value
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    EXPECT_EQ(g.state(s)[b].as_int(), 0);
+  }
+}
+
+TEST_F(ComposeTest, FreeTuplesGenerateEnvironmentMoves) {
+  // Only A is a mover, but b may move freely via the free tuple (covered
+  // by a frame part).
+  CanonicalSpec frame;
+  frame.name = "FrameB";
+  frame.init = ex::eq(ex::var(b), ex::integer(0));
+  frame.next = ex::top();
+  frame.sub = {b};
+  StateGraph g =
+      build_composite_graph(vars, {{toggler_a, true}, {frame, false}}, {{b}});
+  EXPECT_EQ(g.num_states(), 4u);
+}
+
+TEST_F(ComposeTest, AllFairnessConcatenates) {
+  CanonicalSpec fa = toggler_a;
+  Fairness f;
+  f.kind = Fairness::Kind::Weak;
+  f.sub = {a};
+  f.action = fa.next;
+  fa.fairness.push_back(f);
+  EXPECT_EQ(all_fairness({fa, toggler_b}).size(), 1u);
+  EXPECT_EQ(all_fairness({fa, fa}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,203 @@
+// Unit tests for explicit-state graphs, SCCs, and the fair-cycle engine
+// (opentla/graph).
+
+#include <gtest/gtest.h>
+
+#include "opentla/check/liveness.hpp"
+#include "opentla/graph/fair_cycle.hpp"
+#include "opentla/graph/scc.hpp"
+#include "opentla/graph/state_graph.hpp"
+#include "opentla/graph/successor.hpp"
+
+namespace opentla {
+namespace {
+
+// A counter modulo 4 with an explicit wrap step.
+class CounterGraphTest : public ::testing::Test {
+ protected:
+  CounterGraphTest() : x(vars.declare("x", range_domain(0, 3))) {
+    up = ex::land(ex::lt(ex::var(x), ex::integer(3)),
+                  ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1))));
+    wrap = ex::land(ex::eq(ex::var(x), ex::integer(3)),
+                    ex::eq(ex::primed_var(x), ex::integer(0)));
+  }
+
+  StateGraph build(Expr next, bool self_loops = true) {
+    ActionSuccessors gen(vars, std::move(next));
+    return StateGraph(
+        vars, {State({Value::integer(0)})},
+        [&gen](const State& s, const std::function<void(const State&)>& emit) {
+          gen.for_each_successor(s, emit);
+        },
+        self_loops);
+  }
+
+  VarTable vars;
+  VarId x;
+  Expr up, wrap;
+};
+
+TEST_F(CounterGraphTest, ReachabilityAndSelfLoops) {
+  StateGraph g = build(ex::lor(up, wrap));
+  EXPECT_EQ(g.num_states(), 4u);
+  // Each state: one action successor plus its stuttering self-loop.
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    EXPECT_EQ(g.successors(s).size(), 2u);
+  }
+}
+
+TEST_F(CounterGraphTest, UnreachableStatesAreNotExplored) {
+  StateGraph g = build(up);  // no wrap: 0 -> 1 -> 2 -> 3
+  EXPECT_EQ(g.num_states(), 4u);
+  StateGraph g2(vars, {State({Value::integer(2)})},
+                [this](const State& s, const std::function<void(const State&)>& emit) {
+                  ActionSuccessors gen(vars, up);
+                  gen.for_each_successor(s, emit);
+                });
+  EXPECT_EQ(g2.num_states(), 2u);  // 2 and 3 only
+}
+
+TEST_F(CounterGraphTest, ShortestPath) {
+  StateGraph g = build(ex::lor(up, wrap));
+  std::vector<StateId> path =
+      g.shortest_path_to([&](StateId s) { return g.state(s)[x].as_int() == 3; });
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(g.state(path[0])[x].as_int(), 0);
+  EXPECT_EQ(g.state(path[3])[x].as_int(), 3);
+}
+
+TEST_F(CounterGraphTest, StateLimitThrows) {
+  ActionSuccessors gen(vars, ex::lor(up, wrap));
+  auto succ = [&gen](const State& s, const std::function<void(const State&)>& emit) {
+    gen.for_each_successor(s, emit);
+  };
+  EXPECT_THROW(StateGraph(vars, {State({Value::integer(0)})}, succ, true, /*max_states=*/2),
+               std::runtime_error);
+}
+
+TEST_F(CounterGraphTest, SccOfCycleIsOneComponent) {
+  StateGraph g = build(ex::lor(up, wrap));
+  SubgraphFilter all;
+  std::vector<StateId> roots(g.num_states());
+  for (std::size_t i = 0; i < roots.size(); ++i) roots[i] = static_cast<StateId>(i);
+  std::vector<std::vector<StateId>> comps = strongly_connected_components(g, roots, all);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 4u);
+  EXPECT_TRUE(component_has_cycle(g, comps[0], all));
+}
+
+TEST_F(CounterGraphTest, SccOfChainIsSingletons) {
+  StateGraph g = build(up, /*self_loops=*/false);
+  SubgraphFilter all;
+  std::vector<StateId> roots(g.num_states());
+  for (std::size_t i = 0; i < roots.size(); ++i) roots[i] = static_cast<StateId>(i);
+  std::vector<std::vector<StateId>> comps = strongly_connected_components(g, roots, all);
+  EXPECT_EQ(comps.size(), 4u);
+  for (const auto& c : comps) EXPECT_FALSE(component_has_cycle(g, c, all));
+}
+
+TEST_F(CounterGraphTest, EdgeFilterCutsCycle) {
+  StateGraph g = build(ex::lor(up, wrap), /*self_loops=*/false);
+  SubgraphFilter no_wrap;
+  no_wrap.edge_ok = [&](StateId s, StateId t) {
+    return !(g.state(s)[x].as_int() == 3 && g.state(t)[x].as_int() == 0);
+  };
+  std::vector<StateId> roots(g.num_states());
+  for (std::size_t i = 0; i < roots.size(); ++i) roots[i] = static_cast<StateId>(i);
+  for (const auto& c : strongly_connected_components(g, roots, no_wrap)) {
+    EXPECT_FALSE(component_has_cycle(g, c, no_wrap));
+  }
+}
+
+TEST_F(CounterGraphTest, FairCycleWithoutObligationsFindsAnyCycle) {
+  StateGraph g = build(ex::lor(up, wrap));
+  FairCycleQuery q;
+  std::optional<Lasso> lasso = find_fair_cycle(g, q);
+  ASSERT_TRUE(lasso.has_value());
+  EXPECT_FALSE(lasso->cycle.empty());
+  EXPECT_FALSE(lasso->prefix.empty());
+  EXPECT_EQ(lasso->prefix.back(), lasso->cycle.front());
+}
+
+TEST_F(CounterGraphTest, BuchiObligationSteersCycle) {
+  StateGraph g = build(ex::lor(up, wrap));
+  FairCycleQuery q;
+  BuchiObligation visit3;
+  visit3.state_ok = [&](StateId s) { return g.state(s)[x].as_int() == 3; };
+  q.buchi.push_back(visit3);
+  std::optional<Lasso> lasso = find_fair_cycle(g, q);
+  ASSERT_TRUE(lasso.has_value());
+  bool visits = false;
+  for (StateId s : lasso->cycle) visits |= (g.state(s)[x].as_int() == 3);
+  EXPECT_TRUE(visits);
+}
+
+TEST_F(CounterGraphTest, BuchiObligationCanBeUnsatisfiable) {
+  StateGraph g = build(up);  // chain: only self-loop cycles
+  FairCycleQuery q;
+  BuchiObligation step;
+  // Require an x-changing step infinitely often: impossible on self-loops.
+  step.step_ok = [&](StateId s, StateId t) {
+    return g.state(s)[x].as_int() != g.state(t)[x].as_int();
+  };
+  q.buchi.push_back(step);
+  EXPECT_FALSE(find_fair_cycle(g, q).has_value());
+}
+
+TEST_F(CounterGraphTest, WeakFairnessConstraintExcludesStutterCycles) {
+  // WF on the counter action: a fair behavior cannot stutter forever while
+  // the action is enabled, so the only fair cycle is the full loop.
+  StateGraph g = build(ex::lor(up, wrap));
+  FairnessCompiler compiler(g);
+  FairCycleQuery q;
+  Fairness wf;
+  wf.kind = Fairness::Kind::Weak;
+  wf.sub = {x};
+  wf.action = ex::lor(up, wrap);
+  compiler.add_constraints({wf}, q);
+  std::optional<Lasso> lasso = find_fair_cycle(g, q);
+  ASSERT_TRUE(lasso.has_value());
+  EXPECT_EQ(lasso->cycle.size(), 4u);
+}
+
+TEST_F(CounterGraphTest, StreettConstraint) {
+  // SF(wrap): any cycle visiting x = 3 infinitely often must take the wrap
+  // step infinitely often. The self-loop at 3 alone is excluded, but the
+  // full loop (which wraps) is allowed.
+  StateGraph g = build(ex::lor(up, wrap));
+  FairnessCompiler compiler(g);
+  FairCycleQuery q;
+  Fairness sf;
+  sf.kind = Fairness::Kind::Strong;
+  sf.sub = {x};
+  sf.action = wrap;
+  compiler.add_constraints({sf}, q);
+  // Restrict to the subgraph containing only state 3 and its self-loop:
+  q.filter.node_ok = [&](StateId s) { return g.state(s)[x].as_int() == 3; };
+  EXPECT_FALSE(find_fair_cycle(g, q).has_value());
+  // Unrestricted, the wrap cycle satisfies SF.
+  FairCycleQuery q2;
+  FairnessCompiler compiler2(g);
+  Fairness sf2 = sf;
+  compiler2.add_constraints({sf2}, q2);
+  EXPECT_TRUE(find_fair_cycle(g, q2).has_value());
+}
+
+TEST_F(CounterGraphTest, ViolationSearchForWeakFairness) {
+  // Search for a cycle violating WF(up \/ wrap): every state enabled, no
+  // action step — i.e. a pure stutter cycle. It exists (self-loops).
+  StateGraph g = build(ex::lor(up, wrap));
+  FairnessCompiler compiler(g);
+  FairCycleQuery q;
+  Fairness wf;
+  wf.kind = Fairness::Kind::Weak;
+  wf.sub = {x};
+  wf.action = ex::lor(up, wrap);
+  compiler.restrict_to_violation(wf, q);
+  std::optional<Lasso> lasso = find_fair_cycle(g, q);
+  ASSERT_TRUE(lasso.has_value());
+  EXPECT_EQ(lasso->cycle.size(), 1u);  // a self-loop
+}
+
+}  // namespace
+}  // namespace opentla

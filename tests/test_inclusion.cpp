@@ -1,0 +1,209 @@
+// Unit tests for the product explorer behind hypotheses H1/H2a
+// (opentla/check/inclusion): constraint products, hidden-source movers,
+// counterexample traces, and freeze-machine interplay.
+
+#include <gtest/gtest.h>
+
+#include "opentla/automata/freeze.hpp"
+#include "opentla/ag/freeze_spec.hpp"
+#include "opentla/check/inclusion.hpp"
+
+namespace opentla {
+namespace {
+
+class InclusionTest : public ::testing::Test {
+ protected:
+  InclusionTest() {
+    x = vars.declare("x", range_domain(0, 2));
+    y = vars.declare("y", range_domain(0, 2));
+  }
+
+  CanonicalSpec stepper(VarId v, std::string name) {
+    // v counts up to 2 and stays.
+    CanonicalSpec s;
+    s.name = std::move(name);
+    s.init = ex::eq(ex::var(v), ex::integer(0));
+    s.next = ex::land(ex::lt(ex::var(v), ex::integer(2)),
+                      ex::eq(ex::primed_var(v), ex::add(ex::var(v), ex::integer(1))));
+    s.sub = {v};
+    return s;
+  }
+
+  CanonicalSpec bound(VarId v, std::int64_t max, std::string name) {
+    // v never exceeds max (a pure safety target).
+    CanonicalSpec s;
+    s.name = std::move(name);
+    s.init = ex::le(ex::var(v), ex::integer(max));
+    s.next = ex::le(ex::primed_var(v), ex::integer(max));
+    s.sub = {v};
+    return s;
+  }
+
+  VarTable vars;
+  VarId x = 0, y = 0;
+};
+
+TEST_F(InclusionTest, HoldsForImpliedBound) {
+  CanonicalSpec sx = stepper(x, "SX");
+  std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
+      std::make_shared<PrefixMachine>(vars, sx)};
+  std::vector<Mover> movers = {mover_from_spec(vars, sx, 0, {y})};
+  ConstraintExplorer explorer(vars, constraints, movers, sx.init, {y});
+  PrefixMachine target(vars, bound(x, 2, "Bound2"));
+  EXPECT_TRUE(explorer.check_target(target).holds);
+  EXPECT_GE(explorer.num_nodes(), 3u);
+}
+
+TEST_F(InclusionTest, FailsForTighterBoundWithTrace) {
+  CanonicalSpec sx = stepper(x, "SX");
+  std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
+      std::make_shared<PrefixMachine>(vars, sx)};
+  std::vector<Mover> movers = {mover_from_spec(vars, sx, 0, {y})};
+  ConstraintExplorer explorer(vars, constraints, movers, sx.init, {y});
+  PrefixMachine target(vars, bound(x, 1, "Bound1"));
+  ConstraintExplorer::Verdict v = explorer.check_target(target);
+  EXPECT_FALSE(v.holds);
+  // The shortest violating trace reaches x = 2 in three states.
+  ASSERT_EQ(v.counterexample.size(), 3u);
+  EXPECT_EQ(v.counterexample.back()[x].as_int(), 2);
+}
+
+TEST_F(InclusionTest, MultipleTargetsShareOneExploration) {
+  CanonicalSpec sx = stepper(x, "SX");
+  std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
+      std::make_shared<PrefixMachine>(vars, sx)};
+  std::vector<Mover> movers = {mover_from_spec(vars, sx, 0, {y})};
+  ConstraintExplorer explorer(vars, constraints, movers, sx.init, {y});
+  PrefixMachine t1(vars, bound(x, 2, "B2"));
+  PrefixMachine t2(vars, bound(x, 0, "B0"));
+  EXPECT_TRUE(explorer.check_target(t1).holds);
+  EXPECT_FALSE(explorer.check_target(t2).holds);
+}
+
+TEST_F(InclusionTest, HiddenSourceMoversUseMachineConfigs) {
+  // A component whose moves depend on its *hidden* progress: h ticks
+  // invisibly, and x may rise only when h = 2. The mover must draw h from
+  // the machine configuration or it would never generate the x-step.
+  VarTable v2;
+  VarId xv = v2.declare("x", range_domain(0, 1));
+  VarId h = v2.declare("h", range_domain(0, 2));
+  CanonicalSpec s;
+  s.name = "HiddenGate";
+  s.init = ex::land(ex::eq(ex::var(xv), ex::integer(0)),
+                    ex::eq(ex::var(h), ex::integer(0)));
+  Expr tick = ex::land(ex::lt(ex::var(h), ex::integer(2)),
+                       ex::eq(ex::primed_var(h), ex::add(ex::var(h), ex::integer(1))),
+                       ex::unchanged({xv}));
+  Expr fire = ex::land(ex::eq(ex::var(h), ex::integer(2)),
+                       ex::eq(ex::primed_var(xv), ex::integer(1)), ex::unchanged({h}));
+  s.next = ex::lor(tick, fire);
+  s.sub = {xv, h};
+  s.hidden = {h};
+
+  std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
+      std::make_shared<PrefixMachine>(v2, s)};
+  std::vector<Mover> movers = {mover_from_spec(v2, s, 0, s.hidden)};
+  ConstraintExplorer explorer(v2, constraints, movers, s.init, s.hidden);
+  // Reachability of x = 1 requires the hidden ticks: the target "x stays 0"
+  // must FAIL.
+  CanonicalSpec x_zero;
+  x_zero.name = "XZero";
+  x_zero.init = ex::eq(ex::var(xv), ex::integer(0));
+  x_zero.next = ex::eq(ex::primed_var(xv), ex::integer(0));
+  x_zero.sub = {xv};
+  PrefixMachine target(v2, x_zero);
+  ConstraintExplorer::Verdict verdict = explorer.check_target(target);
+  EXPECT_FALSE(verdict.holds);
+}
+
+TEST_F(InclusionTest, FreezeMachineConstraintAllowsPostViolationStutter) {
+  // Constraint: freeze("x stays 0") on <<x>>. Behaviors may break the spec
+  // once, after which x is frozen; a target "x <= 1" then still holds if
+  // movers can only set x to 1.
+  CanonicalSpec x_zero;
+  x_zero.name = "XZero";
+  x_zero.init = ex::eq(ex::var(x), ex::integer(0));
+  x_zero.next = ex::bottom();
+  x_zero.sub = {x};
+  auto inner = std::make_shared<PrefixMachine>(vars, x_zero);
+  std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
+      std::make_shared<FreezeMachine>(inner, std::vector<VarId>{x})};
+  // Mover: set x to 1 (violating XZero).
+  CanonicalSpec setter;
+  setter.name = "Set1";
+  setter.init = ex::eq(ex::var(x), ex::integer(0));
+  setter.next = ex::eq(ex::primed_var(x), ex::integer(1));
+  setter.sub = {x};
+  std::vector<Mover> movers = {mover_from_spec(vars, setter, -1, {y})};
+  ConstraintExplorer explorer(vars, constraints, movers, x_zero.init, {y});
+  PrefixMachine ok(vars, bound(x, 1, "Bound1"));
+  EXPECT_TRUE(explorer.check_target(ok).holds);
+  // But after the violation x is frozen at 1: "x stays 0 forever" fails,
+  // while "x never reaches 2" holds because the freeze blocks any further
+  // change.
+  PrefixMachine never2(vars, bound(x, 1, "Never2"));
+  EXPECT_TRUE(explorer.check_target(never2).holds);
+}
+
+TEST_F(InclusionTest, FreezeMachineAgreesWithExplicitFreezeSpec) {
+  // Two realizations of C(E)_{+v} — the semantic FreezeMachine transform
+  // and the explicit canonical form with a hidden "abandoned" flag
+  // (ag/freeze_spec) — must give identical verdicts as explorer
+  // constraints.
+  VarTable v2;
+  VarId xv = v2.declare("x", range_domain(0, 2));
+  VarId flag = v2.declare("__b", bool_domain());
+
+  CanonicalSpec e;  // E: x stays 0
+  e.name = "XZero";
+  e.init = ex::eq(ex::var(xv), ex::integer(0));
+  e.next = ex::bottom();
+  e.sub = {xv};
+
+  CanonicalSpec stepper;  // mover: x counts up
+  stepper.name = "Step";
+  stepper.init = e.init;
+  stepper.next = ex::land(ex::lt(ex::var(xv), ex::integer(2)),
+                          ex::eq(ex::primed_var(xv), ex::add(ex::var(xv), ex::integer(1))));
+  stepper.sub = {xv};
+
+  auto verdicts = [&](std::shared_ptr<const SafetyMachine> freeze_constraint) {
+    std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
+        std::move(freeze_constraint)};
+    std::vector<Mover> movers = {mover_from_spec(v2, stepper, -1, {flag})};
+    ConstraintExplorer explorer(v2, constraints, movers, e.init, {flag});
+    std::vector<bool> out;
+    for (std::int64_t bound : {0, 1, 2}) {
+      CanonicalSpec target;
+      target.name = "Bound" + std::to_string(bound);
+      target.init = ex::le(ex::var(xv), ex::integer(bound));
+      target.next = ex::le(ex::primed_var(xv), ex::integer(bound));
+      target.sub = {xv};
+      PrefixMachine m(v2, target);
+      out.push_back(explorer.check_target(m).holds);
+    }
+    return out;
+  };
+
+  auto semantic = verdicts(std::make_shared<FreezeMachine>(
+      std::make_shared<PrefixMachine>(v2, e), std::vector<VarId>{xv}));
+  auto explicit_form =
+      verdicts(std::make_shared<PrefixMachine>(v2, freeze_spec(e, {xv}, flag)));
+  EXPECT_EQ(semantic, explicit_form);
+  // The freeze constraint lets E be broken once (x reaches 1) and then
+  // pins x: bound 0 fails, bounds 1 and 2 hold.
+  EXPECT_EQ(semantic, (std::vector<bool>{false, true, true}));
+}
+
+TEST_F(InclusionTest, NodeLimitThrows) {
+  CanonicalSpec sx = stepper(x, "SX");
+  std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
+      std::make_shared<PrefixMachine>(vars, sx)};
+  std::vector<Mover> movers = {mover_from_spec(vars, sx, 0, {y})};
+  EXPECT_THROW(ConstraintExplorer(vars, constraints, movers, sx.init, {y},
+                                  /*max_nodes=*/1),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,310 @@
+// Unit tests for the lasso-behavior oracle — the exact semantics of every
+// temporal operator, including the paper's +> / -> / _|_ / +v / closure
+// (opentla/semantics).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "opentla/semantics/enumerate.hpp"
+#include "opentla/semantics/oracle.hpp"
+
+namespace opentla {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : x(vars.declare("x", range_domain(0, 1))) {}
+
+  State st(std::int64_t v) { return State({Value::integer(v)}); }
+
+  LassoBehavior lasso(std::vector<std::int64_t> values, std::size_t loop) {
+    std::vector<State> states;
+    for (std::int64_t v : values) states.push_back(st(v));
+    return LassoBehavior(std::move(states), loop);
+  }
+
+  Expr is(std::int64_t v) { return ex::eq(ex::var(x), ex::integer(v)); }
+
+  VarTable vars;
+  VarId x;
+};
+
+TEST_F(OracleTest, LassoPositions) {
+  LassoBehavior b = lasso({0, 1, 0}, 1);  // 0 (1 0)^omega
+  EXPECT_EQ(b.at(0)[0].as_int(), 0);
+  EXPECT_EQ(b.at(3)[0].as_int(), 1);  // wraps: position 3 = loop start
+  EXPECT_EQ(b.at(4)[0].as_int(), 0);
+  EXPECT_EQ(b.successor(2), 1u);
+  EXPECT_EQ(b.loop_length(), 2u);
+}
+
+TEST_F(OracleTest, PredAlwaysEventually) {
+  Oracle oracle(vars);
+  LassoBehavior b = lasso({0, 1, 0}, 1);
+  EXPECT_TRUE(oracle.evaluate(tf::pred(is(0)), b));
+  EXPECT_FALSE(oracle.evaluate(tf::pred(is(1)), b));
+  EXPECT_TRUE(oracle.evaluate(tf::eventually(tf::pred(is(1))), b));
+  EXPECT_FALSE(oracle.evaluate(tf::always(tf::pred(is(0))), b));
+  EXPECT_TRUE(oracle.evaluate(tf::always(tf::eventually(tf::pred(is(1)))), b));
+  // Suffix evaluation: from position 1 the behavior alternates.
+  EXPECT_TRUE(oracle.evaluate_at(tf::pred(is(1)), b, 1));
+
+  LassoBehavior constant = lasso({0}, 0);
+  EXPECT_TRUE(oracle.evaluate(tf::always(tf::pred(is(0))), constant));
+  EXPECT_FALSE(oracle.evaluate(tf::eventually(tf::pred(is(1))), constant));
+}
+
+TEST_F(OracleTest, ActionBox) {
+  Oracle oracle(vars);
+  Formula never_changes = tf::action_box(ex::bottom(), {x});
+  EXPECT_TRUE(oracle.evaluate(never_changes, lasso({0}, 0)));
+  EXPECT_FALSE(oracle.evaluate(never_changes, lasso({0, 1}, 1)));
+  // [][x' = 1 - x]_x: every change flips.
+  Formula flips = tf::action_box(
+      ex::eq(ex::primed_var(x), ex::sub(ex::integer(1), ex::var(x))), {x});
+  EXPECT_TRUE(oracle.evaluate(flips, lasso({0, 1, 0}, 1)));
+  EXPECT_TRUE(oracle.evaluate(flips, lasso({0, 0, 1}, 2)));  // stutters allowed
+}
+
+TEST_F(OracleTest, BooleanConnectives) {
+  Oracle oracle(vars);
+  LassoBehavior b = lasso({0, 1}, 1);
+  Formula p0 = tf::pred(is(0));
+  Formula p1 = tf::pred(is(1));
+  EXPECT_TRUE(oracle.evaluate(tf::lor(p0, p1), b));
+  EXPECT_FALSE(oracle.evaluate(tf::land(p0, p1), b));
+  EXPECT_TRUE(oracle.evaluate(tf::lnot(p1), b));
+  EXPECT_TRUE(oracle.evaluate(tf::implies(p1, p0), b));
+  EXPECT_FALSE(oracle.evaluate(tf::equiv(p0, p1), b));
+}
+
+TEST_F(OracleTest, WeakFairness) {
+  Oracle oracle(vars);
+  // Action: set x to 1 (enabled iff x = 0).
+  Expr set1 = ex::land(ex::eq(ex::var(x), ex::integer(0)),
+                       ex::eq(ex::primed_var(x), ex::integer(1)));
+  Formula wf = tf::weak_fair({x}, set1);
+  // Stuck at 0 forever with the action enabled: WF violated.
+  EXPECT_FALSE(oracle.evaluate(wf, lasso({0}, 0)));
+  // Ends at 1: action disabled in the loop, WF satisfied.
+  EXPECT_TRUE(oracle.evaluate(wf, lasso({0, 1}, 1)));
+  // Keeps taking the step: satisfied.
+  EXPECT_TRUE(oracle.evaluate(wf, lasso({0, 1, 0}, 0)));
+}
+
+TEST_F(OracleTest, StrongVersusWeakFairness) {
+  Oracle oracle(vars);
+  Expr set1 = ex::land(ex::eq(ex::var(x), ex::integer(0)),
+                       ex::eq(ex::primed_var(x), ex::integer(1)));
+  // Loop 0 -> 1 -> 0 -> ... : set1 is enabled at 0 and disabled at 1, and
+  // the loop includes a genuine 0 -> 1 step. Now consider the loop
+  // 0 -> 0' -> 0 that never takes set1: for WF the disabled state would be
+  // needed, but x = 0 everywhere keeps it enabled, so WF fails; SF fails
+  // too (enabled infinitely often, never taken).
+  Formula wf = tf::weak_fair({x}, set1);
+  Formula sf = tf::strong_fair({x}, set1);
+  EXPECT_FALSE(oracle.evaluate(wf, lasso({0, 0}, 0)));
+  EXPECT_FALSE(oracle.evaluate(sf, lasso({0, 0}, 0)));
+  // Alternating 0/1 with the 0 -> 1 edge an actual set1 step satisfies both.
+  EXPECT_TRUE(oracle.evaluate(wf, lasso({0, 1}, 0)));
+  EXPECT_TRUE(oracle.evaluate(sf, lasso({0, 1}, 0)));
+  // A loop that visits 1 only (set1 never enabled): both hold vacuously.
+  EXPECT_TRUE(oracle.evaluate(wf, lasso({1}, 0)));
+  EXPECT_TRUE(oracle.evaluate(sf, lasso({1}, 0)));
+}
+
+// The canonical spec "x starts 0, may be set to 1 once, WF forces it":
+// EventuallyOne == x = 0 /\ [][x = 0 /\ x' = 1]_x /\ WF_x(x = 0 /\ x' = 1).
+class SpecOracleTest : public OracleTest {
+ protected:
+  SpecOracleTest() {
+    Expr set1 = ex::land(ex::eq(ex::var(x), ex::integer(0)),
+                         ex::eq(ex::primed_var(x), ex::integer(1)));
+    spec.name = "EventuallyOne";
+    spec.init = ex::eq(ex::var(x), ex::integer(0));
+    spec.next = set1;
+    spec.sub = {x};
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = {x};
+    wf.action = spec.next;
+    wf.label = "WF(set1)";
+    spec.fairness.push_back(wf);
+  }
+  CanonicalSpec spec;
+};
+
+TEST_F(SpecOracleTest, SpecEvaluation) {
+  Oracle oracle(vars);
+  Formula f = tf::spec(spec);
+  EXPECT_TRUE(oracle.evaluate(f, lasso({0, 1}, 1)));
+  EXPECT_TRUE(oracle.evaluate(f, lasso({0, 0, 1}, 2)));
+  // Stuck at 0: safety fine but fairness violated.
+  EXPECT_FALSE(oracle.evaluate(f, lasso({0}, 0)));
+  // Wrong initial state.
+  EXPECT_FALSE(oracle.evaluate(f, lasso({1}, 0)));
+  // Changing back 1 -> 0 violates the next-state relation.
+  EXPECT_FALSE(oracle.evaluate(f, lasso({0, 1, 0}, 0)));
+}
+
+TEST_F(SpecOracleTest, ClosureDropsFairness) {
+  Oracle oracle(vars);
+  Formula c = tf::closure(spec);
+  // The stuck-at-0 behavior satisfies the closure but not the spec.
+  EXPECT_TRUE(oracle.evaluate(c, lasso({0}, 0)));
+  EXPECT_FALSE(oracle.evaluate(c, lasso({1}, 0)));
+  EXPECT_FALSE(oracle.evaluate(c, lasso({0, 1, 0}, 0)));
+  // F => C(F) on every behavior we can build here.
+  for (const auto& b : {lasso({0, 1}, 1), lasso({0}, 0), lasso({1}, 0)}) {
+    EXPECT_TRUE(!oracle.evaluate(tf::spec(spec), b) || oracle.evaluate(c, b));
+  }
+}
+
+TEST_F(SpecOracleTest, SpecWithHiddenVariable) {
+  // EE h : h counts 0,1,2 invisibly, then x flips. On the visible lasso
+  // 0,0,0,1 the witness exists; on 0,1 it does not.
+  VarTable vars2;
+  VarId xf = vars2.declare("x", range_domain(0, 1));
+  VarId h = vars2.declare("h", range_domain(0, 2));
+  CanonicalSpec hidden_spec;
+  hidden_spec.name = "HiddenCount";
+  hidden_spec.init = ex::land(ex::eq(ex::var(xf), ex::integer(0)),
+                              ex::eq(ex::var(h), ex::integer(0)));
+  Expr tick = ex::land(ex::lt(ex::var(h), ex::integer(2)),
+                       ex::eq(ex::primed_var(h), ex::add(ex::var(h), ex::integer(1))),
+                       ex::unchanged({xf}));
+  Expr flip = ex::land(ex::eq(ex::var(h), ex::integer(2)),
+                       ex::eq(ex::primed_var(xf), ex::integer(1)), ex::unchanged({h}));
+  hidden_spec.next = ex::lor(tick, flip);
+  hidden_spec.sub = {xf, h};
+  hidden_spec.hidden = {h};
+
+  Oracle oracle(vars2);
+  auto visible = [&](std::vector<std::int64_t> xs, std::size_t loop) {
+    std::vector<State> states;
+    for (std::int64_t v : xs) states.push_back(State({Value::integer(v), Value::integer(0)}));
+    return LassoBehavior(std::move(states), loop);
+  };
+  Formula f = tf::spec(hidden_spec);
+  EXPECT_TRUE(oracle.evaluate(f, visible({0, 0, 0, 1}, 3)));
+  EXPECT_FALSE(oracle.evaluate(f, visible({0, 1}, 1)));
+  EXPECT_TRUE(oracle.evaluate(f, visible({0}, 0)));  // h may tick forever? no
+  // (h can stutter forever at 0 within [][N]_v, so the all-stutter visible
+  // behavior has a witness.)
+}
+
+class WhilePlusOracleTest : public OracleTest {
+ protected:
+  WhilePlusOracleTest() {
+    // E: x never changes from 0. M: x never changes from 0 (same shape).
+    e.name = "E0";
+    e.init = ex::eq(ex::var(x), ex::integer(0));
+    e.next = ex::bottom();
+    e.sub = {x};
+    m = e;
+    m.name = "M0";
+  }
+  CanonicalSpec e, m;
+};
+
+TEST_F(WhilePlusOracleTest, WhilePlusOneStepLonger) {
+  Oracle oracle(vars);
+  // y does not exist: E and M both watch x, so a single step falsifies
+  // both at once; E +> M then fails while E -> M holds.
+  Formula wp = tf::while_plus(e, m);
+  Formula aw = tf::arrow_while(e, m);
+  LassoBehavior good = lasso({0}, 0);
+  EXPECT_TRUE(oracle.evaluate(wp, good));
+  EXPECT_TRUE(oracle.evaluate(aw, good));
+  LassoBehavior breaks = lasso({0, 1}, 1);
+  EXPECT_FALSE(oracle.evaluate(wp, breaks));  // M must outlast E by one step
+  EXPECT_TRUE(oracle.evaluate(aw, breaks));   // "as long as" is satisfied
+  // Orthogonality distinguishes them (Section 4.2).
+  EXPECT_FALSE(oracle.evaluate(tf::orthogonal(e, m), breaks));
+  EXPECT_TRUE(oracle.evaluate(tf::orthogonal(e, m), good));
+}
+
+TEST_F(WhilePlusOracleTest, WhilePlusRequiresInitialGuarantee) {
+  Oracle oracle(vars);
+  // Behavior starting at x = 1: E fails from the start (n = 0 gives no
+  // obligation), but M must hold for the first 1 state — it does not.
+  EXPECT_FALSE(oracle.evaluate(tf::while_plus(e, m), lasso({1}, 0)));
+  // E -> M has no such obligation at n = 0... but E => M: E is false, so
+  // the implication part holds, and all n >= 1 have E failing.
+  EXPECT_TRUE(oracle.evaluate(tf::arrow_while(e, m), lasso({1}, 0)));
+}
+
+TEST_F(WhilePlusOracleTest, SectionFourIdentity) {
+  // (E +> M) = (E -> M) /\ (E _|_ M), checked on all lassos up to length 3
+  // over a two-variable universe where E watches x and M watches y.
+  VarTable vars2;
+  VarId xv = vars2.declare("x", range_domain(0, 1));
+  VarId yv = vars2.declare("y", range_domain(0, 1));
+  CanonicalSpec e2;
+  e2.name = "Ex";
+  e2.init = ex::eq(ex::var(xv), ex::integer(0));
+  e2.next = ex::bottom();
+  e2.sub = {xv};
+  CanonicalSpec m2;
+  m2.name = "My";
+  m2.init = ex::eq(ex::var(yv), ex::integer(0));
+  m2.next = ex::bottom();
+  m2.sub = {yv};
+
+  Formula lhs = tf::while_plus(e2, m2);
+  Formula rhs = tf::land(tf::arrow_while(e2, m2), tf::orthogonal(e2, m2));
+  Oracle oracle(vars2);
+  std::size_t checked = 0;
+  for (std::size_t len = 1; len <= 3; ++len) {
+    for_each_lasso(vars2, len, [&](const LassoBehavior& b) {
+      ++checked;
+      EXPECT_EQ(oracle.evaluate(lhs, b), oracle.evaluate(rhs, b))
+          << b.to_string(vars2);
+    });
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(WhilePlusOracleTest, PlusOperator) {
+  Oracle oracle(vars);
+  // E_{+x}: either E holds, or once E fails x stops changing.
+  Formula plus = tf::plus(e, {x});
+  EXPECT_TRUE(oracle.evaluate(plus, lasso({0}, 0)));       // E holds
+  EXPECT_TRUE(oracle.evaluate(plus, lasso({0, 1}, 1)));    // fails, then x frozen
+  EXPECT_TRUE(oracle.evaluate(plus, lasso({1}, 0)));       // n = 0 freeze
+  EXPECT_FALSE(oracle.evaluate(plus, lasso({0, 1, 0}, 1)));  // keeps changing
+  EXPECT_FALSE(oracle.evaluate(plus, lasso({1, 0}, 1)));     // changes after failing
+}
+
+TEST(BoundedValidity, FindsViolationsAndConfirmsValidities) {
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 1));
+  // |= [](x = 0) \/ <>(x = 1) is valid (it is a tautology over this domain).
+  Formula valid = tf::lor(tf::always(tf::pred(ex::eq(ex::var(x), ex::integer(0)))),
+                          tf::eventually(tf::pred(ex::eq(ex::var(x), ex::integer(1)))));
+  BoundedValidity r1 = check_validity_bounded(vars, valid, 3);
+  EXPECT_TRUE(r1.valid);
+  EXPECT_GT(r1.behaviors_checked, 0u);
+  // |= <>(x = 1) is not valid.
+  Formula invalid = tf::eventually(tf::pred(ex::eq(ex::var(x), ex::integer(1))));
+  BoundedValidity r2 = check_validity_bounded(vars, invalid, 3);
+  EXPECT_FALSE(r2.valid);
+  ASSERT_TRUE(r2.violation.has_value());
+  Oracle oracle(vars);
+  EXPECT_FALSE(oracle.evaluate(invalid, *r2.violation));
+}
+
+TEST(RandomLassos, GeneratorProducesValidLassos) {
+  VarTable vars;
+  vars.declare("x", range_domain(0, 2));
+  std::mt19937 rng(7);
+  for (int i = 0; i < 20; ++i) {
+    LassoBehavior b = random_lasso(vars, 5, rng);
+    EXPECT_EQ(b.length(), 5u);
+    EXPECT_LT(b.loop_start(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,343 @@
+// Property-based cross-validation: randomized canonical specifications
+// over a small universe, with (a) the operator algebra the paper states or
+// implies checked on enumerated + random lassos, and (b) the production
+// checkers validated against the independent lasso oracle.
+//
+// Parameterized over seeds (TEST_P): each seed generates fresh specs, so
+// the suite sweeps a family of systems rather than one hand-picked case.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "opentla/ag/composition_theorem.hpp"
+#include "opentla/ag/freeze_spec.hpp"
+#include "opentla/check/invariant.hpp"
+#include "opentla/check/liveness.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/semantics/enumerate.hpp"
+#include "opentla/semantics/oracle.hpp"
+
+namespace opentla {
+namespace {
+
+class RandomSpecs {
+ public:
+  explicit RandomSpecs(unsigned seed) : rng_(seed) {
+    x_ = vars_.declare("x", range_domain(0, 1));
+    y_ = vars_.declare("y", range_domain(0, 1));
+  }
+
+  VarTable& vars() { return vars_; }
+  VarId x() const { return x_; }
+  VarId y() const { return y_; }
+
+  std::int64_t bit() { return std::uniform_int_distribution<int>(0, 1)(rng_); }
+  bool coin() { return bit() == 1; }
+
+  /// A random state predicate over one variable.
+  Expr predicate(VarId v) { return ex::eq(ex::var(v), ex::integer(bit())); }
+
+  /// A random guarded assignment v' = b [when v = a], pinning `pin`.
+  Expr guarded_assign(VarId v, VarId pin) {
+    std::vector<Expr> conj;
+    if (coin()) conj.push_back(ex::eq(ex::var(v), ex::integer(bit())));
+    conj.push_back(ex::eq(ex::primed_var(v), ex::integer(bit())));
+    conj.push_back(ex::unchanged({pin}));
+    return ex::land(std::move(conj));
+  }
+
+  /// A random machine-closed canonical spec writing `v` (pinning `other`).
+  CanonicalSpec spec(VarId v, VarId other, std::string name, bool with_fairness) {
+    CanonicalSpec s;
+    s.name = std::move(name);
+    s.init = coin() ? ex::top() : predicate(v);
+    std::vector<Expr> disjuncts = {guarded_assign(v, other)};
+    if (coin()) disjuncts.push_back(guarded_assign(v, other));
+    s.next = ex::lor(std::move(disjuncts));
+    s.sub = {v};
+    if (with_fairness) {
+      Fairness f;
+      f.kind = coin() ? Fairness::Kind::Weak : Fairness::Kind::Strong;
+      f.sub = {v};
+      f.action = s.next;  // sub-action of N: machine-closed by Prop 1
+      f.label = "F";
+      s.fairness.push_back(std::move(f));
+    }
+    return s;
+  }
+
+  /// Enumerated lassos up to length 2 plus a few random longer ones.
+  std::vector<LassoBehavior> behaviors() {
+    std::vector<LassoBehavior> out;
+    for (std::size_t len = 1; len <= 2; ++len) {
+      for_each_lasso(vars_, len, [&](const LassoBehavior& b) { out.push_back(b); });
+    }
+    for (int i = 0; i < 24; ++i) out.push_back(random_lasso(vars_, 5, rng_));
+    return out;
+  }
+
+ private:
+  VarTable vars_;
+  VarId x_ = 0, y_ = 0;
+  std::mt19937 rng_;
+};
+
+class OperatorLaws : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OperatorLaws, SpecImpliesItsClosure) {
+  RandomSpecs gen(GetParam());
+  CanonicalSpec e = gen.spec(gen.x(), gen.y(), "E", /*with_fairness=*/true);
+  Oracle oracle(gen.vars());
+  Formula f = tf::spec(e);
+  Formula cf = tf::closure(e);
+  for (const LassoBehavior& b : gen.behaviors()) {
+    if (oracle.evaluate(f, b)) {
+      EXPECT_TRUE(oracle.evaluate(cf, b)) << b.to_string(gen.vars());
+    }
+  }
+}
+
+TEST_P(OperatorLaws, ClosureOfSafetySpecIsItself) {
+  RandomSpecs gen(GetParam());
+  CanonicalSpec e = gen.spec(gen.x(), gen.y(), "E", /*with_fairness=*/false);
+  Oracle oracle(gen.vars());
+  Formula f = tf::spec(e);
+  Formula cf = tf::closure(e);
+  for (const LassoBehavior& b : gen.behaviors()) {
+    EXPECT_EQ(oracle.evaluate(f, b), oracle.evaluate(cf, b)) << b.to_string(gen.vars());
+  }
+}
+
+TEST_P(OperatorLaws, WhilePlusIdentity) {
+  // (E +> M) = (E -> M) /\ (E _|_ M), on random spec pairs.
+  RandomSpecs gen(GetParam());
+  CanonicalSpec e = gen.spec(gen.x(), gen.y(), "E", gen.coin());
+  CanonicalSpec m = gen.spec(gen.y(), gen.x(), "M", gen.coin());
+  Oracle oracle(gen.vars());
+  Formula lhs = tf::while_plus(e, m);
+  Formula rhs = tf::land(tf::arrow_while(e, m), tf::orthogonal(e, m));
+  for (const LassoBehavior& b : gen.behaviors()) {
+    EXPECT_EQ(oracle.evaluate(lhs, b), oracle.evaluate(rhs, b)) << b.to_string(gen.vars());
+  }
+}
+
+TEST_P(OperatorLaws, WhilePlusImpliesImplication) {
+  RandomSpecs gen(GetParam());
+  CanonicalSpec e = gen.spec(gen.x(), gen.y(), "E", gen.coin());
+  CanonicalSpec m = gen.spec(gen.y(), gen.x(), "M", gen.coin());
+  Oracle oracle(gen.vars());
+  Formula wp = tf::while_plus(e, m);
+  Formula imp = tf::implies(tf::spec(e), tf::spec(m));
+  for (const LassoBehavior& b : gen.behaviors()) {
+    if (oracle.evaluate(wp, b)) {
+      EXPECT_TRUE(oracle.evaluate(imp, b)) << b.to_string(gen.vars());
+    }
+  }
+}
+
+TEST_P(OperatorLaws, FreezeWeakensTheSpec) {
+  // F => F_{+v}, and freezing on all variables of F is implied by freezing
+  // on a superset.
+  RandomSpecs gen(GetParam());
+  CanonicalSpec e = gen.spec(gen.x(), gen.y(), "E", /*with_fairness=*/false);
+  Oracle oracle(gen.vars());
+  Formula f = tf::spec(e);
+  Formula fv = tf::plus(e, {gen.x(), gen.y()});
+  for (const LassoBehavior& b : gen.behaviors()) {
+    if (oracle.evaluate(f, b)) {
+      EXPECT_TRUE(oracle.evaluate(fv, b)) << b.to_string(gen.vars());
+    }
+  }
+}
+
+TEST_P(OperatorLaws, StrongFairnessImpliesWeak) {
+  RandomSpecs gen(GetParam());
+  Expr action = gen.guarded_assign(gen.x(), gen.y());
+  Oracle oracle(gen.vars());
+  Formula sf = tf::strong_fair({gen.x()}, action);
+  Formula wf = tf::weak_fair({gen.x()}, action);
+  for (const LassoBehavior& b : gen.behaviors()) {
+    if (oracle.evaluate(sf, b)) {
+      EXPECT_TRUE(oracle.evaluate(wf, b)) << b.to_string(gen.vars());
+    }
+  }
+}
+
+TEST_P(OperatorLaws, TrueWhilePlusIsIdentity) {
+  // TRUE +> G = G (Section 5's device for threading G through the theorem).
+  RandomSpecs gen(GetParam());
+  CanonicalSpec g = gen.spec(gen.x(), gen.y(), "G", /*with_fairness=*/false);
+  Oracle oracle(gen.vars());
+  Formula lhs = tf::while_plus(trivial_assumption(), g);
+  Formula rhs = tf::spec(g);
+  for (const LassoBehavior& b : gen.behaviors()) {
+    EXPECT_EQ(oracle.evaluate(lhs, b), oracle.evaluate(rhs, b)) << b.to_string(gen.vars());
+  }
+}
+
+class FreezeSpecLaws : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FreezeSpecLaws, ExplicitFormMatchesSemanticFreeze) {
+  // Section 4.1's claim, mechanized: the explicit canonical form of E_{+v}
+  // (with a hidden "abandoned" flag) is semantically equal to the +v
+  // operator, on every behavior of the extended universe.
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 1));
+  VarId y = vars.declare("y", range_domain(0, 1));
+  VarId b = vars.declare("__frozen", bool_domain());
+  std::mt19937 rng(GetParam());
+  auto bit = [&] { return std::uniform_int_distribution<int>(0, 1)(rng); };
+
+  CanonicalSpec e;
+  e.name = "E";
+  e.init = ex::eq(ex::var(x), ex::integer(bit()));
+  e.next = ex::land(ex::eq(ex::primed_var(x), ex::integer(bit())), ex::unchanged({y}));
+  e.sub = {x};
+  const std::vector<VarId> v = bit() ? std::vector<VarId>{x} : std::vector<VarId>{x, y};
+
+  Oracle oracle(vars);
+  Formula semantic = tf::plus(e, v);
+  Formula explicit_form = tf::spec(freeze_spec(e, v, b));
+  std::size_t checked = 0;
+  for (std::size_t len = 1; len <= 2; ++len) {
+    for_each_lasso(vars, len, [&](const LassoBehavior& sigma) {
+      ++checked;
+      EXPECT_EQ(oracle.evaluate(semantic, sigma), oracle.evaluate(explicit_form, sigma))
+          << sigma.to_string(vars);
+    });
+  }
+  for (int i = 0; i < 16; ++i) {
+    LassoBehavior sigma = random_lasso(vars, 4, rng);
+    EXPECT_EQ(oracle.evaluate(semantic, sigma), oracle.evaluate(explicit_form, sigma))
+        << sigma.to_string(vars);
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreezeSpecLaws, ::testing::Range(0u, 8u));
+
+class CheckerOracleAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CheckerOracleAgreement, InvariantCheckerMatchesOracle) {
+  RandomSpecs gen(GetParam());
+  CanonicalSpec sx = gen.spec(gen.x(), gen.y(), "SX", false);
+  CanonicalSpec sy = gen.spec(gen.y(), gen.x(), "SY", false);
+  StateGraph g = build_composite_graph(gen.vars(), {{sx, true}, {sy, true}});
+  Expr p = ex::lor(gen.predicate(gen.x()), gen.predicate(gen.y()));
+  InvariantResult r = check_invariant(g, p);
+
+  Oracle oracle(gen.vars());
+  Formula claim = tf::implies(tf::land(tf::spec(sx), tf::spec(sy)),
+                              tf::always(tf::pred(p)));
+  if (r.holds) {
+    // No enumerated behavior may witness a violation.
+    for (const LassoBehavior& b : gen.behaviors()) {
+      EXPECT_TRUE(oracle.evaluate(claim, b)) << b.to_string(gen.vars());
+    }
+  } else {
+    // The checker's trace, closed by stuttering, must refute the claim.
+    LassoBehavior witness(r.counterexample, r.counterexample.size() - 1);
+    EXPECT_FALSE(oracle.evaluate(claim, witness)) << witness.to_string(gen.vars());
+  }
+}
+
+TEST_P(CheckerOracleAgreement, CompositionTheoremIsSound) {
+  // Whenever the verifier says Q.E.D., the conclusion formula must be
+  // valid on every behavior we can enumerate. (The converse need not hold:
+  // the theorem is a sound proof rule, not a decision procedure.)
+  RandomSpecs gen(GetParam());
+  CanonicalSpec m1 = gen.spec(gen.x(), gen.y(), "M1", false);
+  CanonicalSpec m2 = gen.spec(gen.y(), gen.x(), "M2", false);
+  std::vector<AGSpec> components = {{m2, m1}, {m1, m2}};
+  AGSpec goal = property_as_ag(conjunction_as_spec({m1, m2}, "Both"));
+  ProofReport report = verify_composition(gen.vars(), components, goal);
+  if (!report.all_discharged()) return;  // nothing claimed, nothing to check
+
+  Oracle oracle(gen.vars());
+  Formula conclusion = tf::implies(
+      tf::land(tf::while_plus(m2, m1), tf::while_plus(m1, m2)),
+      tf::while_plus(trivial_assumption(), conjunction_as_spec({m1, m2}, "Both")));
+  for (const LassoBehavior& b : gen.behaviors()) {
+    EXPECT_TRUE(oracle.evaluate(conclusion, b))
+        << report.to_string() << b.to_string(gen.vars());
+  }
+}
+
+TEST_P(CheckerOracleAgreement, LeadsToCounterexamplesAreGenuine) {
+  // Whenever check_leads_to refutes P ~> Q, the lasso it returns must (a)
+  // satisfy every fairness constraint and (b) violate [](P => <>Q) — both
+  // judged by the independent oracle.
+  RandomSpecs gen(GetParam());
+  CanonicalSpec sx = gen.spec(gen.x(), gen.y(), "SX", false);
+  CanonicalSpec sy = gen.spec(gen.y(), gen.x(), "SY", false);
+  Fairness wf;
+  wf.kind = Fairness::Kind::Weak;
+  wf.sub = {gen.x()};
+  wf.action = sx.next;
+  wf.label = "WF(SX)";
+  StateGraph g = build_composite_graph(gen.vars(), {{sx, true}, {sy, true}});
+  Expr p = gen.predicate(gen.x());
+  Expr q = gen.predicate(gen.y());
+  LeadsToResult r = check_leads_to(g, {wf}, p, q);
+  if (r.holds) return;
+
+  // Assemble the lasso: prefix then cycle (the prefix's last state is the
+  // cycle's entry, which equals the cycle's first state by construction of
+  // the checker's report only when entry == anchor; stitch generically).
+  std::vector<State> states = r.counterexample_prefix;
+  std::size_t loop_start = states.size();
+  // The prefix ends at the cycle entry; the cycle list starts at its
+  // anchor. Append the cycle rotated to start at the entry if present.
+  const State& entry = states.back();
+  std::size_t rot = 0;
+  bool entry_on_cycle = false;
+  for (std::size_t i = 0; i < r.counterexample_cycle.size(); ++i) {
+    if (r.counterexample_cycle[i] == entry) {
+      rot = i;
+      entry_on_cycle = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(entry_on_cycle);
+  loop_start = states.size() - 1;
+  for (std::size_t i = 1; i < r.counterexample_cycle.size(); ++i) {
+    states.push_back(r.counterexample_cycle[(rot + i) % r.counterexample_cycle.size()]);
+  }
+  LassoBehavior lasso(states, loop_start);
+
+  Oracle oracle(gen.vars());
+  Formula fair = tf::weak_fair(wf.sub, wf.action);
+  Formula leads = tf::always(tf::implies(tf::pred(p), tf::eventually(tf::pred(q))));
+  EXPECT_TRUE(oracle.evaluate(fair, lasso)) << lasso.to_string(gen.vars());
+  EXPECT_FALSE(oracle.evaluate(leads, lasso)) << lasso.to_string(gen.vars());
+}
+
+TEST_P(CheckerOracleAgreement, TheoremFailuresAreGracefulOnBadInputs) {
+  // Non-machine-closed guarantees are rejected with a failed Prop1
+  // obligation rather than an exception or a bogus Q.E.D.
+  RandomSpecs gen(GetParam());
+  CanonicalSpec m1 = gen.spec(gen.x(), gen.y(), "M1", false);
+  Fairness alien;
+  alien.kind = Fairness::Kind::Weak;
+  alien.sub = {gen.x()};
+  alien.action = ex::eq(ex::primed_var(gen.y()), ex::integer(0));  // not in N
+  alien.label = "WF(alien)";
+  m1.fairness.push_back(alien);
+  CanonicalSpec m2 = gen.spec(gen.y(), gen.x(), "M2", false);
+  AGSpec goal = property_as_ag(conjunction_as_spec({m1.safety_part(), m2}, "Both"));
+  ProofReport report = verify_composition(gen.vars(), {{m2, m1}, {m1.safety_part(), m2}},
+                                          goal);
+  EXPECT_FALSE(report.all_discharged());
+  bool prop1_failed = false;
+  for (const Obligation& ob : report.obligations) {
+    if (ob.id.rfind("Prop1", 0) == 0 && !ob.discharged) prop1_failed = true;
+  }
+  EXPECT_TRUE(prop1_failed) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorLaws, ::testing::Range(0u, 12u));
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerOracleAgreement, ::testing::Range(0u, 12u));
+
+}  // namespace
+}  // namespace opentla

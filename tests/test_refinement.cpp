@@ -1,0 +1,138 @@
+// Unit tests for refinement mappings and the refinement checker
+// (opentla/check/refinement): init/step/liveness verdicts, cross-universe
+// mappings, and counterexample shapes.
+
+#include <gtest/gtest.h>
+
+#include "opentla/check/refinement.hpp"
+#include "opentla/compose/compose.hpp"
+
+namespace opentla {
+namespace {
+
+// Low level: a two-bit counter (lo, hi). High level: an abstract counter
+// n = 2*hi + lo modulo 4, incremented one step at a time.
+class CounterRefinementTest : public ::testing::Test {
+ protected:
+  CounterRefinementTest() {
+    lo = low_vars.declare("lo", range_domain(0, 1));
+    hi = low_vars.declare("hi", range_domain(0, 1));
+    n = high_vars.declare("n", range_domain(0, 3));
+
+    low.name = "TwoBit";
+    low.init = ex::land(ex::eq(ex::var(lo), ex::integer(0)),
+                        ex::eq(ex::var(hi), ex::integer(0)));
+    // Increment with carry.
+    Expr carry = ex::land(ex::eq(ex::var(lo), ex::integer(1)),
+                          ex::eq(ex::primed_var(lo), ex::integer(0)),
+                          ex::eq(ex::primed_var(hi),
+                                 ex::sub(ex::integer(1), ex::var(hi))));
+    Expr no_carry = ex::land(ex::eq(ex::var(lo), ex::integer(0)),
+                             ex::eq(ex::primed_var(lo), ex::integer(1)),
+                             ex::unchanged({hi}));
+    low.next = ex::lor(no_carry, carry);
+    low.sub = {lo, hi};
+    Fairness wf;
+    wf.kind = Fairness::Kind::Weak;
+    wf.sub = low.sub;
+    wf.action = low.next;
+    wf.label = "WF(inc)";
+    low.fairness.push_back(std::move(wf));
+
+    high.name = "Mod4";
+    high.init = ex::eq(ex::var(n), ex::integer(0));
+    high.next = ex::lor(
+        ex::land(ex::lt(ex::var(n), ex::integer(3)),
+                 ex::eq(ex::primed_var(n), ex::add(ex::var(n), ex::integer(1)))),
+        ex::land(ex::eq(ex::var(n), ex::integer(3)),
+                 ex::eq(ex::primed_var(n), ex::integer(0))));
+    high.sub = {n};
+    Fairness hwf;
+    hwf.kind = Fairness::Kind::Weak;
+    hwf.sub = {n};
+    hwf.action = high.next;
+    hwf.label = "WF(n)";
+    high.fairness.push_back(std::move(hwf));
+
+    witness = ex::add(ex::mul(ex::integer(2), ex::var(hi)), ex::var(lo));
+  }
+
+  StateGraph low_graph() { return build_composite_graph(low_vars, {{low, true}}); }
+
+  VarTable low_vars, high_vars;
+  VarId lo = 0, hi = 0, n = 0;
+  CanonicalSpec low, high;
+  Expr witness;
+};
+
+TEST_F(CounterRefinementTest, MappingEvaluatesWitnesses) {
+  RefinementMapping m(low_vars, high_vars, {witness});
+  State s({Value::integer(1), Value::integer(1)});
+  EXPECT_EQ(m.map(s)[n], Value::integer(3));
+}
+
+TEST_F(CounterRefinementTest, MappingByNameRequiresCoverage) {
+  EXPECT_THROW(mapping_by_name(low_vars, high_vars, {}), std::runtime_error);
+  RefinementMapping m = mapping_by_name(low_vars, high_vars, {{"n", witness}});
+  State s({Value::integer(0), Value::integer(1)});
+  EXPECT_EQ(m.map(s)[n], Value::integer(2));
+}
+
+TEST_F(CounterRefinementTest, TwoBitCounterRefinesMod4) {
+  StateGraph g = low_graph();
+  RefinementMapping m(low_vars, high_vars, {witness});
+  RefinementResult r = check_refinement(g, low.fairness, high, m);
+  EXPECT_TRUE(r.holds) << r.failed_part;
+  EXPECT_EQ(r.states, 4u);
+}
+
+TEST_F(CounterRefinementTest, WrongWitnessFailsInitOrStep) {
+  StateGraph g = low_graph();
+  // Swapped significance: n = 2*lo + hi breaks the step simulation (the
+  // carry step maps 2*1+0=... it still starts at 0, so init passes).
+  Expr bad = ex::add(ex::mul(ex::integer(2), ex::var(lo)), ex::var(hi));
+  RefinementMapping m(low_vars, high_vars, {bad});
+  RefinementResult r = check_refinement(g, low.fairness, high, m);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.failed_part, "step");
+  EXPECT_FALSE(r.counterexample_prefix.empty());
+}
+
+TEST_F(CounterRefinementTest, InitFailureDetected) {
+  CanonicalSpec high1 = high;
+  high1.init = ex::eq(ex::var(n), ex::integer(1));
+  StateGraph g = low_graph();
+  RefinementMapping m(low_vars, high_vars, {witness});
+  RefinementResult r = check_refinement(g, low.fairness, high1, m);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.failed_part, "init");
+}
+
+TEST_F(CounterRefinementTest, LivenessTransferNeedsLowFairness) {
+  StateGraph g = low_graph();
+  RefinementMapping m(low_vars, high_vars, {witness});
+  // Without the low system's WF constraint, the stutter-forever behavior
+  // violates the high WF(n): liveness must fail with a lasso.
+  RefinementResult r = check_refinement(g, /*low_fairness=*/{}, high, m);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.failed_part, "WF(n)");
+  EXPECT_FALSE(r.counterexample_cycle.empty());
+}
+
+TEST_F(CounterRefinementTest, StrongFairnessGoalTransfer) {
+  // Replace the high fairness by SF; the deterministic low counter also
+  // satisfies it (the action is enabled and taken infinitely often).
+  CanonicalSpec high_sf = high;
+  high_sf.fairness[0].kind = Fairness::Kind::Strong;
+  high_sf.fairness[0].label = "SF(n)";
+  StateGraph g = low_graph();
+  RefinementMapping m(low_vars, high_vars, {witness});
+  EXPECT_TRUE(check_refinement(g, low.fairness, high_sf, m).holds);
+  // And without low fairness it fails again.
+  RefinementResult r = check_refinement(g, {}, high_sf, m);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.failed_part, "SF(n)");
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,202 @@
+// Unit tests for specification utilities: renaming (the paper's F[w/v]
+// substitutions), DNF expansion semantics, canonical-spec helpers, the
+// Disjoint builder, and positional oracle evaluation.
+
+#include <gtest/gtest.h>
+
+#include "opentla/expr/analysis.hpp"
+#include "opentla/expr/eval.hpp"
+#include "opentla/state/state_space.hpp"
+#include "opentla/queue/queue_spec.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/semantics/enumerate.hpp"
+#include "opentla/semantics/oracle.hpp"
+#include "opentla/tla/disjoint.hpp"
+
+namespace opentla {
+namespace {
+
+TEST(SpecRename, RenamesAllParts) {
+  VarTable vars;
+  VarId a = vars.declare("a", range_domain(0, 1));
+  VarId b = vars.declare("b", range_domain(0, 1));
+  VarId c = vars.declare("c", range_domain(0, 1));
+
+  CanonicalSpec s;
+  s.name = "S";
+  s.init = ex::eq(ex::var(a), ex::integer(0));
+  s.next = ex::land(ex::eq(ex::primed_var(a), ex::var(b)), ex::unchanged({b}));
+  s.sub = {a};
+  s.hidden = {a};
+  Fairness f;
+  f.kind = Fairness::Kind::Weak;
+  f.sub = {a};
+  f.action = s.next;
+  s.fairness = {f};
+
+  CanonicalSpec r = s.renamed({{a, c}}, "S'");
+  EXPECT_EQ(r.name, "S'");
+  EXPECT_EQ(r.sub, std::vector<VarId>{c});
+  EXPECT_EQ(r.hidden, std::vector<VarId>{c});
+  EXPECT_EQ(r.fairness[0].sub, std::vector<VarId>{c});
+  EXPECT_EQ(r.init.to_string(vars), "c = 0");
+  EXPECT_EQ(r.next.to_string(vars), "c' = b /\\ (b' = b)");
+  // The original is untouched.
+  EXPECT_EQ(s.sub, std::vector<VarId>{a});
+}
+
+TEST(SpecUtils, BoxStepActionAllowsStutterAndNext) {
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 2));
+  VarId y = vars.declare("y", range_domain(0, 2));
+  CanonicalSpec s;
+  s.init = ex::top();
+  s.next = ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1)));
+  s.sub = {x};
+
+  State s0({Value::integer(0), Value::integer(0)});
+  State s1({Value::integer(1), Value::integer(0)});
+  State s2({Value::integer(2), Value::integer(2)});
+  EXPECT_TRUE(s.step_ok(vars, s0, s1));   // the action
+  EXPECT_TRUE(s.step_ok(vars, s0, s0));   // stutter
+  EXPECT_FALSE(s.step_ok(vars, s1, s0));  // decrement: neither
+  // A step changing only y is a [N]_x stutter.
+  EXPECT_TRUE(s.step_ok(vars, s0, State({Value::integer(0), Value::integer(2)})));
+  EXPECT_FALSE(s.step_ok(vars, s0, s2));  // x jumps by 2
+  (void)y;
+}
+
+TEST(SpecUtils, SafetyPartAndUnhidden) {
+  QueueSystem sys = make_queue_system(1, 2);
+  CanonicalSpec safety = sys.specs.queue.safety_part();
+  EXPECT_TRUE(safety.fairness.empty());
+  EXPECT_EQ(safety.hidden, sys.specs.queue.hidden);
+  CanonicalSpec open = sys.specs.queue.unhidden();
+  EXPECT_TRUE(open.hidden.empty());
+  EXPECT_FALSE(open.fairness.empty());
+}
+
+TEST(SpecUtils, SpecVariablesCollectsEverything) {
+  QueueSystem sys = make_queue_system(1, 2);
+  std::set<VarId> vs = spec_variables(sys.specs.queue);
+  EXPECT_TRUE(vs.contains(sys.q));
+  EXPECT_TRUE(vs.contains(sys.in.sig));
+  EXPECT_TRUE(vs.contains(sys.out.val));
+}
+
+TEST(ToDnf, PreservesSemantics) {
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 1));
+  VarId y = vars.declare("y", range_domain(0, 1));
+  // ((x'=0 \/ x'=1-x) /\ (y'=y \/ x=1)) \/ (x=0 /\ y'=0 /\ x'=x)
+  Expr e = ex::lor(
+      ex::land(ex::lor(ex::eq(ex::primed_var(x), ex::integer(0)),
+                       ex::eq(ex::primed_var(x), ex::sub(ex::integer(1), ex::var(x)))),
+               ex::lor(ex::eq(ex::primed_var(y), ex::var(y)),
+                       ex::eq(ex::var(x), ex::integer(1)))),
+      ex::land(ex::eq(ex::var(x), ex::integer(0)),
+               ex::eq(ex::primed_var(y), ex::integer(0)),
+               ex::eq(ex::primed_var(x), ex::var(x))));
+  Expr dnf = to_dnf(e);
+  EXPECT_GE(flatten_or(dnf).size(), 4u);
+  StateSpace space(vars);
+  space.for_each_state([&](const State& s) {
+    space.for_each_state([&](const State& t) {
+      EXPECT_EQ(eval_action(e, vars, s, t), eval_action(dnf, vars, s, t));
+    });
+  });
+}
+
+TEST(Disjoint, SpecMatchesStepHelper) {
+  VarTable vars;
+  VarId a = vars.declare("a", range_domain(0, 1));
+  VarId b = vars.declare("b", range_domain(0, 1));
+  VarId c = vars.declare("c", range_domain(0, 1));
+  std::vector<std::vector<VarId>> tuples = {{a}, {b, c}};
+  CanonicalSpec spec = make_disjoint(tuples);
+  StateSpace space(vars);
+  space.for_each_state([&](const State& s) {
+    space.for_each_state([&](const State& t) {
+      EXPECT_EQ(spec.step_ok(vars, s, t), step_disjoint(tuples, s, t))
+          << s.to_string(vars) << " -> " << t.to_string(vars);
+    });
+  });
+}
+
+TEST(OraclePositions, SuffixEvaluationShiftsTheBehavior) {
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 2));
+  auto st = [&](std::int64_t v) { return State({Value::integer(v)}); };
+  LassoBehavior b({st(0), st(1), st(2)}, 2);  // 0 1 2 2 2 ...
+  Oracle oracle(vars);
+  Formula is2 = tf::pred(ex::eq(ex::var(x), ex::integer(2)));
+  EXPECT_FALSE(oracle.evaluate_at(is2, b, 0));
+  EXPECT_FALSE(oracle.evaluate_at(is2, b, 1));
+  EXPECT_TRUE(oracle.evaluate_at(is2, b, 2));
+  EXPECT_TRUE(oracle.evaluate_at(is2, b, 7));  // wraps into the loop
+  Formula always2 = tf::always(is2);
+  EXPECT_FALSE(oracle.evaluate_at(always2, b, 1));
+  EXPECT_TRUE(oracle.evaluate_at(always2, b, 2));
+  // [] <> and <> [] at different positions.
+  EXPECT_TRUE(oracle.evaluate_at(tf::eventually(always2), b, 0));
+}
+
+TEST(OraclePositions, NestedTemporalOperators) {
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 1));
+  auto st = [&](std::int64_t v) { return State({Value::integer(v)}); };
+  LassoBehavior alternating({st(0), st(1)}, 0);  // 0 1 0 1 ...
+  Oracle oracle(vars);
+  Formula p0 = tf::pred(ex::eq(ex::var(x), ex::integer(0)));
+  EXPECT_TRUE(oracle.evaluate(tf::always(tf::eventually(p0)), alternating));
+  EXPECT_FALSE(oracle.evaluate(tf::eventually(tf::always(p0)), alternating));
+  EXPECT_TRUE(oracle.evaluate(
+      tf::always(tf::lor(p0, tf::eventually(p0))), alternating));
+}
+
+TEST(GraphLassos, RandomGraphLassosAreBehaviorsOfTheSystem) {
+  QueueSystem sys = make_queue_system(1, 2);
+  StateGraph g = build_composite_graph(sys.vars, {{sys.specs.complete.unhidden(), true}});
+  std::mt19937 rng(3);
+  Oracle oracle(sys.vars);
+  Formula safety = tf::closure(sys.specs.complete.unhidden());
+  for (int i = 0; i < 10; ++i) {
+    LassoBehavior b = random_graph_lasso(g, rng);
+    EXPECT_TRUE(oracle.evaluate(safety, b)) << b.to_string(sys.vars);
+  }
+}
+
+TEST(GraphLassos, ExistentialWeakeningOnSystemBehaviors) {
+  // A behavior of the system with q explicit satisfies the unhidden safety
+  // spec; a fortiori it satisfies the EE q-quantified one (the oracle's
+  // product-emptiness path must find the explicit q as a witness).
+  QueueSystem sys = make_queue_system(1, 2);
+  StateGraph g = build_composite_graph(sys.vars, {{sys.specs.complete.unhidden(), true}});
+  std::mt19937 rng(11);
+  Oracle oracle(sys.vars);
+  Formula unhidden = tf::closure(sys.specs.complete.unhidden());
+  Formula hidden = tf::closure(sys.specs.complete);
+  for (int i = 0; i < 10; ++i) {
+    LassoBehavior b = random_graph_lasso(g, rng);
+    ASSERT_TRUE(oracle.evaluate(unhidden, b));
+    EXPECT_TRUE(oracle.evaluate(hidden, b)) << b.to_string(sys.vars);
+  }
+  // And corrupting q mid-behavior breaks the unhidden spec while the
+  // quantified one can still hold if SOME q-assignment explains the
+  // visible part — exercised by scrambling q in a copy of a short run.
+  LassoBehavior b = random_graph_lasso(g, rng);
+  std::vector<State> states;
+  for (std::size_t i2 = 0; i2 < b.length(); ++i2) states.push_back(b.at(i2));
+  if (states.size() >= 2) {
+    states[1][sys.q] = Value::tuple({Value::integer(0), Value::integer(0)});
+    LassoBehavior corrupted(states, b.loop_start());
+    // The explicit-q spec almost surely rejects the scramble; the
+    // quantified spec's verdict must equal whether a witness exists, which
+    // is exactly what the visible projection of the original run gives: it
+    // must still accept.
+    EXPECT_TRUE(oracle.evaluate(hidden, corrupted)) << corrupted.to_string(sys.vars);
+  }
+}
+
+}  // namespace
+}  // namespace opentla

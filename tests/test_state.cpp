@@ -1,0 +1,108 @@
+// Unit tests for variables, states, interning and state-space enumeration
+// (opentla/state).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "opentla/state/state.hpp"
+#include "opentla/state/state_space.hpp"
+#include "opentla/state/var_table.hpp"
+
+namespace opentla {
+namespace {
+
+TEST(VarTable, DeclareAndLookup) {
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 3));
+  VarId y = vars.declare("y", bool_domain());
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars.name(x), "x");
+  EXPECT_EQ(vars.domain(y).size(), 2u);
+  EXPECT_EQ(vars.find("x"), std::optional<VarId>(x));
+  EXPECT_EQ(vars.find("z"), std::nullopt);
+  EXPECT_EQ(vars.require("y"), y);
+  EXPECT_THROW(vars.require("z"), std::runtime_error);
+}
+
+TEST(VarTable, RejectsDuplicatesAndEmptyDomains) {
+  VarTable vars;
+  vars.declare("x", range_domain(0, 1));
+  EXPECT_THROW(vars.declare("x", range_domain(0, 1)), std::runtime_error);
+  EXPECT_THROW(vars.declare("y", Domain(std::vector<Value>{})), std::runtime_error);
+}
+
+TEST(State, EqualityAndHash) {
+  State a({Value::integer(1), Value::boolean(true)});
+  State b({Value::integer(1), Value::boolean(true)});
+  State c({Value::integer(2), Value::boolean(true)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(State, Printing) {
+  VarTable vars;
+  vars.declare("x", range_domain(0, 3));
+  vars.declare("q", seq_domain(range_domain(0, 1), 2));
+  State s({Value::integer(2), Value::tuple({Value::integer(1)})});
+  EXPECT_EQ(s.to_string(vars), "x = 2, q = <<1>>");
+}
+
+TEST(StateStore, InterningIsStable) {
+  StateStore store;
+  State a({Value::integer(1)});
+  State b({Value::integer(2)});
+  StateId ia = store.intern(a);
+  StateId ib = store.intern(b);
+  EXPECT_NE(ia, ib);
+  EXPECT_EQ(store.intern(a), ia);
+  EXPECT_EQ(store.get(ia), a);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.find(b), ib);
+  EXPECT_EQ(store.find(State({Value::integer(9)})), StateStore::kNone);
+}
+
+TEST(StateSpace, TotalStates) {
+  VarTable vars;
+  vars.declare("x", range_domain(0, 3));
+  vars.declare("y", bool_domain());
+  StateSpace space(vars);
+  EXPECT_EQ(space.total_states(), 8u);
+}
+
+TEST(StateSpace, EnumeratesFullSpaceWithoutDuplicates) {
+  VarTable vars;
+  vars.declare("x", range_domain(0, 2));
+  vars.declare("y", bool_domain());
+  StateSpace space(vars);
+  std::set<std::string> seen;
+  space.for_each_state([&](const State& s) { seen.insert(s.to_string(vars)); });
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(StateSpace, CompletionKeepsPinnedVariables) {
+  VarTable vars;
+  VarId x = vars.declare("x", range_domain(0, 2));
+  VarId y = vars.declare("y", range_domain(0, 4));
+  StateSpace space(vars);
+  State base({Value::integer(1), Value::integer(4)});
+  std::vector<std::int64_t> xs;
+  space.for_each_completion(base, {x}, [&](const State& s) {
+    xs.push_back(s[x].as_int());
+    EXPECT_EQ(s[y].as_int(), 4);  // y is untouched
+  });
+  EXPECT_EQ(xs, (std::vector<std::int64_t>{0, 1, 2}));
+}
+
+TEST(StateSpace, EmptyCompletionVisitsBaseOnce) {
+  VarTable vars;
+  vars.declare("x", range_domain(0, 2));
+  StateSpace space(vars);
+  int count = 0;
+  space.for_each_completion(space.first_state(), {}, [&](const State&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace opentla

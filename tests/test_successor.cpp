@@ -1,0 +1,123 @@
+// Unit tests for TLC-style successor generation (opentla/graph/successor).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "opentla/expr/eval.hpp"
+#include "opentla/graph/successor.hpp"
+
+namespace opentla {
+namespace {
+
+class SuccessorTest : public ::testing::Test {
+ protected:
+  SuccessorTest() {
+    x = vars.declare("x", range_domain(0, 3));
+    y = vars.declare("y", range_domain(0, 2));
+  }
+  State st(std::int64_t xv, std::int64_t yv) {
+    return State({Value::integer(xv), Value::integer(yv)});
+  }
+  VarTable vars;
+  VarId x = 0, y = 0;
+};
+
+TEST_F(SuccessorTest, AssignmentsAreDeterministic) {
+  // x' = x + 1 /\ y' = y: exactly one successor (until the domain edge).
+  ActionSuccessors gen(vars, ex::land(ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1))),
+                                      ex::unchanged({y})));
+  std::vector<State> succ = gen.successors(st(1, 2));
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0], st(2, 2));
+  // At the top of the domain the assignment leaves the space: no successor.
+  EXPECT_TRUE(gen.successors(st(3, 0)).empty());
+  EXPECT_FALSE(gen.enabled(st(3, 0)));
+  EXPECT_TRUE(gen.enabled(st(0, 0)));
+}
+
+TEST_F(SuccessorTest, GuardsPruneDisjuncts) {
+  Expr up = ex::land(ex::lt(ex::var(x), ex::integer(3)),
+                     ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1))),
+                     ex::unchanged({y}));
+  Expr reset = ex::land(ex::eq(ex::var(x), ex::integer(3)),
+                        ex::eq(ex::primed_var(x), ex::integer(0)), ex::unchanged({y}));
+  ActionSuccessors gen(vars, ex::lor(up, reset));
+  EXPECT_EQ(gen.successors(st(1, 0)), (std::vector<State>{st(2, 0)}));
+  EXPECT_EQ(gen.successors(st(3, 0)), (std::vector<State>{st(0, 0)}));
+}
+
+TEST_F(SuccessorTest, UnconstrainedPrimedVariableRangesOverDomain) {
+  // TLA actions have no frame: x' = 0 leaves y' free.
+  ActionSuccessors gen(vars, ex::eq(ex::primed_var(x), ex::integer(0)));
+  std::vector<State> succ = gen.successors(st(2, 1));
+  EXPECT_EQ(succ.size(), 3u);  // y' in {0, 1, 2}
+  for (const State& t : succ) EXPECT_EQ(t[x].as_int(), 0);
+}
+
+TEST_F(SuccessorTest, PinnedVariablesKeepTheirValue) {
+  ActionSuccessors gen(vars, ex::eq(ex::primed_var(x), ex::integer(0)), {y});
+  std::vector<State> succ = gen.successors(st(2, 1));
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ[0], st(0, 1));
+}
+
+TEST_F(SuccessorTest, PinnedVariableInResidualIsStillEnumerated) {
+  // y' # y constrains a pinned variable: pinning must not lose successors.
+  ActionSuccessors gen(vars, ex::land(ex::eq(ex::primed_var(x), ex::var(x)),
+                                      ex::neq(ex::primed_var(y), ex::var(y))),
+                       {y});
+  EXPECT_EQ(gen.successors(st(0, 0)).size(), 2u);
+}
+
+TEST_F(SuccessorTest, ResidualConstraintsFilter) {
+  // x' # x /\ x' # 3 /\ y' = y
+  ActionSuccessors gen(vars, ex::land(ex::neq(ex::primed_var(x), ex::var(x)),
+                                      ex::neq(ex::primed_var(x), ex::integer(3)),
+                                      ex::unchanged({y})));
+  std::vector<State> succ = gen.successors(st(0, 0));
+  EXPECT_EQ(succ.size(), 2u);  // x' in {1, 2}
+}
+
+TEST_F(SuccessorTest, DuplicateSuccessorsAcrossDisjunctsAreMerged) {
+  Expr a = ex::land(ex::eq(ex::primed_var(x), ex::integer(1)), ex::unchanged({y}));
+  ActionSuccessors gen(vars, ex::lor(a, a));
+  EXPECT_EQ(gen.successors(st(0, 0)).size(), 1u);
+}
+
+TEST_F(SuccessorTest, MatchesBruteForceEnumeration) {
+  // Cross-check the generator against direct evaluation over all pairs.
+  Expr act = ex::lor(ex::land(ex::lt(ex::var(x), ex::var(y)),
+                              ex::eq(ex::primed_var(x), ex::var(y)),
+                              ex::neq(ex::primed_var(y), ex::var(y))),
+                     ex::land(ex::eq(ex::primed_var(y), ex::integer(0)),
+                              ex::ge(ex::var(x), ex::var(y)),
+                              ex::eq(ex::primed_var(x), ex::var(x))));
+  ActionSuccessors gen(vars, act);
+  StateSpace space(vars);
+  space.for_each_state([&](const State& s) {
+    std::vector<State> expected;
+    space.for_each_state([&](const State& t) {
+      if (eval_action(act, vars, s, t)) expected.push_back(t);
+    });
+    std::vector<State> got = gen.successors(s);
+    auto key = [&](const State& st_) { return st_.to_string(vars); };
+    std::sort(expected.begin(), expected.end(),
+              [&](const State& a, const State& b) { return key(a) < key(b); });
+    std::sort(got.begin(), got.end(),
+              [&](const State& a, const State& b) { return key(a) < key(b); });
+    EXPECT_EQ(got, expected) << "at state " << s.to_string(vars);
+  });
+}
+
+TEST_F(SuccessorTest, StatesSatisfyingEnumeratesPredicate) {
+  std::vector<State> states = ActionSuccessors::states_satisfying(
+      vars, ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::lt(ex::var(y), ex::integer(2))));
+  EXPECT_EQ(states.size(), 2u);
+  std::vector<State> pinned = ActionSuccessors::states_satisfying(
+      vars, ex::eq(ex::var(x), ex::integer(0)), {y});
+  EXPECT_EQ(pinned.size(), 1u);
+}
+
+}  // namespace
+}  // namespace opentla

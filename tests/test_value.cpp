@@ -1,0 +1,120 @@
+// Unit tests for the TLA value universe (opentla/value).
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "opentla/value/domain.hpp"
+#include "opentla/value/value.hpp"
+
+namespace opentla {
+namespace {
+
+TEST(Value, DefaultIsFalse) {
+  Value v;
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_FALSE(v.as_bool());
+}
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value::boolean(true).as_bool());
+  EXPECT_EQ(Value::integer(-7).as_int(), -7);
+  EXPECT_EQ(Value::string("hi").as_string(), "hi");
+  EXPECT_EQ(Value::tuple({Value::integer(1)}).as_tuple().size(), 1u);
+}
+
+TEST(Value, AccessorThrowsOnKindMismatch) {
+  EXPECT_THROW(Value::integer(1).as_bool(), std::runtime_error);
+  EXPECT_THROW(Value::boolean(true).as_int(), std::runtime_error);
+  EXPECT_THROW(Value::integer(1).as_tuple(), std::runtime_error);
+  EXPECT_THROW(Value::tuple({}).as_string(), std::runtime_error);
+}
+
+TEST(Value, EqualityIsStructural) {
+  EXPECT_EQ(Value::tuple({Value::integer(1), Value::integer(2)}),
+            Value::tuple({Value::integer(1), Value::integer(2)}));
+  EXPECT_FALSE(Value::tuple({Value::integer(1)}) == Value::tuple({Value::integer(2)}));
+  EXPECT_FALSE(Value::integer(0) == Value::boolean(false));
+}
+
+TEST(Value, TotalOrderAcrossKinds) {
+  // Bool < Int < String < Tuple by kind index.
+  EXPECT_LT(Value::boolean(true), Value::integer(0));
+  EXPECT_LT(Value::integer(100), Value::string(""));
+  EXPECT_LT(Value::string("zzz"), Value::tuple({}));
+}
+
+TEST(Value, TupleOrderIsLexicographic) {
+  EXPECT_LT(Value::tuple({}), Value::tuple({Value::integer(0)}));
+  EXPECT_LT(Value::tuple({Value::integer(0)}),
+            Value::tuple({Value::integer(0), Value::integer(0)}));
+  EXPECT_LT(Value::tuple({Value::integer(0), Value::integer(5)}),
+            Value::tuple({Value::integer(1)}));
+}
+
+TEST(Value, HashAgreesWithEquality) {
+  Value a = Value::tuple({Value::integer(3), Value::string("x")});
+  Value b = Value::tuple({Value::integer(3), Value::string("x")});
+  EXPECT_EQ(a.hash(), b.hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(a);
+  set.insert(b);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(Value::boolean(true).to_string(), "TRUE");
+  EXPECT_EQ(Value::integer(-3).to_string(), "-3");
+  EXPECT_EQ(Value::string("q").to_string(), "\"q\"");
+  EXPECT_EQ(Value::tuple({Value::integer(1), Value::integer(2)}).to_string(), "<<1, 2>>");
+  EXPECT_EQ(Value::empty_seq().to_string(), "<<>>");
+}
+
+TEST(Value, SequenceOperations) {
+  Value s = Value::tuple({Value::integer(1), Value::integer(2), Value::integer(3)});
+  EXPECT_EQ(seq_head(s), Value::integer(1));
+  EXPECT_EQ(seq_tail(s), Value::tuple({Value::integer(2), Value::integer(3)}));
+  EXPECT_EQ(seq_append(Value::empty_seq(), Value::integer(9)),
+            Value::tuple({Value::integer(9)}));
+  EXPECT_EQ(seq_concat(seq_tail(s), Value::tuple({Value::integer(1)})),
+            Value::tuple({Value::integer(2), Value::integer(3), Value::integer(1)}));
+  EXPECT_THROW(seq_head(Value::empty_seq()), std::runtime_error);
+  EXPECT_THROW(seq_tail(Value::empty_seq()), std::runtime_error);
+}
+
+TEST(Domain, SortedAndDeduplicated) {
+  Domain d({Value::integer(3), Value::integer(1), Value::integer(3)});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], Value::integer(1));
+  EXPECT_EQ(d[1], Value::integer(3));
+  EXPECT_TRUE(d.contains(Value::integer(3)));
+  EXPECT_FALSE(d.contains(Value::integer(2)));
+  EXPECT_EQ(d.index_of(Value::integer(3)), 1u);
+  EXPECT_THROW(d.index_of(Value::integer(7)), std::runtime_error);
+}
+
+TEST(Domain, Builders) {
+  EXPECT_EQ(bool_domain().size(), 2u);
+  EXPECT_EQ(bit_domain().size(), 2u);
+  EXPECT_EQ(range_domain(2, 5).size(), 4u);
+  EXPECT_TRUE(range_domain(5, 2).empty());
+}
+
+TEST(Domain, SeqDomainCountsAllLengths) {
+  // 1 + 2 + 4 + 8 sequences over two values up to length 3.
+  Domain d = seq_domain(range_domain(0, 1), 3);
+  EXPECT_EQ(d.size(), 15u);
+  EXPECT_TRUE(d.contains(Value::empty_seq()));
+  EXPECT_TRUE(d.contains(Value::tuple({Value::integer(1), Value::integer(0)})));
+  EXPECT_FALSE(d.contains(Value::tuple(
+      {Value::integer(0), Value::integer(0), Value::integer(0), Value::integer(0)})));
+}
+
+TEST(Domain, TupleDomainIsCartesianProduct) {
+  Domain d = tuple_domain({range_domain(0, 1), range_domain(0, 2)});
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_TRUE(d.contains(Value::tuple({Value::integer(1), Value::integer(2)})));
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,329 @@
+// tlacheck — command-line model checker for mini-TLA modules.
+//
+//   tlacheck info   SPEC.tla                    parse and summarize
+//   tlacheck states SPEC.tla                    explore; print state count
+//                     [--dump]                  ... and every state
+//   tlacheck check  SPEC.tla --invariant EXPR   check [](EXPR)
+//   tlacheck closure SPEC.tla                   machine closure (Prop 1 +
+//                                               on-graph validation)
+//   tlacheck deadlock SPEC.tla                  any reachable state with no
+//                                               non-stuttering successor?
+//   tlacheck refine LOW.tla HIGH.tla            check LOW => HIGH under a
+//                     [--witness VAR=EXPR]...   refinement mapping (by-name
+//                                               plus the given witnesses;
+//                                               EXPR is over LOW's variables)
+//   tlacheck leadsto SPEC.tla --from P --to Q   check P ~> Q under the
+//                                               module's FAIRNESS
+//   tlacheck simulate SPEC.tla                  print a random run
+//                     [--steps N] [--seed S]
+//   tlacheck compose --goal ENV.tla,GUAR.tla    verify the Composition
+//            [--component ENV.tla,GUAR.tla]...  Theorem instance
+//            [--constraint FILE.tla]...           /\_j (E_j +> M_j) => (E +> M)
+//            [--witness VAR=EXPR]...            (constraints are TRUE +> G
+//                                               conjuncts, e.g. DISJOINT
+//                                               modules; all modules share
+//                                               one universe by name)
+//
+// Exit code: 0 = property holds / info printed, 1 = violated, 2 = usage or
+// input error.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opentla/ag/composition_theorem.hpp"
+#include "opentla/check/invariant.hpp"
+#include "opentla/check/liveness.hpp"
+#include "opentla/check/machine_closure.hpp"
+#include "opentla/check/refinement.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/graph/successor.hpp"
+#include "opentla/parser/parser.hpp"
+
+using namespace opentla;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: tlacheck info|states|check|closure|deadlock SPEC.tla [options]\n"
+               "       tlacheck refine LOW.tla HIGH.tla [--witness VAR=EXPR]...\n"
+               "options: --invariant EXPR   --dump   --max-states N\n";
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+StateGraph explore(const ParsedModule& mod, std::size_t max_states) {
+  return build_composite_graph(*mod.vars, {{mod.spec.unhidden(), true}}, {}, {}, max_states);
+}
+
+int cmd_info(const ParsedModule& mod) {
+  std::cout << "module " << mod.name << "\n";
+  for (VarId v = 0; v < mod.vars->size(); ++v) {
+    const bool hidden = std::find(mod.spec.hidden.begin(), mod.spec.hidden.end(), v) !=
+                        mod.spec.hidden.end();
+    std::cout << "  " << (hidden ? "hidden " : "var    ") << mod.vars->name(v) << " : "
+              << mod.vars->domain(v).size() << " values\n";
+  }
+  for (const auto& [name, def] : mod.definitions) {
+    std::cout << "  def    " << name << " == " << def.to_string(*mod.vars) << "\n";
+  }
+  std::cout << "  spec   " << mod.spec.to_string(*mod.vars) << "\n";
+  return 0;
+}
+
+int cmd_states(const ParsedModule& mod, bool dump, std::size_t max_states) {
+  StateGraph g = explore(mod, max_states);
+  std::cout << g.num_states() << " states, " << g.num_edges() << " edges, "
+            << g.initial().size() << " initial\n";
+  if (dump) {
+    for (StateId s = 0; s < g.num_states(); ++s) {
+      std::cout << "  " << s << ": " << g.state(s).to_string(*mod.vars) << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_check(const ParsedModule& mod, const std::string& invariant_src,
+              std::size_t max_states) {
+  Expr invariant = parse_expression(invariant_src, *mod.vars, &mod.definitions);
+  StateGraph g = explore(mod, max_states);
+  InvariantResult r = check_invariant(g, invariant);
+  if (r.holds) {
+    std::cout << "invariant holds over " << r.states_checked << " states\n";
+    return 0;
+  }
+  std::cout << "INVARIANT VIOLATED:\n" << format_trace(*mod.vars, r.counterexample);
+  return 1;
+}
+
+int cmd_closure(const ParsedModule& mod, std::size_t max_states) {
+  MachineClosureResult syn = check_prop1_syntactic(mod.spec);
+  std::cout << "Proposition 1 (syntactic): " << (syn ? "applies" : "does NOT apply") << " — "
+            << syn.detail << "\n";
+  StateGraph g = explore(mod, max_states);
+  MachineClosureResult sem = check_machine_closure_on_graph(g, mod.spec.unhidden());
+  std::cout << "on-graph machine closure: " << (sem ? "confirmed" : "REFUTED") << " — "
+            << sem.detail << "\n";
+  return (syn && sem) ? 0 : 1;
+}
+
+int cmd_deadlock(const ParsedModule& mod, std::size_t max_states) {
+  // A deadlock is a reachable state whose only successor is itself
+  // (stuttering); canonical specs always allow stuttering, so "no real
+  // step" is the meaningful notion.
+  StateGraph g = explore(mod, max_states);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    const std::vector<StateId>& succ = g.successors(s);
+    const bool stuck = succ.size() == 1 && succ[0] == s;
+    if (stuck) {
+      std::vector<StateId> path = g.shortest_path_to([&](StateId t) { return t == s; });
+      std::cout << "DEADLOCK (no non-stuttering step):\n";
+      std::vector<State> states;
+      for (StateId p : path) states.push_back(g.state(p));
+      std::cout << format_trace(*mod.vars, states);
+      return 1;
+    }
+  }
+  std::cout << "no deadlock over " << g.num_states() << " states\n";
+  return 0;
+}
+
+int cmd_refine(const ParsedModule& low, const ParsedModule& high,
+               const std::vector<std::pair<std::string, std::string>>& witness_srcs,
+               std::size_t max_states) {
+  std::vector<std::pair<std::string, Expr>> witnesses;
+  for (const auto& [name, src] : witness_srcs) {
+    witnesses.emplace_back(name, parse_expression(src, *low.vars, &low.definitions));
+  }
+  StateGraph g = explore(low, max_states);
+  RefinementMapping mapping = mapping_by_name(*low.vars, *high.vars, witnesses);
+  RefinementResult r = check_refinement(g, low.spec.fairness, high.spec, mapping);
+  if (r.holds) {
+    std::cout << low.name << " refines " << high.name << " (" << r.states << " states, "
+              << r.edges << " edges)\n";
+    return 0;
+  }
+  std::cout << "REFINEMENT FAILS at " << r.failed_part << ":\n"
+            << format_trace(*low.vars, r.counterexample_prefix);
+  if (!r.counterexample_cycle.empty()) {
+    std::cout << "cycle:\n" << format_trace(*low.vars, r.counterexample_cycle);
+  }
+  return 1;
+}
+
+int cmd_leadsto(const ParsedModule& mod, const std::string& from_src,
+                const std::string& to_src, std::size_t max_states) {
+  Expr p = parse_expression(from_src, *mod.vars, &mod.definitions);
+  Expr q = parse_expression(to_src, *mod.vars, &mod.definitions);
+  StateGraph g = explore(mod, max_states);
+  LeadsToResult r = check_leads_to(g, mod.spec.fairness, p, q);
+  if (r.holds) {
+    std::cout << from_src << "  ~>  " << to_src << "  holds over " << g.num_states()
+              << " states\n";
+    return 0;
+  }
+  std::cout << "LEADS-TO VIOLATED: " << from_src << " ~> " << to_src << "\n"
+            << "prefix:\n" << format_trace(*mod.vars, r.counterexample_prefix)
+            << "cycle (repeats forever):\n"
+            << format_trace(*mod.vars, r.counterexample_cycle);
+  return 1;
+}
+
+int cmd_simulate(const ParsedModule& mod, std::size_t steps, unsigned seed,
+                 std::size_t max_states) {
+  StateGraph g = explore(mod, max_states);
+  std::mt19937 rng(seed);
+  StateId cur = g.initial()[std::uniform_int_distribution<std::size_t>(
+      0, g.initial().size() - 1)(rng)];
+  std::cout << "   0: " << g.state(cur).to_string(*mod.vars) << "\n";
+  for (std::size_t i = 1; i <= steps; ++i) {
+    // Prefer non-stuttering steps when available.
+    std::vector<StateId> moves;
+    for (StateId t : g.successors(cur)) {
+      if (t != cur) moves.push_back(t);
+    }
+    if (moves.empty()) {
+      std::cout << "   (only stuttering steps remain)\n";
+      break;
+    }
+    cur = moves[std::uniform_int_distribution<std::size_t>(0, moves.size() - 1)(rng)];
+    std::cout << std::setw(4) << i << ": " << g.state(cur).to_string(*mod.vars) << "\n";
+  }
+  return 0;
+}
+
+int cmd_compose(const std::vector<std::pair<std::string, std::string>>& component_files,
+                const std::vector<std::string>& constraint_files,
+                const std::pair<std::string, std::string>& goal_files,
+                const std::vector<std::pair<std::string, std::string>>& witness_srcs,
+                std::size_t max_states) {
+  // All modules share one universe, merged by variable name.
+  auto universe = std::make_shared<VarTable>();
+  std::vector<AGSpec> components;
+  for (const std::string& file : constraint_files) {
+    ParsedModule mod = parse_module(slurp(file), universe);
+    components.push_back(property_as_ag(mod.spec, /*mover=*/false));
+  }
+  for (const auto& [env_file, guar_file] : component_files) {
+    ParsedModule env = parse_module(slurp(env_file), universe);
+    ParsedModule guar = parse_module(slurp(guar_file), universe);
+    components.push_back({env.spec, guar.spec});
+  }
+  ParsedModule goal_env = parse_module(slurp(goal_files.first), universe);
+  ParsedModule goal_guar = parse_module(slurp(goal_files.second), universe);
+  AGSpec goal{goal_env.spec, goal_guar.spec};
+
+  CompositionOptions opts;
+  opts.max_states = max_states;
+  opts.max_nodes = max_states;
+  for (const auto& [name, src] : witness_srcs) {
+    opts.goal_witness.emplace_back(name, parse_expression(src, *universe));
+  }
+  ProofReport report = verify_composition(*universe, components, goal, opts);
+  std::cout << report.to_string();
+  return report.all_discharged() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() < 2) return usage();
+  const std::string cmd = args[0];
+
+  // Common options.
+  std::string invariant_src;
+  std::string from_src, to_src;
+  bool dump = false;
+  std::size_t max_states = 2'000'000;
+  std::size_t steps = 16;
+  unsigned seed = 0;
+  std::vector<std::pair<std::string, std::string>> witnesses;
+  std::vector<std::pair<std::string, std::string>> component_files;
+  std::vector<std::string> constraint_files;
+  std::pair<std::string, std::string> goal_files;
+  std::vector<std::string> files;
+  try {
+  auto split_pair = [&](const std::string& arg) {
+    const std::size_t comma = arg.find(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("expected ENV.tla,GUAR.tla, got " + arg);
+    }
+    return std::make_pair(arg.substr(0, comma), arg.substr(comma + 1));
+  };
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--invariant" && i + 1 < args.size()) {
+      invariant_src = args[++i];
+    } else if (args[i] == "--dump") {
+      dump = true;
+    } else if (args[i] == "--max-states" && i + 1 < args.size()) {
+      max_states = std::stoull(args[++i]);
+    } else if (args[i] == "--from" && i + 1 < args.size()) {
+      from_src = args[++i];
+    } else if (args[i] == "--to" && i + 1 < args.size()) {
+      to_src = args[++i];
+    } else if (args[i] == "--steps" && i + 1 < args.size()) {
+      steps = std::stoull(args[++i]);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = static_cast<unsigned>(std::stoul(args[++i]));
+    } else if (args[i] == "--witness" && i + 1 < args.size()) {
+      const std::string w = args[++i];
+      const std::size_t eq = w.find('=');
+      if (eq == std::string::npos) return usage();
+      witnesses.emplace_back(w.substr(0, eq), w.substr(eq + 1));
+    } else if (args[i] == "--component" && i + 1 < args.size()) {
+      component_files.push_back(split_pair(args[++i]));
+    } else if (args[i] == "--constraint" && i + 1 < args.size()) {
+      constraint_files.push_back(args[++i]);
+    } else if (args[i] == "--goal" && i + 1 < args.size()) {
+      goal_files = split_pair(args[++i]);
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage();
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+
+    if (cmd == "compose") {
+      if (goal_files.first.empty() || component_files.empty()) return usage();
+      return cmd_compose(component_files, constraint_files, goal_files, witnesses,
+                         max_states);
+    }
+    if (cmd == "refine") {
+      if (files.size() != 2) return usage();
+      ParsedModule low = parse_module(slurp(files[0]));
+      ParsedModule high = parse_module(slurp(files[1]));
+      return cmd_refine(low, high, witnesses, max_states);
+    }
+    if (files.size() != 1) return usage();
+    ParsedModule mod = parse_module(slurp(files[0]));
+    if (cmd == "info") return cmd_info(mod);
+    if (cmd == "states") return cmd_states(mod, dump, max_states);
+    if (cmd == "check") {
+      if (invariant_src.empty()) return usage();
+      return cmd_check(mod, invariant_src, max_states);
+    }
+    if (cmd == "closure") return cmd_closure(mod, max_states);
+    if (cmd == "deadlock") return cmd_deadlock(mod, max_states);
+    if (cmd == "simulate") return cmd_simulate(mod, steps, seed, max_states);
+    if (cmd == "leadsto") {
+      if (from_src.empty() || to_src.empty()) return usage();
+      return cmd_leadsto(mod, from_src, to_src, max_states);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
