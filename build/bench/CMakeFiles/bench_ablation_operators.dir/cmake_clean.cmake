@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_operators.dir/bench_ablation_operators.cpp.o"
+  "CMakeFiles/bench_ablation_operators.dir/bench_ablation_operators.cpp.o.d"
+  "bench_ablation_operators"
+  "bench_ablation_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

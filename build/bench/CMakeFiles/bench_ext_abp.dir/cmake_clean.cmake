@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_abp.dir/bench_ext_abp.cpp.o"
+  "CMakeFiles/bench_ext_abp.dir/bench_ext_abp.cpp.o.d"
+  "bench_ext_abp"
+  "bench_ext_abp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_abp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_leadsto.dir/bench_ext_leadsto.cpp.o"
+  "CMakeFiles/bench_ext_leadsto.dir/bench_ext_leadsto.cpp.o.d"
+  "bench_ext_leadsto"
+  "bench_ext_leadsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_leadsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

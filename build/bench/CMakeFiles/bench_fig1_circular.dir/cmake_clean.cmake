@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_circular.dir/bench_fig1_circular.cpp.o"
+  "CMakeFiles/bench_fig1_circular.dir/bench_fig1_circular.cpp.o.d"
+  "bench_fig1_circular"
+  "bench_fig1_circular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_circular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_queue.dir/bench_fig4_queue.cpp.o"
+  "CMakeFiles/bench_fig4_queue.dir/bench_fig4_queue.cpp.o.d"
+  "bench_fig4_queue"
+  "bench_fig4_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

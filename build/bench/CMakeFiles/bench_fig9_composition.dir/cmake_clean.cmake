@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_composition.dir/bench_fig9_composition.cpp.o"
+  "CMakeFiles/bench_fig9_composition.dir/bench_fig9_composition.cpp.o.d"
+  "bench_fig9_composition"
+  "bench_fig9_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

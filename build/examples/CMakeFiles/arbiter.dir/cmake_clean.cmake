@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter.dir/arbiter.cpp.o"
+  "CMakeFiles/arbiter.dir/arbiter.cpp.o.d"
+  "arbiter"
+  "arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

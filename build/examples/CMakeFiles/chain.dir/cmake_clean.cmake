@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain.dir/chain.cpp.o"
+  "CMakeFiles/chain.dir/chain.cpp.o.d"
+  "chain"
+  "chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

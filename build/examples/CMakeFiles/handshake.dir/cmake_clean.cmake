@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handshake.dir/handshake.cpp.o"
+  "CMakeFiles/handshake.dir/handshake.cpp.o.d"
+  "handshake"
+  "handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

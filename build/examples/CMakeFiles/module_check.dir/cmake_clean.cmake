@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_check.dir/module_check.cpp.o"
+  "CMakeFiles/module_check.dir/module_check.cpp.o.d"
+  "module_check"
+  "module_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

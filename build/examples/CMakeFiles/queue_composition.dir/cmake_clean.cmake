@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_composition.dir/queue_composition.cpp.o"
+  "CMakeFiles/queue_composition.dir/queue_composition.cpp.o.d"
+  "queue_composition"
+  "queue_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opentla/abp/abp.cpp" "src/CMakeFiles/opentla.dir/opentla/abp/abp.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/abp/abp.cpp.o.d"
+  "/root/repo/src/opentla/ag/ag_spec.cpp" "src/CMakeFiles/opentla.dir/opentla/ag/ag_spec.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/ag/ag_spec.cpp.o.d"
+  "/root/repo/src/opentla/ag/composition_theorem.cpp" "src/CMakeFiles/opentla.dir/opentla/ag/composition_theorem.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/ag/composition_theorem.cpp.o.d"
+  "/root/repo/src/opentla/ag/freeze_spec.cpp" "src/CMakeFiles/opentla.dir/opentla/ag/freeze_spec.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/ag/freeze_spec.cpp.o.d"
+  "/root/repo/src/opentla/ag/propositions.cpp" "src/CMakeFiles/opentla.dir/opentla/ag/propositions.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/ag/propositions.cpp.o.d"
+  "/root/repo/src/opentla/automata/freeze.cpp" "src/CMakeFiles/opentla.dir/opentla/automata/freeze.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/automata/freeze.cpp.o.d"
+  "/root/repo/src/opentla/automata/prefix_machine.cpp" "src/CMakeFiles/opentla.dir/opentla/automata/prefix_machine.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/automata/prefix_machine.cpp.o.d"
+  "/root/repo/src/opentla/automata/product.cpp" "src/CMakeFiles/opentla.dir/opentla/automata/product.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/automata/product.cpp.o.d"
+  "/root/repo/src/opentla/check/inclusion.cpp" "src/CMakeFiles/opentla.dir/opentla/check/inclusion.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/check/inclusion.cpp.o.d"
+  "/root/repo/src/opentla/check/invariant.cpp" "src/CMakeFiles/opentla.dir/opentla/check/invariant.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/check/invariant.cpp.o.d"
+  "/root/repo/src/opentla/check/liveness.cpp" "src/CMakeFiles/opentla.dir/opentla/check/liveness.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/check/liveness.cpp.o.d"
+  "/root/repo/src/opentla/check/machine_closure.cpp" "src/CMakeFiles/opentla.dir/opentla/check/machine_closure.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/check/machine_closure.cpp.o.d"
+  "/root/repo/src/opentla/check/orthogonality.cpp" "src/CMakeFiles/opentla.dir/opentla/check/orthogonality.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/check/orthogonality.cpp.o.d"
+  "/root/repo/src/opentla/check/refinement.cpp" "src/CMakeFiles/opentla.dir/opentla/check/refinement.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/check/refinement.cpp.o.d"
+  "/root/repo/src/opentla/compose/compose.cpp" "src/CMakeFiles/opentla.dir/opentla/compose/compose.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/compose/compose.cpp.o.d"
+  "/root/repo/src/opentla/expr/analysis.cpp" "src/CMakeFiles/opentla.dir/opentla/expr/analysis.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/expr/analysis.cpp.o.d"
+  "/root/repo/src/opentla/expr/eval.cpp" "src/CMakeFiles/opentla.dir/opentla/expr/eval.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/expr/eval.cpp.o.d"
+  "/root/repo/src/opentla/expr/expr.cpp" "src/CMakeFiles/opentla.dir/opentla/expr/expr.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/expr/expr.cpp.o.d"
+  "/root/repo/src/opentla/expr/print.cpp" "src/CMakeFiles/opentla.dir/opentla/expr/print.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/expr/print.cpp.o.d"
+  "/root/repo/src/opentla/expr/substitute.cpp" "src/CMakeFiles/opentla.dir/opentla/expr/substitute.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/expr/substitute.cpp.o.d"
+  "/root/repo/src/opentla/graph/fair_cycle.cpp" "src/CMakeFiles/opentla.dir/opentla/graph/fair_cycle.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/graph/fair_cycle.cpp.o.d"
+  "/root/repo/src/opentla/graph/scc.cpp" "src/CMakeFiles/opentla.dir/opentla/graph/scc.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/graph/scc.cpp.o.d"
+  "/root/repo/src/opentla/graph/state_graph.cpp" "src/CMakeFiles/opentla.dir/opentla/graph/state_graph.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/graph/state_graph.cpp.o.d"
+  "/root/repo/src/opentla/graph/successor.cpp" "src/CMakeFiles/opentla.dir/opentla/graph/successor.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/graph/successor.cpp.o.d"
+  "/root/repo/src/opentla/parser/lexer.cpp" "src/CMakeFiles/opentla.dir/opentla/parser/lexer.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/parser/lexer.cpp.o.d"
+  "/root/repo/src/opentla/parser/parser.cpp" "src/CMakeFiles/opentla.dir/opentla/parser/parser.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/parser/parser.cpp.o.d"
+  "/root/repo/src/opentla/proof/obligation.cpp" "src/CMakeFiles/opentla.dir/opentla/proof/obligation.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/proof/obligation.cpp.o.d"
+  "/root/repo/src/opentla/proof/report.cpp" "src/CMakeFiles/opentla.dir/opentla/proof/report.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/proof/report.cpp.o.d"
+  "/root/repo/src/opentla/queue/channel.cpp" "src/CMakeFiles/opentla.dir/opentla/queue/channel.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/queue/channel.cpp.o.d"
+  "/root/repo/src/opentla/queue/double_queue.cpp" "src/CMakeFiles/opentla.dir/opentla/queue/double_queue.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/queue/double_queue.cpp.o.d"
+  "/root/repo/src/opentla/queue/queue_spec.cpp" "src/CMakeFiles/opentla.dir/opentla/queue/queue_spec.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/queue/queue_spec.cpp.o.d"
+  "/root/repo/src/opentla/semantics/enumerate.cpp" "src/CMakeFiles/opentla.dir/opentla/semantics/enumerate.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/semantics/enumerate.cpp.o.d"
+  "/root/repo/src/opentla/semantics/lasso.cpp" "src/CMakeFiles/opentla.dir/opentla/semantics/lasso.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/semantics/lasso.cpp.o.d"
+  "/root/repo/src/opentla/semantics/oracle.cpp" "src/CMakeFiles/opentla.dir/opentla/semantics/oracle.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/semantics/oracle.cpp.o.d"
+  "/root/repo/src/opentla/state/state.cpp" "src/CMakeFiles/opentla.dir/opentla/state/state.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/state/state.cpp.o.d"
+  "/root/repo/src/opentla/state/state_space.cpp" "src/CMakeFiles/opentla.dir/opentla/state/state_space.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/state/state_space.cpp.o.d"
+  "/root/repo/src/opentla/state/var_table.cpp" "src/CMakeFiles/opentla.dir/opentla/state/var_table.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/state/var_table.cpp.o.d"
+  "/root/repo/src/opentla/tla/disjoint.cpp" "src/CMakeFiles/opentla.dir/opentla/tla/disjoint.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/tla/disjoint.cpp.o.d"
+  "/root/repo/src/opentla/tla/formula.cpp" "src/CMakeFiles/opentla.dir/opentla/tla/formula.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/tla/formula.cpp.o.d"
+  "/root/repo/src/opentla/tla/spec.cpp" "src/CMakeFiles/opentla.dir/opentla/tla/spec.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/tla/spec.cpp.o.d"
+  "/root/repo/src/opentla/value/domain.cpp" "src/CMakeFiles/opentla.dir/opentla/value/domain.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/value/domain.cpp.o.d"
+  "/root/repo/src/opentla/value/value.cpp" "src/CMakeFiles/opentla.dir/opentla/value/value.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/value/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

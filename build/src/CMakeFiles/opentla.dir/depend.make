@@ -1,0 +1,2 @@
+# Empty dependencies file for opentla.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abp.dir/test_abp.cpp.o"
+  "CMakeFiles/test_abp.dir/test_abp.cpp.o.d"
+  "test_abp"
+  "test_abp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

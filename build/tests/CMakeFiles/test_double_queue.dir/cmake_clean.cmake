@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_queue.dir/test_double_queue.cpp.o"
+  "CMakeFiles/test_double_queue.dir/test_double_queue.cpp.o.d"
+  "test_double_queue"
+  "test_double_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

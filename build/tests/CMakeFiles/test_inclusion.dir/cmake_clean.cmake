@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inclusion.dir/test_inclusion.cpp.o"
+  "CMakeFiles/test_inclusion.dir/test_inclusion.cpp.o.d"
+  "test_inclusion"
+  "test_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

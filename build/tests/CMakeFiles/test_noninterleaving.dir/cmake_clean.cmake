@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noninterleaving.dir/test_noninterleaving.cpp.o"
+  "CMakeFiles/test_noninterleaving.dir/test_noninterleaving.cpp.o.d"
+  "test_noninterleaving"
+  "test_noninterleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noninterleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orthogonality.dir/test_orthogonality.cpp.o"
+  "CMakeFiles/test_orthogonality.dir/test_orthogonality.cpp.o.d"
+  "test_orthogonality"
+  "test_orthogonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orthogonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

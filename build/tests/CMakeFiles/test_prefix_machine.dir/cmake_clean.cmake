@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_machine.dir/test_prefix_machine.cpp.o"
+  "CMakeFiles/test_prefix_machine.dir/test_prefix_machine.cpp.o.d"
+  "test_prefix_machine"
+  "test_prefix_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

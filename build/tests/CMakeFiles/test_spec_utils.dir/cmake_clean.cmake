@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_utils.dir/test_spec_utils.cpp.o"
+  "CMakeFiles/test_spec_utils.dir/test_spec_utils.cpp.o.d"
+  "test_spec_utils"
+  "test_spec_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

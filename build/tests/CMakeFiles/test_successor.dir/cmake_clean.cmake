@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_successor.dir/test_successor.cpp.o"
+  "CMakeFiles/test_successor.dir/test_successor.cpp.o.d"
+  "test_successor"
+  "test_successor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_successor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlacheck.dir/tlacheck.cpp.o"
+  "CMakeFiles/tlacheck.dir/tlacheck.cpp.o.d"
+  "tlacheck"
+  "tlacheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlacheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
