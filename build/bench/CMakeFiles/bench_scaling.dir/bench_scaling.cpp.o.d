@@ -232,9 +232,9 @@ bench/CMakeFiles/bench_scaling.dir/bench_scaling.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/opentla/expr/analysis.hpp \
+ /root/repo/src/opentla/expr/analysis.hpp /usr/include/c++/12/optional \
  /root/repo/src/opentla/expr/expr.hpp \
- /root/repo/src/opentla/state/var_table.hpp /usr/include/c++/12/optional \
+ /root/repo/src/opentla/state/var_table.hpp \
  /root/repo/src/opentla/value/domain.hpp \
  /root/repo/src/opentla/value/value.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \

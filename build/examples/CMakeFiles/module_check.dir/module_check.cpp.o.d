@@ -227,4 +227,4 @@ examples/CMakeFiles/module_check.dir/module_check.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/opentla/compose/compose.hpp \
- /root/repo/src/opentla/parser/parser.hpp
+ /root/repo/src/opentla/parser/parser.hpp /usr/include/c++/12/cstddef

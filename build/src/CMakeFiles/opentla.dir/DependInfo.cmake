@@ -32,6 +32,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/opentla/graph/scc.cpp" "src/CMakeFiles/opentla.dir/opentla/graph/scc.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/graph/scc.cpp.o.d"
   "/root/repo/src/opentla/graph/state_graph.cpp" "src/CMakeFiles/opentla.dir/opentla/graph/state_graph.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/graph/state_graph.cpp.o.d"
   "/root/repo/src/opentla/graph/successor.cpp" "src/CMakeFiles/opentla.dir/opentla/graph/successor.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/graph/successor.cpp.o.d"
+  "/root/repo/src/opentla/lint/checks.cpp" "src/CMakeFiles/opentla.dir/opentla/lint/checks.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/lint/checks.cpp.o.d"
+  "/root/repo/src/opentla/lint/diagnostic.cpp" "src/CMakeFiles/opentla.dir/opentla/lint/diagnostic.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/lint/diagnostic.cpp.o.d"
   "/root/repo/src/opentla/parser/lexer.cpp" "src/CMakeFiles/opentla.dir/opentla/parser/lexer.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/parser/lexer.cpp.o.d"
   "/root/repo/src/opentla/parser/parser.cpp" "src/CMakeFiles/opentla.dir/opentla/parser/parser.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/parser/parser.cpp.o.d"
   "/root/repo/src/opentla/proof/obligation.cpp" "src/CMakeFiles/opentla.dir/opentla/proof/obligation.cpp.o" "gcc" "src/CMakeFiles/opentla.dir/opentla/proof/obligation.cpp.o.d"

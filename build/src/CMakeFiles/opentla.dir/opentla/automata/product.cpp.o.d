@@ -210,11 +210,12 @@ src/CMakeFiles/opentla.dir/opentla/automata/product.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/opentla/expr/analysis.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/opentla/expr/analysis.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/opentla/expr/expr.hpp \
- /root/repo/src/opentla/state/var_table.hpp /usr/include/c++/12/optional \
+ /root/repo/src/opentla/state/var_table.hpp \
  /root/repo/src/opentla/value/domain.hpp \
  /root/repo/src/opentla/value/value.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \

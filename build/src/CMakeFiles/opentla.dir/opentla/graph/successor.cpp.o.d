@@ -101,7 +101,10 @@ src/CMakeFiles/opentla.dir/opentla/graph/successor.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h \
- /root/repo/src/opentla/expr/analysis.hpp /usr/include/c++/12/set \
+ /root/repo/src/opentla/expr/analysis.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/opentla/expr/expr.hpp /usr/include/c++/12/cstdint \
@@ -121,9 +124,6 @@ src/CMakeFiles/opentla.dir/opentla/graph/successor.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/__mbstate_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/FILE.h \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
@@ -214,7 +214,7 @@ src/CMakeFiles/opentla.dir/opentla/graph/successor.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/opentla/state/var_table.hpp /usr/include/c++/12/optional \
+ /root/repo/src/opentla/state/var_table.hpp \
  /root/repo/src/opentla/value/domain.hpp \
  /root/repo/src/opentla/value/value.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \

@@ -278,4 +278,6 @@ tools/CMakeFiles/tlacheck.dir/tlacheck.cpp.o: \
  /root/repo/src/opentla/check/machine_closure.hpp \
  /root/repo/src/opentla/check/refinement.hpp \
  /root/repo/src/opentla/compose/compose.hpp \
- /root/repo/src/opentla/parser/parser.hpp
+ /root/repo/src/opentla/lint/checks.hpp \
+ /root/repo/src/opentla/lint/diagnostic.hpp \
+ /root/repo/src/opentla/parser/parser.hpp /usr/include/c++/12/cstddef

@@ -35,10 +35,10 @@ FreeVars free_vars(const Expr& e) {
 bool is_state_function(const Expr& e) { return free_vars(e).primed.empty(); }
 
 namespace {
-void flatten(const Expr& e, ExprKind kind, const Expr* skip_const, std::vector<Expr>& out) {
+void flatten(const Expr& e, ExprKind kind, std::vector<Expr>& out) {
   const ExprNode& n = e.node();
   if (n.kind == kind) {
-    for (const Expr& k : n.kids) flatten(k, kind, skip_const, out);
+    for (const Expr& k : n.kids) flatten(k, kind, out);
     return;
   }
   // Drop the connective's unit: TRUE in a conjunction, FALSE in a
@@ -47,20 +47,19 @@ void flatten(const Expr& e, ExprKind kind, const Expr* skip_const, std::vector<E
     const bool unit = (kind == ExprKind::And);
     if (n.value.as_bool() == unit) return;
   }
-  (void)skip_const;
   out.push_back(e);
 }
 }  // namespace
 
 std::vector<Expr> flatten_and(const Expr& e) {
   std::vector<Expr> out;
-  flatten(e, ExprKind::And, nullptr, out);
+  flatten(e, ExprKind::And, out);
   return out;
 }
 
 std::vector<Expr> flatten_or(const Expr& e) {
   std::vector<Expr> out;
-  flatten(e, ExprKind::Or, nullptr, out);
+  flatten(e, ExprKind::Or, out);
   return out;
 }
 
@@ -151,6 +150,161 @@ std::vector<ActionDisjunct> decompose_action(const Expr& action) {
     out.push_back(build_disjunct(d));
   }
   return out;
+}
+
+std::optional<Value> fold_constant(const Expr& e) {
+  const ExprNode& n = e.node();
+  auto fold_bool = [](const Expr& k) -> std::optional<bool> {
+    std::optional<Value> v = fold_constant(k);
+    if (!v || !v->is_bool()) return std::nullopt;
+    return v->as_bool();
+  };
+  auto fold_int = [](const Expr& k) -> std::optional<std::int64_t> {
+    std::optional<Value> v = fold_constant(k);
+    if (!v || !v->is_int()) return std::nullopt;
+    return v->as_int();
+  };
+  switch (n.kind) {
+    case ExprKind::Const:
+      return n.value;
+    case ExprKind::Var:
+    case ExprKind::Local:
+    case ExprKind::Enabled:
+      return std::nullopt;
+    case ExprKind::Not: {
+      std::optional<bool> a = fold_bool(n.kids[0]);
+      if (!a) return std::nullopt;
+      return Value::boolean(!*a);
+    }
+    case ExprKind::And:
+    case ExprKind::Or: {
+      // Short-circuit: one determining kid folds the connective even when
+      // the others are non-constant.
+      const bool determining = (n.kind == ExprKind::Or);
+      bool all_known = true;
+      for (const Expr& k : n.kids) {
+        std::optional<bool> b = fold_bool(k);
+        if (!b) {
+          all_known = false;
+        } else if (*b == determining) {
+          return Value::boolean(determining);
+        }
+      }
+      if (all_known) return Value::boolean(!determining);
+      return std::nullopt;
+    }
+    case ExprKind::Implies: {
+      std::optional<bool> a = fold_bool(n.kids[0]);
+      std::optional<bool> b = fold_bool(n.kids[1]);
+      if (a && !*a) return Value::boolean(true);
+      if (b && *b) return Value::boolean(true);
+      if (a && b) return Value::boolean(*b);
+      return std::nullopt;
+    }
+    case ExprKind::Equiv: {
+      std::optional<bool> a = fold_bool(n.kids[0]);
+      std::optional<bool> b = fold_bool(n.kids[1]);
+      if (!a || !b) return std::nullopt;
+      return Value::boolean(*a == *b);
+    }
+    case ExprKind::Eq:
+    case ExprKind::Neq: {
+      std::optional<Value> a = fold_constant(n.kids[0]);
+      std::optional<Value> b = fold_constant(n.kids[1]);
+      if (!a || !b) return std::nullopt;
+      return Value::boolean((*a == *b) == (n.kind == ExprKind::Eq));
+    }
+    case ExprKind::Lt:
+    case ExprKind::Le:
+    case ExprKind::Gt:
+    case ExprKind::Ge: {
+      std::optional<std::int64_t> a = fold_int(n.kids[0]);
+      std::optional<std::int64_t> b = fold_int(n.kids[1]);
+      if (!a || !b) return std::nullopt;
+      switch (n.kind) {
+        case ExprKind::Lt: return Value::boolean(*a < *b);
+        case ExprKind::Le: return Value::boolean(*a <= *b);
+        case ExprKind::Gt: return Value::boolean(*a > *b);
+        default:           return Value::boolean(*a >= *b);
+      }
+    }
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+    case ExprKind::Mod: {
+      std::optional<std::int64_t> a = fold_int(n.kids[0]);
+      std::optional<std::int64_t> b = fold_int(n.kids[1]);
+      if (!a || !b) return std::nullopt;
+      switch (n.kind) {
+        case ExprKind::Add: return Value::integer(*a + *b);
+        case ExprKind::Sub: return Value::integer(*a - *b);
+        case ExprKind::Mul: return Value::integer(*a * *b);
+        default:
+          if (*a < 0 || *b <= 0) return std::nullopt;  // eval reports these
+          return Value::integer(*a % *b);
+      }
+    }
+    case ExprKind::Neg: {
+      std::optional<std::int64_t> a = fold_int(n.kids[0]);
+      if (!a) return std::nullopt;
+      return Value::integer(-*a);
+    }
+    case ExprKind::IfThenElse: {
+      std::optional<bool> cond = fold_bool(n.kids[0]);
+      if (!cond) return std::nullopt;
+      return fold_constant(n.kids[*cond ? 1 : 2]);
+    }
+    case ExprKind::MakeTuple: {
+      Value::Tuple elems;
+      elems.reserve(n.kids.size());
+      for (const Expr& k : n.kids) {
+        std::optional<Value> v = fold_constant(k);
+        if (!v) return std::nullopt;
+        elems.push_back(std::move(*v));
+      }
+      return Value::tuple(std::move(elems));
+    }
+    case ExprKind::Len: {
+      std::optional<Value> s = fold_constant(n.kids[0]);
+      if (!s || !s->is_tuple()) return std::nullopt;
+      return Value::integer(static_cast<std::int64_t>(s->length()));
+    }
+    case ExprKind::Head: {
+      std::optional<Value> s = fold_constant(n.kids[0]);
+      if (!s || !s->is_tuple() || s->length() == 0) return std::nullopt;
+      return s->as_tuple().front();
+    }
+    case ExprKind::Tail: {
+      std::optional<Value> s = fold_constant(n.kids[0]);
+      if (!s || !s->is_tuple() || s->length() == 0) return std::nullopt;
+      return seq_tail(*s);
+    }
+    case ExprKind::Concat: {
+      std::optional<Value> s = fold_constant(n.kids[0]);
+      std::optional<Value> t = fold_constant(n.kids[1]);
+      if (!s || !t || !s->is_tuple() || !t->is_tuple()) return std::nullopt;
+      return seq_concat(*s, *t);
+    }
+    case ExprKind::Append: {
+      std::optional<Value> s = fold_constant(n.kids[0]);
+      std::optional<Value> v = fold_constant(n.kids[1]);
+      if (!s || !v || !s->is_tuple()) return std::nullopt;
+      return seq_append(*s, *v);
+    }
+    case ExprKind::Index: {
+      std::optional<Value> s = fold_constant(n.kids[0]);
+      std::optional<std::int64_t> i = fold_int(n.kids[1]);
+      if (!s || !i || !s->is_tuple()) return std::nullopt;
+      if (*i < 1 || static_cast<std::size_t>(*i) > s->length()) return std::nullopt;
+      return s->as_tuple()[static_cast<std::size_t>(*i - 1)];
+    }
+    case ExprKind::ExistsVal:
+    case ExprKind::ForallVal:
+      // Folding would require substituting the bound variable; out of scope
+      // for a syntactic pass.
+      return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 Expr to_dnf(const Expr& e, std::size_t max_disjuncts) {

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -59,6 +60,15 @@ std::vector<ActionDisjunct> decompose_action(const Expr& action);
 /// Used for syntactic side conditions such as Proposition 1's "A implies N"
 /// check when A is literally a sub-disjunct of N.
 bool structurally_equal(const Expr& a, const Expr& b);
+
+/// Evaluates `e` if it is a compile-time constant: no flexible or bound
+/// variables and no ENABLED reachable along the folded spine. Short-circuit
+/// rules apply (a FALSE conjunct folds the conjunction even when siblings
+/// are non-constant), so a fold result can exist for expressions that still
+/// mention variables. Returns nullopt when the value is not determined
+/// syntactically; never throws on spec-level type errors (those fold to
+/// nullopt and are left for evaluation to report).
+std::optional<Value> fold_constant(const Expr& e);
 
 /// Distributes \/ over /\ at the boolean skeleton level, producing a
 /// disjunction of conjunctions. Leaves (comparisons, quantifiers, ...) are

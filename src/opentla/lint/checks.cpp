@@ -1,0 +1,289 @@
+#include "opentla/lint/checks.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "opentla/expr/analysis.hpp"
+
+namespace opentla::lint {
+
+namespace {
+
+/// Name and location of the DEFINE/ACTION a spliced expression came from,
+/// when the expression is structurally a whole definition body. Macro
+/// splicing erases names; this recovers them for readable diagnostics.
+struct NamedExpr {
+  std::string name;
+  SourceLoc loc;
+};
+
+std::optional<NamedExpr> definition_of(const ParsedModule& mod, const Expr& e) {
+  for (const auto& [name, body] : mod.definitions) {
+    if (structurally_equal(e, body)) {
+      auto it = mod.locs.definitions.find(name);
+      return NamedExpr{name, it == mod.locs.definitions.end() ? SourceLoc{} : it->second};
+    }
+  }
+  return std::nullopt;
+}
+
+Diagnostic make(const char* code, Severity severity, const ParsedModule& mod,
+                std::string context, SourceLoc loc, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.message = std::move(message);
+  d.module_name = mod.name;
+  d.context = std::move(context);
+  d.loc = loc;
+  return d;
+}
+
+std::string join_names(const VarTable& vars, const std::vector<VarId>& vs) {
+  std::string out;
+  for (VarId v : vs) {
+    if (!out.empty()) out += ", ";
+    out += vars.name(v);
+  }
+  return out;
+}
+
+// --- OTL001: variable declared but never read or constrained ---
+
+void check_unused_variable(const ParsedModule& mod, const LintOptions&, std::vector<Diagnostic>& out) {
+  std::set<VarId> used;
+  auto collect = [&used](const Expr& e) {
+    if (e.is_null()) return;
+    FreeVars fv = free_vars(e);
+    used.insert(fv.unprimed.begin(), fv.unprimed.end());
+    used.insert(fv.primed.begin(), fv.primed.end());
+  };
+  collect(mod.spec.init);
+  collect(mod.spec.next);
+  for (const Fairness& f : mod.spec.fairness) collect(f.action);
+  for (const std::vector<VarId>& tuple : mod.disjoint_tuples) {
+    used.insert(tuple.begin(), tuple.end());
+  }
+  for (VarId v : mod.declared) {
+    if (used.contains(v)) continue;
+    auto it = mod.locs.variables.find(v);
+    out.push_back(make("OTL001", Severity::Warning, mod, mod.vars->name(v),
+                       it == mod.locs.variables.end() ? SourceLoc{} : it->second,
+                       "variable '" + mod.vars->name(v) +
+                           "' is declared but never read or constrained"));
+  }
+}
+
+// --- OTL002: primed variable inside INIT ---
+
+void check_primed_in_init(const ParsedModule& mod, const LintOptions&, std::vector<Diagnostic>& out) {
+  if (mod.spec.init.is_null()) return;
+  FreeVars fv = free_vars(mod.spec.init);
+  for (VarId v : fv.primed) {
+    out.push_back(make("OTL002", Severity::Error, mod, mod.vars->name(v), mod.locs.init,
+                       "INIT is a state predicate but mentions the primed variable '" +
+                           mod.vars->name(v) + "''"));
+  }
+}
+
+// --- OTL003: action disjunct reads a variable it leaves unconstrained ---
+
+void check_frame_gap(const ParsedModule& mod, const LintOptions&, std::vector<Diagnostic>& out) {
+  if (mod.spec.next.is_null() || mod.is_disjoint()) return;
+  for (const Expr& disjunct : flatten_or(mod.spec.next)) {
+    FreeVars fv = free_vars(disjunct);
+    std::optional<NamedExpr> named = definition_of(mod, disjunct);
+    for (VarId v : fv.unprimed) {
+      if (fv.primed.contains(v)) continue;
+      const std::string where =
+          named ? "action '" + named->name + "'" : "an action disjunct of NEXT";
+      out.push_back(make("OTL003", Severity::Warning, mod, mod.vars->name(v),
+                         named && named->loc.known() ? named->loc : mod.locs.next,
+                         where + " reads '" + mod.vars->name(v) + "' but places no " +
+                             "constraint on " + mod.vars->name(v) +
+                             "' (frame-condition gap: missing UNCHANGED?)"));
+    }
+  }
+}
+
+// --- OTL004: DISJOINT tuples overlap ---
+
+void check_disjoint_overlap(const ParsedModule& mod, const LintOptions&, std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < mod.disjoint_tuples.size(); ++i) {
+    for (std::size_t j = i + 1; j < mod.disjoint_tuples.size(); ++j) {
+      std::vector<VarId> overlap;
+      for (VarId v : mod.disjoint_tuples[i]) {
+        const std::vector<VarId>& other = mod.disjoint_tuples[j];
+        if (std::find(other.begin(), other.end(), v) != other.end()) {
+          overlap.push_back(v);
+        }
+      }
+      if (overlap.empty()) continue;
+      out.push_back(make("OTL004", Severity::Error, mod, join_names(*mod.vars, overlap), mod.locs.disjoint,
+                         "Disjoint tuples " + std::to_string(i + 1) + " and " +
+                             std::to_string(j + 1) + " share {" +
+                             join_names(*mod.vars, overlap) +
+                             "}; Proposition 4's precondition fails"));
+    }
+  }
+}
+
+// --- OTL005: fairness action not a syntactic subaction of NEXT ---
+
+void check_fairness_subaction(const ParsedModule& mod, const LintOptions&, std::vector<Diagnostic>& out) {
+  if (mod.spec.next.is_null()) return;
+  const std::vector<Expr> next_disjuncts = flatten_or(mod.spec.next);
+  for (std::size_t i = 0; i < mod.spec.fairness.size(); ++i) {
+    const Fairness& f = mod.spec.fairness[i];
+    for (const Expr& a : flatten_or(f.action)) {
+      const bool found =
+          std::any_of(next_disjuncts.begin(), next_disjuncts.end(),
+                      [&](const Expr& n) { return structurally_equal(a, n); });
+      if (found) continue;
+      std::optional<NamedExpr> named = definition_of(mod, a);
+      const std::string what =
+          named ? "'" + named->name + "'" : "a disjunct of its action";
+      out.push_back(make("OTL005", Severity::Warning, mod, f.label,
+                         i < mod.locs.fairness.size() ? mod.locs.fairness[i] : SourceLoc{},
+                         "fairness condition " + std::to_string(i + 1) + " (" + f.label +
+                             "): " + what + " is not syntactically a disjunct of NEXT; " +
+                             "Proposition 1 (machine closure) does not apply syntactically"));
+      break;  // one finding per fairness condition is enough
+    }
+  }
+}
+
+// --- OTL007: state-space size estimate ---
+
+void check_state_space_estimate(const ParsedModule& mod, const LintOptions& opts, std::vector<Diagnostic>& out) {
+  long double product = 1.0L;
+  for (VarId v : mod.declared) {
+    product *= static_cast<long double>(mod.vars->domain(v).size());
+  }
+  if (mod.declared.empty() || product <= static_cast<long double>(opts.state_bound)) return;
+  std::ostringstream estimate;
+  estimate.precision(3);
+  estimate << product;
+  out.push_back(make("OTL007", Severity::Warning, mod, "", mod.locs.module_kw,
+                     "declared domains span ~" + estimate.str() +
+                         " states (bound " + std::to_string(opts.state_bound) +
+                         "); exploration may be intractable"));
+}
+
+// --- OTL008: constant-foldable guard / dead disjunct ---
+
+void check_constant_guards(const ParsedModule& mod, const LintOptions&, std::vector<Diagnostic>& out) {
+  if (mod.spec.next.is_null() || mod.is_disjoint()) return;
+  for (const Expr& disjunct : flatten_or(mod.spec.next)) {
+    std::optional<NamedExpr> named = definition_of(mod, disjunct);
+    const std::string where =
+        named ? "action '" + named->name + "'" : "an action disjunct of NEXT";
+    const SourceLoc loc =
+        named && named->loc.known() ? named->loc : mod.locs.next;
+    std::vector<ActionDisjunct> parts = decompose_action(disjunct);
+    bool dead = false;
+    for (const ActionDisjunct& part : parts) {
+      for (const Expr& guard : part.guards) {
+        std::optional<Value> v = fold_constant(guard);
+        if (!v || !v->is_bool()) continue;
+        if (!v->as_bool()) {
+          out.push_back(make("OTL008", Severity::Warning, mod, named ? named->name : "", loc,
+                             where + " is dead: a guard folds to FALSE"));
+          dead = true;
+          break;
+        }
+        out.push_back(make("OTL008", Severity::Warning, mod, named ? named->name : "", loc,
+                           where + " has a guard that folds to TRUE (redundant)"));
+      }
+      if (dead) break;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<LintCheck>& check_registry() {
+  static const std::vector<LintCheck> registry = {
+      {"OTL001", "variable declared but never read or constrained", Severity::Warning,
+       check_unused_variable},
+      {"OTL002", "primed variable inside INIT", Severity::Error, check_primed_in_init},
+      {"OTL003", "action disjunct leaves a read variable unconstrained", Severity::Warning,
+       check_frame_gap},
+      {"OTL004", "DISJOINT tuples overlap", Severity::Error, check_disjoint_overlap},
+      {"OTL005", "fairness action is not a syntactic subaction of NEXT", Severity::Warning,
+       check_fairness_subaction},
+      {"OTL007", "state-space estimate exceeds the configured bound", Severity::Warning,
+       check_state_space_estimate},
+      {"OTL008", "constant-foldable guard / dead action disjunct", Severity::Warning,
+       check_constant_guards},
+  };
+  return registry;
+}
+
+std::vector<Diagnostic> lint_module(const ParsedModule& mod, const LintOptions& opts) {
+  std::vector<Diagnostic> out;
+  for (const LintCheck& check : check_registry()) check.run(mod, opts, out);
+  return out;
+}
+
+std::vector<VarId> written_footprint(const Expr& next) {
+  std::set<VarId> written;
+  if (!next.is_null()) {
+    for (const ActionDisjunct& d : decompose_action(next)) {
+      for (const auto& [v, rhs] : d.assignments) {
+        const ExprNode& r = rhs.node();
+        const bool frame = r.kind == ExprKind::Var && r.var == v && !r.primed;
+        if (!frame) written.insert(v);
+      }
+      for (const Expr& c : d.residual) {
+        FreeVars fv = free_vars(c);
+        written.insert(fv.primed.begin(), fv.primed.end());
+      }
+    }
+  }
+  return {written.begin(), written.end()};
+}
+
+std::vector<Diagnostic> lint_pair(const ParsedModule& a, const ParsedModule& b,
+                                  const LintOptions&) {
+  std::vector<Diagnostic> out;
+  const std::vector<VarId> wa = written_footprint(a.spec.next);
+  const std::vector<VarId> wb = written_footprint(b.spec.next);
+  std::vector<VarId> overlap;
+  std::set_intersection(wa.begin(), wa.end(), wb.begin(), wb.end(),
+                        std::back_inserter(overlap));
+  if (overlap.empty()) return out;
+  Diagnostic d;
+  d.code = "OTL006";
+  d.severity = Severity::Warning;
+  d.module_name = a.name;
+  d.context = join_names(*a.vars, overlap);
+  d.loc = a.locs.next;
+  d.message = "modules '" + a.name + "' and '" + b.name +
+              "' can both change {" + join_names(*a.vars, overlap) +
+              "}; the footprint argument for '" + a.name + "' _|_ '" + b.name +
+              "' (Proposition 4 via Disjoint) fails syntactically";
+  out.push_back(std::move(d));
+  return out;
+}
+
+std::vector<Diagnostic> lint_modules(const std::vector<ParsedModule>& mods,
+                                     const LintOptions& opts) {
+  std::vector<Diagnostic> out;
+  for (const ParsedModule& mod : mods) {
+    std::vector<Diagnostic> diags = lint_module(mod, opts);
+    out.insert(out.end(), diags.begin(), diags.end());
+  }
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    for (std::size_t j = i + 1; j < mods.size(); ++j) {
+      if (mods[i].vars != mods[j].vars) continue;  // distinct universes
+      std::vector<Diagnostic> diags = lint_pair(mods[i], mods[j], opts);
+      out.insert(out.end(), diags.begin(), diags.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace opentla::lint

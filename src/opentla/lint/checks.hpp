@@ -1,0 +1,74 @@
+// opentla/lint/checks.hpp
+//
+// Registry of static checks over a ParsedModule. Each check approximates a
+// side condition of the paper syntactically, in milliseconds, before any
+// state exploration:
+//
+//   OTL001  variable declared but never read or constrained
+//   OTL002  primed variable inside INIT (a state-predicate context)
+//   OTL003  action disjunct reads a variable but leaves it unconstrained
+//           (frame-condition gap: a forgotten UNCHANGED conjunct)
+//   OTL004  DISJOINT tuples overlap (Proposition 4's precondition fails)
+//   OTL005  fairness action not a syntactic subaction of NEXT (Proposition
+//           1's machine-closure precondition is not syntactically evident)
+//   OTL006  overlapping written footprints between two modules (the
+//           syntactic guarantee of E \perp M orthogonality fails) — runs
+//           only when linting several modules over a shared universe
+//   OTL007  state-space estimate (product of declared domains) exceeds the
+//           configured bound
+//   OTL008  constant-foldable guard / dead action disjunct
+//
+// Checks never explore states; they only use the syntactic machinery of
+// expr/analysis (free_vars, decompose_action, fold_constant).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "opentla/lint/diagnostic.hpp"
+#include "opentla/parser/parser.hpp"
+
+namespace opentla::lint {
+
+struct LintOptions {
+  /// OTL007 warns when the product of declared domain sizes exceeds this.
+  std::uint64_t state_bound = 1'000'000;
+};
+
+/// One registered per-module check.
+struct LintCheck {
+  std::string code;
+  std::string summary;
+  Severity severity;
+  std::function<void(const ParsedModule&, const LintOptions&, std::vector<Diagnostic>&)> run;
+};
+
+/// The per-module checks (OTL001–OTL005, OTL007, OTL008) in code order.
+const std::vector<LintCheck>& check_registry();
+
+/// Runs every registered per-module check on `mod`.
+std::vector<Diagnostic> lint_module(const ParsedModule& mod, const LintOptions& opts = {});
+
+/// OTL006: reports variables both modules' next-state actions can change
+/// (footprint overlap). Disjoint written footprints are the syntactic
+/// guarantee of a \perp b (Proposition 4 via interleaving); an overlap means
+/// the orthogonality obligation needs a semantic check. Both modules must
+/// live in one shared VarTable universe.
+std::vector<Diagnostic> lint_pair(const ParsedModule& a, const ParsedModule& b,
+                                  const LintOptions& opts = {});
+
+/// Lints every module and, when modules share one universe, every pair.
+std::vector<Diagnostic> lint_modules(const std::vector<ParsedModule>& mods,
+                                     const LintOptions& opts = {});
+
+/// Variables a next-state action can change: assigned variables whose
+/// right-hand side is not the variable itself unprimed (v' = v and
+/// UNCHANGED conjuncts are frames, not writes), plus primed variables of
+/// residual constraints. This is the syntactic "written footprint" OTL006
+/// compares.
+std::vector<VarId> written_footprint(const Expr& next);
+
+}  // namespace opentla::lint

@@ -1,0 +1,80 @@
+#include "opentla/lint/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace opentla::lint {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [](const Diagnostic& d) { return d.severity == Severity::Error; });
+}
+
+std::string render_human(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags) {
+    out << (d.file.empty() ? d.module_name : d.file);
+    if (d.loc.known()) out << ":" << d.loc.line << ":" << d.loc.column;
+    out << ": " << to_string(d.severity) << ": " << d.message << " [" << d.code << "]\n";
+  }
+  if (!diags.empty()) {
+    out << diags.size() << (diags.size() == 1 ? " finding\n" : " findings\n");
+  }
+  return out.str();
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"file\": \"" << json_escape(d.file) << "\""
+        << ", \"module\": \"" << json_escape(d.module_name) << "\""
+        << ", \"code\": \"" << json_escape(d.code) << "\""
+        << ", \"severity\": \"" << to_string(d.severity) << "\""
+        << ", \"line\": " << d.loc.line
+        << ", \"column\": " << d.loc.column
+        << ", \"context\": \"" << json_escape(d.context) << "\""
+        << ", \"message\": \"" << json_escape(d.message) << "\"}";
+  }
+  if (!diags.empty()) out << "\n";
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace opentla::lint

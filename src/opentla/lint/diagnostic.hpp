@@ -1,0 +1,46 @@
+// opentla/lint/diagnostic.hpp
+//
+// The diagnostics engine of the static spec analyzer. A `Diagnostic` is one
+// finding of a lint check: a stable code (OTL001, ...), a severity, a
+// human-readable message, the variable or definition it concerns, and the
+// source location recorded by the parser. Renderers produce the classic
+// compiler-style `file:line:col: severity: message [CODE]` form and a
+// machine-readable JSON array for tooling.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opentla/parser/parser.hpp"
+
+namespace opentla::lint {
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+const char* to_string(Severity s);
+
+/// One finding of a static check.
+struct Diagnostic {
+  std::string code;         // stable check id, e.g. "OTL003"
+  Severity severity = Severity::Warning;
+  std::string message;
+  std::string module_name;  // module the finding is in
+  std::string context;      // variable / definition name, may be empty
+  SourceLoc loc;            // statement or declaration the finding points at
+  std::string file;         // filled by drivers that know the input path
+};
+
+/// True iff any diagnostic has Error severity.
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// `file:line:col: severity: message [CODE]`, one line per diagnostic,
+/// followed by a `N finding(s)` summary line (omitted when empty).
+std::string render_human(const std::vector<Diagnostic>& diags);
+
+/// JSON array of objects with keys file, module, code, severity, line,
+/// column, context, message. Always valid JSON (`[]` when empty).
+std::string render_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace opentla::lint

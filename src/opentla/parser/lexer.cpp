@@ -32,17 +32,23 @@ std::vector<Token> tokenize(const std::string& src) {
       ++i;
     }
   };
+  // Position of the token currently being scanned; emit() stamps tokens
+  // with their start, not the cursor position after the text.
+  std::size_t tok_line = 1;
+  std::size_t tok_col = 1;
   auto emit = [&](TokenKind kind, std::string text, std::int64_t number = 0) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.number = number;
-    t.line = line;
-    t.column = col;
+    t.line = tok_line;
+    t.column = tok_col;
     out.push_back(std::move(t));
   };
 
   while (i < src.size()) {
+    tok_line = line;
+    tok_col = col;
     const char c = peek();
     if (c == '\n') {
       // Collapse runs of newlines into one token.
@@ -243,6 +249,8 @@ std::vector<Token> tokenize(const std::string& src) {
         lex_error(line, col, std::string("unexpected character '") + c + "'");
     }
   }
+  tok_line = line;
+  tok_col = col;
   emit(TokenKind::End, "");
   return out;
 }

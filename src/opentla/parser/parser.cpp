@@ -398,6 +398,8 @@ std::vector<Statement> split_statements(const std::vector<Token>& tokens) {
   return out;
 }
 
+SourceLoc loc_of(const Token& t) { return SourceLoc{t.line, t.column}; }
+
 }  // namespace
 
 ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shared_vars) {
@@ -421,6 +423,7 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
         parse_error(st.keyword, "MODULE expects a name");
       }
       mod.name = st.body[0].text;
+      mod.locs.module_kw = loc_of(st.keyword);
     } else if (kw == "VARIABLE" || kw == "VARIABLES" || kw == "HIDDEN") {
       Cursor cur(st.body);
       do {
@@ -439,6 +442,10 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
         } else {
           id = mod.vars->declare(name.text, std::move(domain));
         }
+        if (std::find(mod.declared.begin(), mod.declared.end(), id) == mod.declared.end()) {
+          mod.declared.push_back(id);
+        }
+        mod.locs.variables.emplace(id, loc_of(name));
         if (kw == "HIDDEN") hidden.push_back(id);
       } while (cur.accept(TokenKind::Comma));
       if (!cur.done()) parse_error(cur.peek(), "trailing input after declaration");
@@ -458,15 +465,19 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
       Expr body = parser.parse();
       if (!cur.done()) parse_error(cur.peek(), "trailing input in definition");
       mod.definitions.emplace(name.text, std::move(body));
+      mod.locs.definitions.emplace(name.text, loc_of(name));
     } else if (kw == "INIT") {
+      mod.locs.init = loc_of(st.keyword);
       ExprParser parser(cur, *mod.vars, &mod.definitions);
       mod.spec.init = parser.parse();
       if (!cur.done()) parse_error(cur.peek(), "trailing input after INIT");
     } else if (kw == "NEXT") {
+      mod.locs.next = loc_of(st.keyword);
       ExprParser parser(cur, *mod.vars, &mod.definitions);
       next = parser.parse();
       if (!cur.done()) parse_error(cur.peek(), "trailing input after NEXT");
     } else if (kw == "SUBSCRIPT") {
+      mod.locs.subscript = loc_of(st.keyword);
       cur.expect(TokenKind::LTuple, "'<<'");
       if (!cur.at(TokenKind::RTuple)) {
         do {
@@ -479,6 +490,7 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
       cur.expect(TokenKind::RTuple, "'>>'");
       have_subscript = true;
     } else if (kw == "DISJOINT") {
+      mod.locs.disjoint = loc_of(st.keyword);
       have_disjoint = true;
       do {
         cur.expect(TokenKind::LTuple, "'<<'");
@@ -501,6 +513,7 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
       std::vector<Token> rest;
       while (!cur.done()) rest.push_back(cur.advance());
       fairness_bodies.emplace_back(kind.text == "SF", std::move(rest));
+      mod.locs.fairness.push_back(loc_of(st.keyword));
     }
   }
 
@@ -509,6 +522,7 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
       throw std::runtime_error("a DISJOINT module cannot also have INIT/NEXT/FAIRNESS");
     }
     mod.spec = make_disjoint(disjoint_tuples, mod.name.empty() ? "Disjoint" : mod.name);
+    mod.disjoint_tuples = std::move(disjoint_tuples);
     return mod;
   }
   if (mod.spec.init.is_null()) throw std::runtime_error("module has no INIT");

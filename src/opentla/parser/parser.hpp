@@ -21,9 +21,11 @@
 
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "opentla/expr/expr.hpp"
 #include "opentla/tla/spec.hpp"
@@ -35,11 +37,42 @@ namespace opentla {
 Expr parse_expression(const std::string& src, const VarTable& vars,
                       const std::map<std::string, Expr>* definitions = nullptr);
 
+/// A position in the module source (1-based; {0, 0} means "unknown").
+struct SourceLoc {
+  std::size_t line = 0;
+  std::size_t column = 0;
+
+  bool known() const { return line != 0; }
+};
+
+/// Source locations of a module's declarations and statements, recorded by
+/// the parser so later passes (the linter, error reporters) can point at
+/// the offending line instead of just naming a construct.
+struct ModuleLocations {
+  SourceLoc module_kw;                          // the MODULE statement
+  SourceLoc init;                               // the INIT statement
+  SourceLoc next;                               // the NEXT statement
+  SourceLoc subscript;                          // the SUBSCRIPT statement
+  SourceLoc disjoint;                           // the DISJOINT statement
+  std::map<std::string, SourceLoc> definitions; // DEFINE/ACTION name tokens
+  std::map<VarId, SourceLoc> variables;         // declaration name tokens
+  std::vector<SourceLoc> fairness;              // one per FAIRNESS statement,
+                                                // aligned with spec.fairness
+};
+
 struct ParsedModule {
   std::string name;
   std::shared_ptr<VarTable> vars;
   std::map<std::string, Expr> definitions;
   CanonicalSpec spec;
+  /// Variables this module itself declares (a shared universe may hold
+  /// more), in declaration order.
+  std::vector<VarId> declared;
+  /// The tuples of a DISJOINT module, in statement order (empty otherwise).
+  std::vector<std::vector<VarId>> disjoint_tuples;
+  ModuleLocations locs;
+
+  bool is_disjoint() const { return !disjoint_tuples.empty(); }
 };
 
 /// Parses a full module into a canonical specification. Throws

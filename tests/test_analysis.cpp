@@ -113,6 +113,99 @@ TEST_F(AnalysisTest, ToDnfLimitsExpansion) {
   EXPECT_THROW(to_dnf(ex::land(std::move(big)), 8), std::runtime_error);
 }
 
+TEST_F(AnalysisTest, FreeVarsThroughNestedEnabled) {
+  // ENABLED(x' = y /\ ENABLED(y' = x)): all primes are quantified away at
+  // every nesting level; only the unprimed reads leak out.
+  Expr inner = ex::enabled(ex::eq(ex::primed_var(y), ex::var(x)));
+  Expr e = ex::enabled(ex::land(ex::eq(ex::primed_var(x), ex::var(y)), inner));
+  FreeVars fv = free_vars(e);
+  EXPECT_TRUE(fv.primed.empty());
+  EXPECT_EQ(fv.unprimed, (std::set<VarId>{x, y}));
+  EXPECT_TRUE(is_state_function(e));
+
+  // A prime outside the ENABLED still counts.
+  Expr mixed = ex::land(e, ex::eq(ex::primed_var(x), ex::integer(0)));
+  EXPECT_EQ(free_vars(mixed).primed, (std::set<VarId>{x}));
+}
+
+TEST_F(AnalysisTest, ToDnfAtTheLimitStillSucceeds) {
+  // 2^2 = 4 disjuncts with max_disjuncts = 4: exactly at the limit, no
+  // throw; at 3 the same formula must throw.
+  Expr pair = ex::lor(ex::eq(ex::var(x), ex::integer(0)),
+                      ex::eq(ex::var(x), ex::integer(1)));
+  Expr e = ex::land(pair, pair);
+  EXPECT_EQ(flatten_or(to_dnf(e, 4)).size(), 4u);
+  EXPECT_THROW(to_dnf(e, 3), std::runtime_error);
+}
+
+TEST_F(AnalysisTest, TupleAssignmentArityMismatchStaysResidual) {
+  // <<x', y'>> = <<0>>: arities differ, so the equality cannot be split
+  // into assignments and must be kept as a residual constraint.
+  Expr act = ex::eq(ex::primed_var_tuple({x, y}), ex::make_tuple({ex::integer(0)}));
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_TRUE(ds[0].assignments.empty());
+  ASSERT_EQ(ds[0].residual.size(), 1u);
+  EXPECT_EQ(ds[0].unassigned_primed, (std::vector<VarId>{x, y}));
+}
+
+TEST_F(AnalysisTest, TupleAssignmentWithPrimedRhsStaysResidual) {
+  // <<x', y'>> = <<y', x>>: the rhs is not a state function, so this is a
+  // constraint to check, not an executable assignment.
+  Expr act = ex::eq(ex::primed_var_tuple({x, y}),
+                    ex::make_tuple({ex::primed_var(y), ex::var(x)}));
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_TRUE(ds[0].assignments.empty());
+  EXPECT_EQ(ds[0].residual.size(), 1u);
+}
+
+TEST_F(AnalysisTest, MixedTupleLhsIsNotAnAssignment)  {
+  // <<x', y>> = <<0, 1>>: one lhs element is unprimed, so the tuple is not
+  // an assignment shape.
+  Expr act = ex::eq(ex::make_tuple({ex::primed_var(x), ex::var(y)}),
+                    ex::make_tuple({ex::integer(0), ex::integer(1)}));
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_TRUE(ds[0].assignments.empty());
+  EXPECT_EQ(ds[0].residual.size(), 1u);
+}
+
+TEST_F(AnalysisTest, TupleAssignmentSwappedOrientation) {
+  // <<y, x>> = <<x', y'>> orients to the primed side and splits.
+  Expr act = ex::eq(ex::make_tuple({ex::var(y), ex::var(x)}),
+                    ex::primed_var_tuple({x, y}));
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  ASSERT_EQ(ds[0].assignments.size(), 2u);
+  EXPECT_EQ(ds[0].assignments[0].first, x);
+  EXPECT_EQ(ds[0].assignments[1].first, y);
+  EXPECT_TRUE(ds[0].residual.empty());
+}
+
+TEST_F(AnalysisTest, FoldConstantEvaluatesClosedExpressions) {
+  // (1 + 2) * 3 = 9, comparisons, and sequence operators.
+  Expr nine = ex::mul(ex::add(ex::integer(1), ex::integer(2)), ex::integer(3));
+  ASSERT_TRUE(fold_constant(nine).has_value());
+  EXPECT_EQ(fold_constant(nine)->as_int(), 9);
+  EXPECT_EQ(fold_constant(ex::lt(ex::integer(2), ex::integer(1)))->as_bool(), false);
+  Expr seq = ex::make_tuple({ex::integer(4), ex::integer(5)});
+  EXPECT_EQ(fold_constant(ex::len(seq))->as_int(), 2);
+  EXPECT_EQ(fold_constant(ex::head(seq))->as_int(), 4);
+  EXPECT_EQ(fold_constant(ex::index(seq, ex::integer(2)))->as_int(), 5);
+}
+
+TEST_F(AnalysisTest, FoldConstantShortCircuits) {
+  // FALSE /\ x' = 0 folds to FALSE even though one conjunct is open.
+  Expr open = ex::eq(ex::primed_var(x), ex::integer(0));
+  EXPECT_EQ(fold_constant(ex::land(ex::bottom(), open))->as_bool(), false);
+  EXPECT_EQ(fold_constant(ex::lor(ex::top(), open))->as_bool(), true);
+  // An open expression with no determining constant does not fold.
+  EXPECT_FALSE(fold_constant(ex::land(ex::top(), open)).has_value());
+  EXPECT_FALSE(fold_constant(ex::var(x)).has_value());
+  EXPECT_FALSE(fold_constant(ex::enabled(open)).has_value());
+}
+
 TEST_F(AnalysisTest, StructuralEquality) {
   Expr a = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));
   Expr b = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));

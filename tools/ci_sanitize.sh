@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build the whole tree with AddressSanitizer + UndefinedBehaviorSanitizer and
+# run the full ctest suite. Uses a dedicated build directory so it never
+# pollutes (or is polluted by) the regular build/.
+#
+# Usage: tools/ci_sanitize.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-sanitize}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DOPENTLA_SANITIZE=ON
+cmake --build "${build_dir}" -j"$(nproc)"
+
+# halt_on_error: fail the test (and hence CI) on the first sanitizer report
+# instead of continuing with a poisoned process.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over all first-party
+# sources, using the compile database from an existing CMake build directory.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+#
+# Degrades gracefully: exits 0 with a notice when clang-tidy is not installed,
+# so CI images without LLVM tooling don't fail the pipeline.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy_bin="$(command -v clang-tidy || true)"
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (not an error)." >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: no compile_commands.json in ${build_dir}; configuring..." >&2
+  cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" -name '*.cpp' | sort)
+
+status=0
+for f in "${sources[@]}"; do
+  echo "== clang-tidy ${f#${repo_root}/}"
+  "${tidy_bin}" -p "${build_dir}" --quiet "$f" || status=1
+done
+exit "${status}"

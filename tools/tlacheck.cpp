@@ -23,9 +23,14 @@
 //                                               conjuncts, e.g. DISJOINT
 //                                               modules; all modules share
 //                                               one universe by name)
+//   tlacheck lint SPEC.tla [SPEC2.tla ...]      static analysis (OTL001-008)
+//                   [--format json] [--werror]  without state exploration;
+//                   [--state-bound N]           several files share one
+//                                               universe and are also
+//                                               checked pairwise (OTL006)
 //
-// Exit code: 0 = property holds / info printed, 1 = violated, 2 = usage or
-// input error.
+// Exit code: 0 = property holds / info printed / lint clean, 1 = violated
+// or lint errors (any finding with --werror), 2 = usage or input error.
 
 #include <fstream>
 #include <iomanip>
@@ -42,6 +47,7 @@
 #include "opentla/check/refinement.hpp"
 #include "opentla/compose/compose.hpp"
 #include "opentla/graph/successor.hpp"
+#include "opentla/lint/checks.hpp"
 #include "opentla/parser/parser.hpp"
 
 using namespace opentla;
@@ -49,9 +55,15 @@ using namespace opentla;
 namespace {
 
 int usage() {
-  std::cerr << "usage: tlacheck info|states|check|closure|deadlock SPEC.tla [options]\n"
-               "       tlacheck refine LOW.tla HIGH.tla [--witness VAR=EXPR]...\n"
-               "options: --invariant EXPR   --dump   --max-states N\n";
+  std::cerr
+      << "usage: tlacheck info|states|check|closure|deadlock|simulate SPEC.tla [options]\n"
+         "       tlacheck refine LOW.tla HIGH.tla [--witness VAR=EXPR]...\n"
+         "       tlacheck leadsto SPEC.tla --from EXPR --to EXPR\n"
+         "       tlacheck compose --goal ENV.tla,GUAR.tla [--component ENV.tla,GUAR.tla]...\n"
+         "                [--constraint FILE.tla]... [--witness VAR=EXPR]...\n"
+         "       tlacheck lint SPEC.tla [SPEC2.tla ...] [--format json] [--werror]\n"
+         "                [--state-bound N]\n"
+         "options: --invariant EXPR   --dump   --max-states N   --steps N   --seed S\n";
   return 2;
 }
 
@@ -235,6 +247,42 @@ int cmd_compose(const std::vector<std::pair<std::string, std::string>>& componen
   return report.all_discharged() ? 0 : 1;
 }
 
+int cmd_lint(const std::vector<std::string>& files, const std::string& format, bool werror,
+             const lint::LintOptions& opts) {
+  // Several files share one universe (merged by variable name, like
+  // `compose`), so pairwise footprint checks (OTL006) see the same VarIds.
+  std::shared_ptr<VarTable> universe =
+      files.size() > 1 ? std::make_shared<VarTable>() : nullptr;
+  std::vector<ParsedModule> mods;
+  mods.reserve(files.size());
+  for (const std::string& file : files) {
+    mods.push_back(parse_module(slurp(file), universe));
+  }
+  std::vector<lint::Diagnostic> diags = lint::lint_modules(mods, opts);
+  for (lint::Diagnostic& d : diags) {
+    // Map each finding back to the input file via its module name.
+    for (std::size_t i = 0; i < mods.size(); ++i) {
+      if (mods[i].name == d.module_name) {
+        d.file = files[i];
+        break;
+      }
+    }
+  }
+  if (format == "json") {
+    std::cout << lint::render_json(diags);
+  } else {
+    std::cout << lint::render_human(diags);
+    if (diags.empty()) {
+      std::cout << "clean: " << files.size()
+                << (files.size() == 1 ? " module, " : " modules, ")
+                << lint::check_registry().size() << " checks, 0 findings\n";
+    }
+  }
+  if (lint::has_errors(diags)) return 1;
+  if (werror && !diags.empty()) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +297,9 @@ int main(int argc, char** argv) {
   std::size_t max_states = 2'000'000;
   std::size_t steps = 16;
   unsigned seed = 0;
+  std::string format = "human";
+  bool werror = false;
+  lint::LintOptions lint_opts;
   std::vector<std::pair<std::string, std::string>> witnesses;
   std::vector<std::pair<std::string, std::string>> component_files;
   std::vector<std::string> constraint_files;
@@ -277,6 +328,13 @@ int main(int argc, char** argv) {
       steps = std::stoull(args[++i]);
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
       seed = static_cast<unsigned>(std::stoul(args[++i]));
+    } else if (args[i] == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+      if (format != "human" && format != "json") return usage();
+    } else if (args[i] == "--werror") {
+      werror = true;
+    } else if (args[i] == "--state-bound" && i + 1 < args.size()) {
+      lint_opts.state_bound = std::stoull(args[++i]);
     } else if (args[i] == "--witness" && i + 1 < args.size()) {
       const std::string w = args[++i];
       const std::size_t eq = w.find('=');
@@ -299,6 +357,10 @@ int main(int argc, char** argv) {
       if (goal_files.first.empty() || component_files.empty()) return usage();
       return cmd_compose(component_files, constraint_files, goal_files, witnesses,
                          max_states);
+    }
+    if (cmd == "lint") {
+      if (files.empty()) return usage();
+      return cmd_lint(files, format, werror, lint_opts);
     }
     if (cmd == "refine") {
       if (files.size() != 2) return usage();
