@@ -1,21 +1,67 @@
 // Shared benchmark plumbing: every bench binary first prints the paper
 // artifact it regenerates (the "figure"), then runs its google-benchmark
-// timings.
+// timings, and finally exports the engine counters it accumulated as
+// BENCH_<name>.json (see tools/bench_schema.json).
+//
+// Set OPENTLA_OBS=0 in the environment to keep instrumentation disabled
+// (no counter collection, no JSON written) — e.g. when measuring the
+// disabled-mode overhead itself.
 
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
-#define OPENTLA_BENCH_MAIN(print_artifact)                        \
-  int main(int argc, char** argv) {                               \
-    print_artifact();                                             \
-    ::benchmark::Initialize(&argc, argv);                         \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
-      return 1;                                                   \
-    }                                                             \
-    ::benchmark::RunSpecifiedBenchmarks();                        \
-    ::benchmark::Shutdown();                                      \
-    return 0;                                                     \
+#include "opentla/obs/obs.hpp"
+
+namespace opentla::bench {
+
+inline std::string bench_name_from_argv0(const char* argv0) {
+  std::string s = argv0 ? argv0 : "bench";
+  const std::size_t slash = s.find_last_of("/\\");
+  if (slash != std::string::npos) s = s.substr(slash + 1);
+  const std::size_t dot = s.rfind('.');
+  if (dot != std::string::npos && dot > 0) s = s.substr(0, dot);
+  return s;
+}
+
+inline bool obs_requested() {
+  const char* env = std::getenv("OPENTLA_OBS");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+}  // namespace opentla::bench
+
+#define OPENTLA_BENCH_MAIN(print_artifact)                              \
+  int main(int argc, char** argv) {                                     \
+    const std::string bench_name =                                      \
+        ::opentla::bench::bench_name_from_argv0(argc > 0 ? argv[0]      \
+                                                         : nullptr);    \
+    const bool collect = ::opentla::obs::compile_time_enabled() &&      \
+                         ::opentla::bench::obs_requested();             \
+    print_artifact();                                                   \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {         \
+      return 1;                                                         \
+    }                                                                   \
+    if (collect) {                                                      \
+      ::opentla::obs::reset();                                          \
+      ::opentla::obs::set_enabled(true);                                \
+    }                                                                   \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    if (collect) {                                                      \
+      ::opentla::obs::set_enabled(false);                               \
+      const ::opentla::obs::Snapshot snap = ::opentla::obs::snapshot(); \
+      const std::string path =                                          \
+          ::opentla::obs::write_bench_json(bench_name, snap);           \
+      if (!path.empty()) {                                              \
+        std::cerr << "counters exported to " << path << "\n";           \
+      }                                                                 \
+    }                                                                   \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
   }

@@ -13,6 +13,7 @@
 #include "opentla/check/refinement.hpp"
 #include "opentla/compose/compose.hpp"
 #include "opentla/expr/analysis.hpp"
+#include "opentla/obs/obs.hpp"
 
 namespace opentla {
 
@@ -118,18 +119,23 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
   }
 
   // --- 1. Proposition 1: syntactic closures ---
+  // Proof-step spans follow Figure 9's numbering: 1 (closures + side
+  // conditions), 2.1.i (H1 per component), 2.2 (H2a), 2.3 (H2b), 3 (the
+  // theorem's conclusion from the discharged hypotheses).
   std::vector<CanonicalSpec> closures;  // C(M_j)
-  for (const AGSpec& c : components) {
-    Prop1Result p1 = prop1_closure(c.guarantee);
-    report.add(p1.obligation);
-    closures.push_back(std::move(p1.closure));
-  }
-  Prop1Result goal_p1 = prop1_closure(goal.guarantee);
-  report.add(goal_p1.obligation);
-  if (!report.all_discharged()) return report;
-
-  // --- Proposition 2: hidden variables are private ---
+  Prop1Result goal_p1;
   {
+    OPENTLA_OBS_SPAN("fig9:1");
+    for (const AGSpec& c : components) {
+      Prop1Result p1 = prop1_closure(c.guarantee);
+      report.add(p1.obligation);
+      closures.push_back(std::move(p1.closure));
+    }
+    goal_p1 = prop1_closure(goal.guarantee);
+    report.add(goal_p1.obligation);
+    if (!report.all_discharged()) return report;
+
+    // --- Proposition 2: hidden variables are private ---
     std::vector<const CanonicalSpec*> all_specs;
     all_specs.push_back(&goal.assumption);
     for (const CanonicalSpec& c : closures) all_specs.push_back(&c);
@@ -198,6 +204,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
 
   // --- H1: |= C(E) /\ /\_j C(M_j) => E_i ---
   {
+    OPENTLA_OBS_SPAN("fig9:2.1");
     std::vector<std::shared_ptr<const SafetyMachine>> constraints;
     constraints.push_back(std::make_shared<PrefixMachine>(vars, goal.assumption));
     for (const CanonicalSpec& c : closures) {
@@ -206,6 +213,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
     ConstraintExplorer explorer(vars, constraints, build_movers(), init_enum, normalize,
                                 opts.max_nodes);
     for (std::size_t i = 0; i < components.size(); ++i) {
+      OPENTLA_OBS_SPAN("fig9:2.1." + std::to_string(i + 1));
       Obligation ob;
       ob.id = "H1[" + components[i].assumption.name + "]";
       ob.description = "C(" + goal.assumption.name + ") /\\ /\\_j C(M_j) => " +
@@ -238,6 +246,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
                      goal.guarantee.name + ")";
     ob.method = "product-inclusion(freeze)";
     {
+      OPENTLA_OBS_SPAN("fig9:2.2");
       ObligationTimer timer(ob);
       std::vector<std::shared_ptr<const SafetyMachine>> constraints;
       constraints.push_back(std::make_shared<FreezeMachine>(
@@ -274,6 +283,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
         goal.assumption.name + " /\\ /\\_j M_j => " + goal.guarantee.name;
     ob.method = "complete-system refinement";
     {
+    OPENTLA_OBS_SPAN("fig9:2.3");
     ObligationTimer timer_guard(ob);
     std::vector<CompositePart> parts;
     if (!is_trivial_spec(goal.assumption)) {
@@ -333,6 +343,12 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
     report.add(std::move(ob));
   }
 
+  {
+    // Step 3: the Composition Theorem's conclusion — assembling the verdict
+    // from the discharged hypotheses (no further exploration).
+    OPENTLA_OBS_SPAN("fig9:3");
+    report.all_discharged();
+  }
   return report;
 }
 
@@ -408,6 +424,7 @@ std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
                      goal.guarantee.name + ")";
     ob.method = "orthogonality(product)";
     {
+      OPENTLA_OBS_SPAN("prop3:2.1");
       ObligationTimer timer(ob);
       // R's generator: the closures with hidden variables explicit, plus a
       // single free tuple for everything no mover constrains (environment
@@ -466,6 +483,7 @@ std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
         "C(" + goal.assumption.name + ") /\\ /\\_j C(M_j) => C(" + goal.guarantee.name + ")";
     ob.method = "product-inclusion";
     {
+      OPENTLA_OBS_SPAN("prop3:2.2");
       ObligationTimer timer(ob);
       std::vector<std::shared_ptr<const SafetyMachine>> constraints;
       constraints.push_back(std::make_shared<PrefixMachine>(vars, goal.assumption));

@@ -1,5 +1,7 @@
 #include "opentla/automata/freeze.hpp"
 
+#include "opentla/obs/obs.hpp"
+
 namespace opentla {
 
 FreezeMachine::FreezeMachine(std::shared_ptr<const SafetyMachine> inner, std::vector<VarId> v)
@@ -12,6 +14,7 @@ Value FreezeMachine::initial(const State& s) const {
 }
 
 Value FreezeMachine::step(const Value& config, const State& s, const State& t) const {
+  OPENTLA_OBS_COUNT(FreezeSteps);
   const Value::Tuple& parts = config.as_tuple();
   const Value& inner_before = parts[0];
   const bool frozen_before = parts[1].as_bool();

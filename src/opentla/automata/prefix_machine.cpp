@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "opentla/expr/eval.hpp"
+#include "opentla/obs/obs.hpp"
 #include "opentla/state/state_space.hpp"
 
 namespace opentla {
@@ -61,6 +62,7 @@ Value PrefixMachine::initial(const State& s) const {
   });
   Value config = encode_config(std::move(alive_assignments));
   max_config_ = std::max(max_config_, config.length());
+  OPENTLA_OBS_GAUGE_MAX(PeakConfigurationCount, config.length());
   return config;
 }
 
@@ -116,6 +118,7 @@ void PrefixMachine::hidden_successors(const State& s_full, const State& t,
 }
 
 Value PrefixMachine::step(const Value& config, const State& s, const State& t) const {
+  OPENTLA_OBS_COUNT_N(ConfigsExpanded, config.length());
   std::vector<Value> next_assignments;
   const bool visible_stutter = !changes_tuple(visible_sub_, s, t);
   for (const Value& h : config.as_tuple()) {
@@ -128,6 +131,7 @@ Value PrefixMachine::step(const Value& config, const State& s, const State& t) c
   }
   Value next = encode_config(std::move(next_assignments));
   max_config_ = std::max(max_config_, next.length());
+  OPENTLA_OBS_GAUGE_MAX(PeakConfigurationCount, next.length());
   return next;
 }
 

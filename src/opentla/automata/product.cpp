@@ -1,5 +1,7 @@
 #include "opentla/automata/product.hpp"
 
+#include "opentla/obs/obs.hpp"
+
 namespace opentla {
 
 ProductMachine::ProductMachine(std::vector<std::shared_ptr<const SafetyMachine>> factors)
@@ -13,6 +15,7 @@ Value ProductMachine::initial(const State& s) const {
 }
 
 Value ProductMachine::step(const Value& config, const State& s, const State& t) const {
+  OPENTLA_OBS_COUNT(ProductSteps);
   const Value::Tuple& parts = config.as_tuple();
   Value::Tuple configs;
   configs.reserve(factors_.size());

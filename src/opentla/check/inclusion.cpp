@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "opentla/obs/obs.hpp"
+
 namespace opentla {
 
 Mover mover_from_spec(const VarTable& vars, const CanonicalSpec& spec, int constraint_index,
@@ -49,6 +51,7 @@ ConstraintExplorer::ConstraintExplorer(
       constraints_(std::move(constraints)),
       movers_(std::move(movers)),
       normalize_(std::move(normalize)) {
+  OPENTLA_OBS_SPAN("ConstraintExplorer.explore");
   auto normalized = [&](State s) {
     for (VarId v : normalize_) s[v] = vars.domain(v)[0];
     return s;
@@ -80,6 +83,7 @@ ConstraintExplorer::ConstraintExplorer(
       throw std::runtime_error("ConstraintExplorer: too many product nodes");
     }
     const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+    OPENTLA_OBS_COUNT(ProductNodes);
     nodes_.push_back({sid, std::move(key.configs), parent});
     adjacency_.emplace_back();
     index.emplace(NodeKey{sid, nodes_.back().configs}, id);
@@ -154,6 +158,7 @@ ConstraintExplorer::ConstraintExplorer(
       }
     }
   }
+  OPENTLA_OBS_GAUGE_MAX(PeakProductNodes, nodes_.size());
 }
 
 std::vector<State> ConstraintExplorer::trace_to(std::uint32_t node) const {
@@ -166,6 +171,7 @@ std::vector<State> ConstraintExplorer::trace_to(std::uint32_t node) const {
 }
 
 ConstraintExplorer::Verdict ConstraintExplorer::check_target(const SafetyMachine& target) const {
+  OPENTLA_OBS_SPAN("ConstraintExplorer.check_target");
   Verdict verdict;
   verdict.target_name = target.name();
 
@@ -194,7 +200,10 @@ ConstraintExplorer::Verdict ConstraintExplorer::check_target(const SafetyMachine
       return verdict;
     }
     PairKey key{n, std::move(cfg)};
-    if (visited.insert(key).second) frontier.push_back(std::move(key));
+    if (visited.insert(key).second) {
+      OPENTLA_OBS_COUNT(InclusionPairs);
+      frontier.push_back(std::move(key));
+    }
   }
 
   // Parent tracking for counterexample reconstruction.
@@ -210,6 +219,7 @@ ConstraintExplorer::Verdict ConstraintExplorer::check_target(const SafetyMachine
       const bool dead = !target.alive(cfg);
       PairKey v{vnode, std::move(cfg)};
       if (!dead && !visited.insert(v).second) continue;
+      OPENTLA_OBS_COUNT(InclusionPairs);
       parent.emplace(v, u);
       if (dead) {
         // Reconstruct the visible trace through the pair parents.

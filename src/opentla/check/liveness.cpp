@@ -5,11 +5,13 @@
 
 #include "opentla/expr/eval.hpp"
 #include "opentla/graph/scc.hpp"
+#include "opentla/obs/obs.hpp"
 
 namespace opentla {
 
 LeadsToResult check_leads_to(const StateGraph& graph, const std::vector<Fairness>& fairness,
                              const Expr& p, const Expr& q) {
+  OPENTLA_OBS_SPAN("check_leads_to");
   LeadsToResult result;
   const VarTable& vars = graph.vars();
 

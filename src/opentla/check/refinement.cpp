@@ -5,6 +5,7 @@
 
 #include "opentla/expr/eval.hpp"
 #include "opentla/graph/successor.hpp"
+#include "opentla/obs/obs.hpp"
 
 namespace opentla {
 
@@ -55,6 +56,7 @@ std::vector<State> to_states(const StateGraph& g, const std::vector<StateId>& id
 RefinementResult check_refinement(const StateGraph& low_graph,
                                   const std::vector<Fairness>& low_fairness,
                                   const CanonicalSpec& high, const RefinementMapping& mapping) {
+  OPENTLA_OBS_SPAN("check_refinement");
   RefinementResult result;
   result.states = low_graph.num_states();
   result.edges = low_graph.num_edges();
@@ -79,6 +81,7 @@ RefinementResult check_refinement(const StateGraph& low_graph,
   // (step) every low edge maps to [HighNext]_v.
   for (StateId u = 0; u < low_graph.num_states(); ++u) {
     for (StateId v : low_graph.successors(u)) {
+      OPENTLA_OBS_COUNT(RefinementEdgesChecked);
       if (high.step_ok(high_vars, mapped[u], mapped[v])) continue;
       result.holds = false;
       result.failed_part = "step";

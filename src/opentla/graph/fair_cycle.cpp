@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "opentla/obs/obs.hpp"
+
 namespace opentla {
 
 namespace {
@@ -30,6 +32,7 @@ struct EdgeWitness {
 // `cycle_out` with a closed walk satisfying every obligation.
 bool check_component(const StateGraph& g, const FairCycleQuery& q,
                      const std::vector<StateId>& comp, std::vector<StateId>& cycle_out) {
+  OPENTLA_OBS_COUNT(LassoCandidates);
   Region region{&q, std::vector<char>(g.num_states(), 0)};
   for (StateId s : comp) region.member[s] = 1;
   const SubgraphFilter in_comp = region.filter();
@@ -182,6 +185,7 @@ bool component_hosts_fair_cycle(const StateGraph& g, const FairCycleQuery& q,
 }
 
 std::optional<Lasso> find_fair_cycle(const StateGraph& g, const FairCycleQuery& q) {
+  OPENTLA_OBS_SPAN("find_fair_cycle");
   // Every node of a StateGraph is reachable from an initial state by
   // construction, and only the *cycle* must satisfy the query's subgraph
   // restriction (the prefix runs on the unrestricted graph). So the SCC

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "opentla/obs/obs.hpp"
+
 namespace opentla {
 
 std::vector<std::vector<StateId>> strongly_connected_components(
     const StateGraph& g, const std::vector<StateId>& roots, const SubgraphFilter& filter) {
+  OPENTLA_OBS_COUNT(SccPasses);
   const std::size_t n = g.num_states();
   constexpr std::uint32_t kUnvisited = UINT32_MAX;
   std::vector<std::uint32_t> index(n, kUnvisited);

@@ -4,16 +4,20 @@
 #include <deque>
 #include <stdexcept>
 
+#include "opentla/obs/obs.hpp"
+
 namespace opentla {
 
 StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_states,
                        const SuccessorFn& succ, bool add_self_loops, std::size_t max_states)
     : vars_(&vars) {
+  OPENTLA_OBS_SPAN("StateGraph.explore");
   std::deque<StateId> frontier;
   for (const State& s : init_states) {
     const std::size_t before = store_.size();
     const StateId id = store_.intern(s);
     if (store_.size() > before) {
+      OPENTLA_OBS_COUNT(StatesGenerated);
       frontier.push_back(id);
       adjacency_.emplace_back();
     }
@@ -37,6 +41,7 @@ StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_stat
         if (store_.size() > max_states) {
           throw std::runtime_error("StateGraph: state limit exceeded");
         }
+        OPENTLA_OBS_COUNT(StatesGenerated);
         frontier.push_back(tid);
         adjacency_.emplace_back();
       }
@@ -48,6 +53,7 @@ StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_stat
     num_edges_ += out.size();
     adjacency_[id] = std::move(out);
   }
+  OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, store_.size());
 }
 
 std::vector<StateId> StateGraph::shortest_path_to(

@@ -4,6 +4,7 @@
 
 #include "opentla/expr/eval.hpp"
 #include "opentla/expr/substitute.hpp"
+#include "opentla/obs/obs.hpp"
 
 namespace opentla {
 
@@ -70,6 +71,7 @@ bool ActionSuccessors::run(const State& s, bool existential_only,
         if (!eval_bool(r, actx)) return;
       }
       if (!seen.insert(t).second) return;
+      OPENTLA_OBS_COUNT(SuccessorsEnumerated);
       if (fn(t)) stop = true;
     });
     if (stop) return true;
@@ -92,6 +94,7 @@ std::vector<State> ActionSuccessors::successors(const State& s) const {
 }
 
 bool ActionSuccessors::enabled(const State& s) const {
+  OPENTLA_OBS_COUNT(EnabledEvaluations);
   return run(s, /*existential_only=*/true, [](const State&) { return true; });
 }
 

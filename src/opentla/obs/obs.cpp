@@ -1,0 +1,302 @@
+#include "opentla/obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace opentla::obs {
+
+const char* name(Counter c) {
+  switch (c) {
+    case Counter::StatesGenerated: return "states_generated";
+    case Counter::SuccessorsEnumerated: return "successors_enumerated";
+    case Counter::EnabledEvaluations: return "enabled_evaluations";
+    case Counter::ConfigsExpanded: return "configs_expanded";
+    case Counter::SccPasses: return "scc_passes";
+    case Counter::LassoCandidates: return "lasso_candidates";
+    case Counter::InclusionPairs: return "inclusion_pairs";
+    case Counter::ProductNodes: return "product_nodes";
+    case Counter::ProductSteps: return "product_steps";
+    case Counter::FreezeSteps: return "freeze_steps";
+    case Counter::RefinementEdgesChecked: return "refinement_edges_checked";
+    case Counter::OracleEvaluations: return "oracle_evaluations";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* name(Gauge g) {
+  switch (g) {
+    case Gauge::PeakConfigurationCount: return "peak_configuration_count";
+    case Gauge::PeakGraphStates: return "peak_graph_states";
+    case Gauge::PeakProductNodes: return "peak_product_nodes";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
+namespace detail {
+
+Bank g_bank;
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// Completed spans, appended under a mutex. Bounded so pathological runs
+// (a span per benchmark iteration) cannot exhaust memory; overflow is
+// counted and reported by every renderer.
+constexpr std::size_t kMaxSpans = 1u << 17;
+
+std::mutex g_span_mutex;
+std::vector<SpanRecord> g_spans;
+std::uint64_t g_spans_dropped = 0;
+
+std::atomic<std::uint32_t> g_next_span_id{1};
+std::atomic<std::uint32_t> g_next_tid{1};
+
+thread_local std::uint32_t t_current_span = 0;  // innermost open span, 0 = none
+thread_local std::uint32_t t_tid = 0;
+
+std::uint32_t thread_tid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+std::uint64_t now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - epoch)
+                                        .count());
+}
+
+}  // namespace
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Span::open(std::string span_name) {
+  active_ = true;
+  name_ = std::move(span_name);
+  id_ = detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = detail::t_current_span;
+  detail::t_current_span = id_;
+  start_us_ = detail::now_us();
+}
+
+void Span::close() {
+  const std::uint64_t end_us = detail::now_us();
+  detail::t_current_span = parent_;
+  SpanRecord rec;
+  rec.name = std::move(name_);
+  rec.id = id_;
+  rec.parent = parent_;
+  rec.tid = detail::thread_tid();
+  rec.start_us = start_us_;
+  rec.dur_us = end_us - start_us_;
+  std::lock_guard<std::mutex> lock(detail::g_span_mutex);
+  if (detail::g_spans.size() < detail::kMaxSpans) {
+    detail::g_spans.push_back(std::move(rec));
+  } else {
+    ++detail::g_spans_dropped;
+  }
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    snap.counters[i] = detail::g_bank.counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    snap.gauges[i] = detail::g_bank.gauges[i].load(std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(detail::g_span_mutex);
+  snap.spans = detail::g_spans;
+  snap.spans_dropped = detail::g_spans_dropped;
+  return snap;
+}
+
+void reset() {
+  for (auto& c : detail::g_bank.counters) c.store(0, std::memory_order_relaxed);
+  for (auto& g : detail::g_bank.gauges) g.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(detail::g_span_mutex);
+  detail::g_spans.clear();
+  detail::g_spans_dropped = 0;
+}
+
+ScopedSink::ScopedSink() : prev_enabled_(enabled()) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    base_counters_[i] = detail::g_bank.counters[i].load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(detail::g_span_mutex);
+    base_spans_ = detail::g_spans.size();
+  }
+  set_enabled(true);
+}
+
+ScopedSink::~ScopedSink() { set_enabled(prev_enabled_); }
+
+Snapshot ScopedSink::take() const {
+  Snapshot snap = snapshot();
+  for (std::size_t i = 0; i < kNumCounters; ++i) snap.counters[i] -= base_counters_[i];
+  // Gauges are high-water marks, not differences: report them as-is.
+  snap.spans.erase(snap.spans.begin(),
+                   snap.spans.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(base_spans_, snap.spans.size())));
+  return snap;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_human(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "opentla::obs stats\n";
+  out << "  counters:\n";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    char line[96];
+    std::snprintf(line, sizeof line, "    %-26s %12llu\n", name(static_cast<Counter>(i)),
+                  static_cast<unsigned long long>(snap.counters[i]));
+    out << line;
+  }
+  out << "  gauges:\n";
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    char line[96];
+    std::snprintf(line, sizeof line, "    %-26s %12llu\n", name(static_cast<Gauge>(i)),
+                  static_cast<unsigned long long>(snap.gauges[i]));
+    out << line;
+  }
+  if (!snap.spans.empty()) {
+    // Aggregate by name, preserving first-appearance order.
+    struct Agg {
+      std::uint64_t count = 0;
+      std::uint64_t total_us = 0;
+    };
+    std::vector<std::pair<std::string, Agg>> aggs;
+    for (const SpanRecord& s : snap.spans) {
+      auto it = std::find_if(aggs.begin(), aggs.end(),
+                             [&](const auto& a) { return a.first == s.name; });
+      if (it == aggs.end()) {
+        aggs.push_back({s.name, {}});
+        it = aggs.end() - 1;
+      }
+      ++it->second.count;
+      it->second.total_us += s.dur_us;
+    }
+    out << "  spans (aggregated):\n";
+    for (const auto& [span_name, agg] : aggs) {
+      char line[160];
+      std::snprintf(line, sizeof line, "    %-26s %8llu x %12.3f ms\n", span_name.c_str(),
+                    static_cast<unsigned long long>(agg.count),
+                    static_cast<double>(agg.total_us) / 1000.0);
+      out << line;
+    }
+  }
+  if (snap.spans_dropped > 0) {
+    out << "  (" << snap.spans_dropped << " spans dropped past the recording cap)\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << name(static_cast<Counter>(i)) << "\": " << snap.counters[i];
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << name(static_cast<Gauge>(i)) << "\": " << snap.gauges[i];
+  }
+  out << "\n  },\n  \"spans_dropped\": " << snap.spans_dropped;
+  out << ",\n  \"spans\": [";
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const SpanRecord& s = snap.spans[i];
+    if (i > 0) out << ",";
+    out << "\n    {\"name\": \"" << json_escape(s.name) << "\", \"id\": " << s.id
+        << ", \"parent\": " << s.parent << ", \"tid\": " << s.tid
+        << ", \"ts_us\": " << s.start_us << ", \"dur_us\": " << s.dur_us << "}";
+  }
+  if (!snap.spans.empty()) out << "\n  ";
+  out << "]\n}\n";
+  return out.str();
+}
+
+std::string render_chrome_trace(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  sep();
+  out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"opentla\"}}";
+  std::uint64_t last_ts = 0;
+  for (const SpanRecord& s : snap.spans) {
+    last_ts = std::max(last_ts, s.start_us + s.dur_us);
+    sep();
+    out << "  {\"name\": \"" << json_escape(s.name) << "\", \"cat\": \"opentla\", "
+        << "\"ph\": \"X\", \"ts\": " << s.start_us << ", \"dur\": " << s.dur_us
+        << ", \"pid\": 1, \"tid\": " << s.tid << ", \"args\": {\"id\": " << s.id
+        << ", \"parent\": " << s.parent << "}}";
+  }
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (snap.counters[i] == 0) continue;
+    sep();
+    out << "  {\"name\": \"" << name(static_cast<Counter>(i)) << "\", \"ph\": \"C\", "
+        << "\"ts\": " << last_ts << ", \"pid\": 1, \"args\": {\"value\": "
+        << snap.counters[i] << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::string write_bench_json(const std::string& bench_name, const Snapshot& snap) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n  \"schema\": \"opentla-bench-v1\",\n  \"bench\": \""
+      << json_escape(bench_name) << "\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << name(static_cast<Counter>(i)) << "\": " << snap.counters[i];
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << name(static_cast<Gauge>(i)) << "\": " << snap.gauges[i];
+  }
+  out << "\n  }\n}\n";
+  return out ? path : "";
+}
+
+}  // namespace opentla::obs

@@ -1,0 +1,249 @@
+// opentla/obs/obs.hpp
+//
+// Zero-dependency observability layer for the checking engine: monotonic
+// counters and peak gauges for the hot algorithms (successor generation,
+// subset construction, SCC refinement, fair-cycle search, product
+// inclusion), RAII timer spans with parent/child nesting, and a
+// thread-safe global registry. Three renderers serve different consumers:
+// a human table, a JSON object, and the Chrome trace_event format that
+// `chrome://tracing` and Perfetto load directly.
+//
+// Instrumentation sites use the OPENTLA_OBS_* macros below. They are
+// gated twice: at compile time by OPENTLA_OBS_ENABLED (the default build
+// defines it to 1; -DOPENTLA_OBS=OFF builds define it to 0, turning every
+// macro into `((void)0)`), and at runtime by a relaxed atomic flag, so an
+// instrumented-but-disabled build pays one predictable branch per site.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef OPENTLA_OBS_ENABLED
+#define OPENTLA_OBS_ENABLED 1
+#endif
+
+namespace opentla::obs {
+
+// --- Counters: monotonic event totals, one atomic cell each. ---
+enum class Counter : std::size_t {
+  StatesGenerated,         // states interned while building a StateGraph
+  SuccessorsEnumerated,    // distinct successors emitted by ActionSuccessors
+  EnabledEvaluations,      // ENABLED queries answered by ActionSuccessors
+  ConfigsExpanded,         // hidden-variable assignments stepped by PrefixMachine
+  SccPasses,               // Tarjan decompositions run
+  LassoCandidates,         // SCCs examined as fair-cycle candidates
+  InclusionPairs,          // (product node, target config) pairs visited
+  ProductNodes,            // nodes interned by ConstraintExplorer
+  ProductSteps,            // ProductMachine::step calls
+  FreezeSteps,             // FreezeMachine::step calls
+  RefinementEdgesChecked,  // low edges checked against [HighNext]_v
+  OracleEvaluations,       // lasso-oracle formula node evaluations
+  kCount
+};
+
+// --- Gauges: high-water marks, updated with atomic max. ---
+enum class Gauge : std::size_t {
+  PeakConfigurationCount,  // largest prefix-machine configuration seen
+  PeakGraphStates,         // largest single StateGraph built
+  PeakProductNodes,        // largest ConstraintExplorer node set built
+  kCount
+};
+
+constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+constexpr std::size_t kNumGauges = static_cast<std::size_t>(Gauge::kCount);
+
+/// Stable snake_case identifiers used by every renderer and BENCH_*.json.
+const char* name(Counter c);
+const char* name(Gauge g);
+
+namespace detail {
+
+struct Bank {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kNumGauges> gauges{};
+};
+
+extern Bank g_bank;
+extern std::atomic<bool> g_enabled;
+
+}  // namespace detail
+
+/// Runtime toggle. Off by default; `tlacheck profile`, `--stats` and the
+/// bench harness turn it on. Sites check this with a relaxed load.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on);
+
+/// True in builds whose instrumentation macros are live.
+constexpr bool compile_time_enabled() { return OPENTLA_OBS_ENABLED != 0; }
+
+inline void count(Counter c, std::uint64_t n = 1) {
+  detail::g_bank.counters[static_cast<std::size_t>(c)].fetch_add(n,
+                                                                 std::memory_order_relaxed);
+}
+
+inline void gauge_max(Gauge g, std::uint64_t v) {
+  auto& cell = detail::g_bank.gauges[static_cast<std::size_t>(g)];
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (v > cur && !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// --- Spans ---
+
+/// One completed timer span. `parent` is the id of the span that was open
+/// on the same thread when this one started (0 = root). Timestamps are
+/// microseconds since the process-wide epoch, which is what trace_event
+/// `ts`/`dur` expect.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// RAII timer span. Construction is a no-op when the runtime flag is off
+/// — the inline constructors test the flag before materializing the name,
+/// so a disabled literal-named span costs one relaxed load and a branch
+/// (no std::string allocation, no out-of-line call). Destruction appends
+/// a SpanRecord to the global registry. Nesting is tracked per thread.
+class Span {
+ public:
+  explicit Span(const char* span_name) {
+    if (enabled()) open(span_name);
+  }
+  explicit Span(std::string span_name) {
+    if (enabled()) open(std::move(span_name));
+  }
+  ~Span() {
+    if (active_) close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(std::string span_name);
+  void close();
+
+  bool active_ = false;
+  std::uint32_t id_ = 0;
+  std::uint32_t parent_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::string name_;
+};
+
+// --- Snapshot and registry operations ---
+
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<std::uint64_t, kNumGauges> gauges{};
+  std::vector<SpanRecord> spans;
+  std::uint64_t spans_dropped = 0;
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t gauge(Gauge g) const { return gauges[static_cast<std::size_t>(g)]; }
+};
+
+/// Copy the registry's current totals (counters, gauges, completed spans).
+Snapshot snapshot();
+
+/// Zero all counters and gauges and drop all recorded spans.
+void reset();
+
+/// Scoped sink: remembers the registry baseline and the previous runtime
+/// flag at construction, enables collection, and restores the flag at
+/// destruction. `take()` returns only what happened inside the scope, so
+/// sinks nest (each sees its own delta) and drivers never have to reset
+/// the global registry.
+class ScopedSink {
+ public:
+  ScopedSink();
+  ~ScopedSink();
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+  Snapshot take() const;
+
+ private:
+  std::array<std::uint64_t, kNumCounters> base_counters_{};
+  std::size_t base_spans_ = 0;
+  bool prev_enabled_ = false;
+};
+
+// --- Renderers ---
+
+/// Minimal JSON string escaping (shared with the CLI's JSON emitters).
+std::string json_escape(const std::string& s);
+
+/// Aligned table: all counters and gauges, then spans aggregated by name
+/// (count, total/self milliseconds).
+std::string render_human(const Snapshot& snap);
+
+/// One JSON object: {"counters": {...}, "gauges": {...}, "spans": [...]}.
+std::string render_json(const Snapshot& snap);
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}): one "X" complete
+/// event per span plus one "C" counter sample per nonzero counter.
+/// Loadable in chrome://tracing and https://ui.perfetto.dev.
+std::string render_chrome_trace(const Snapshot& snap);
+
+/// Write `BENCH_<bench_name>.json` (schema tools/bench_schema.json) into
+/// the current directory: counters + gauges for the whole process run.
+/// Returns the path written, or an empty string on I/O failure.
+std::string write_bench_json(const std::string& bench_name, const Snapshot& snap);
+
+}  // namespace opentla::obs
+
+// --- Instrumentation macros ---
+//
+// These, not the functions above, are what engine code uses: a build with
+// OPENTLA_OBS_ENABLED=0 compiles every site to `((void)0)` with all
+// arguments unevaluated.
+
+#if OPENTLA_OBS_ENABLED
+
+#define OPENTLA_OBS_COUNT(counter_id)                                   \
+  do {                                                                  \
+    if (::opentla::obs::enabled())                                      \
+      ::opentla::obs::count(::opentla::obs::Counter::counter_id);       \
+  } while (0)
+
+#define OPENTLA_OBS_COUNT_N(counter_id, n)                              \
+  do {                                                                  \
+    if (::opentla::obs::enabled())                                      \
+      ::opentla::obs::count(::opentla::obs::Counter::counter_id,        \
+                            static_cast<std::uint64_t>(n));             \
+  } while (0)
+
+#define OPENTLA_OBS_GAUGE_MAX(gauge_id, v)                              \
+  do {                                                                  \
+    if (::opentla::obs::enabled())                                      \
+      ::opentla::obs::gauge_max(::opentla::obs::Gauge::gauge_id,        \
+                                static_cast<std::uint64_t>(v));         \
+  } while (0)
+
+#define OPENTLA_OBS_CONCAT_IMPL(a, b) a##b
+#define OPENTLA_OBS_CONCAT(a, b) OPENTLA_OBS_CONCAT_IMPL(a, b)
+
+// `name_expr` may be a string literal (free when disabled: the inline
+// ctor tests the flag before converting to std::string) or a dynamic
+// std::string expression (evaluated regardless — reserve those for cold
+// call sites such as per-proof-step spans).
+#define OPENTLA_OBS_SPAN(name_expr) \
+  ::opentla::obs::Span OPENTLA_OBS_CONCAT(opentla_obs_span_, __LINE__)(name_expr)
+
+#else  // !OPENTLA_OBS_ENABLED
+
+#define OPENTLA_OBS_COUNT(counter_id) ((void)0)
+#define OPENTLA_OBS_COUNT_N(counter_id, n) ((void)0)
+#define OPENTLA_OBS_GAUGE_MAX(gauge_id, v) ((void)0)
+#define OPENTLA_OBS_SPAN(name_expr) ((void)0)
+
+#endif  // OPENTLA_OBS_ENABLED

@@ -8,6 +8,7 @@
 #include "opentla/expr/eval.hpp"
 #include "opentla/graph/fair_cycle.hpp"
 #include "opentla/graph/state_graph.hpp"
+#include "opentla/obs/obs.hpp"
 #include "opentla/state/state_space.hpp"
 
 namespace opentla {
@@ -93,6 +94,7 @@ Oracle::MachineTrace Oracle::run_machines(const std::vector<const CanonicalSpec*
 }
 
 bool Oracle::eval_spec(const CanonicalSpec& spec, const LassoBehavior& sigma, std::size_t pos) {
+  OPENTLA_OBS_SPAN("Oracle.eval_spec");
   // sigma^pos |= EE hidden : Init /\ [][N]_v /\ L  iff the product of the
   // lasso suffix with the spec's hidden-variable transition system has a
   // reachable cycle satisfying all fairness constraints.
@@ -139,6 +141,7 @@ bool Oracle::eval_spec(const CanonicalSpec& spec, const LassoBehavior& sigma, st
 }
 
 bool Oracle::eval(const Formula& f, const LassoBehavior& sigma, std::size_t pos) {
+  OPENTLA_OBS_COUNT(OracleEvaluations);
   pos = sigma.canonical(pos);
   const FormulaNode& n = f.node();
   const std::pair<const FormulaNode*, std::size_t> key{&n, pos};

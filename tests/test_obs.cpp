@@ -1,0 +1,266 @@
+// Unit tests for the observability layer (opentla/obs): counter
+// determinism across identical runs, span-nesting well-formedness,
+// golden renderer output, and the runtime-disabled no-op guarantee.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "opentla/graph/state_graph.hpp"
+#include "opentla/graph/successor.hpp"
+#include "opentla/obs/obs.hpp"
+
+namespace opentla {
+namespace {
+
+namespace obs = ::opentla::obs;
+
+// Every test starts from a clean registry and leaves collection off, so
+// tests compose regardless of execution order.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST_F(ObsTest, NamesAreStableSnakeCase) {
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    const std::string n = obs::name(static_cast<obs::Counter>(i));
+    EXPECT_NE(n, "?");
+    for (char c : n) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')
+          << n;
+    }
+  }
+  for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
+    EXPECT_NE(std::string(obs::name(static_cast<obs::Gauge>(i))), "?");
+  }
+  EXPECT_STREQ(obs::name(obs::Counter::StatesGenerated), "states_generated");
+  EXPECT_STREQ(obs::name(obs::Gauge::PeakConfigurationCount),
+               "peak_configuration_count");
+}
+
+// The same exploration must produce byte-identical counter deltas: the
+// engine's instrumentation counts algorithmic events, not wall-clock
+// accidents.
+TEST_F(ObsTest, CountersAreDeterministicAcrossIdenticalRuns) {
+  VarTable vars;
+  const VarId x = vars.declare("x", range_domain(0, 7));
+  const Expr next =
+      ex::lor(ex::land(ex::lt(ex::var(x), ex::integer(7)),
+                       ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1)))),
+              ex::land(ex::eq(ex::var(x), ex::integer(7)),
+                       ex::eq(ex::primed_var(x), ex::integer(0))));
+
+  auto run = [&]() {
+    obs::ScopedSink sink;
+    ActionSuccessors gen(vars, next);
+    StateGraph g(vars, {State({Value::integer(0)})},
+                 [&gen](const State& s, const std::function<void(const State&)>& emit) {
+                   gen.for_each_successor(s, emit);
+                 });
+    EXPECT_EQ(g.num_states(), 8u);
+    return sink.take();
+  };
+
+  const obs::Snapshot a = run();
+  const obs::Snapshot b = run();
+  EXPECT_GT(a.counter(obs::Counter::StatesGenerated), 0u);
+  EXPECT_GT(a.counter(obs::Counter::SuccessorsEnumerated), 0u);
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_EQ(a.counters[i], b.counters[i])
+        << obs::name(static_cast<obs::Counter>(i));
+  }
+}
+
+// Nested ScopedSinks each see their own delta.
+TEST_F(ObsTest, ScopedSinkIsolatesItsScope) {
+  obs::ScopedSink outer;
+  obs::count(obs::Counter::SccPasses, 3);
+  {
+    obs::ScopedSink inner;
+    obs::count(obs::Counter::SccPasses, 2);
+    EXPECT_EQ(inner.take().counter(obs::Counter::SccPasses), 2u);
+  }
+  EXPECT_EQ(outer.take().counter(obs::Counter::SccPasses), 5u);
+}
+
+TEST_F(ObsTest, GaugeKeepsHighWaterMark) {
+  obs::set_enabled(true);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 10);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 4);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 12);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 11);
+  EXPECT_EQ(obs::snapshot().gauge(obs::Gauge::PeakGraphStates), 12u);
+}
+
+// Spans must form a forest: unique nonzero ids, parents that are either 0
+// or another recorded span, and child intervals contained in the parent's.
+TEST_F(ObsTest, SpanNestingIsWellFormed) {
+  obs::set_enabled(true);
+  {
+    obs::Span outer("outer");
+    { obs::Span inner_a("inner_a"); }
+    { obs::Span inner_b("inner_b"); }
+  }
+  const obs::Snapshot snap = obs::snapshot();
+  ASSERT_EQ(snap.spans.size(), 3u);
+  EXPECT_EQ(snap.spans_dropped, 0u);
+
+  // Spans are recorded at close: children first, the outer span last.
+  const obs::SpanRecord& inner_a = snap.spans[0];
+  const obs::SpanRecord& inner_b = snap.spans[1];
+  const obs::SpanRecord& outer = snap.spans[2];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner_a.name, "inner_a");
+  EXPECT_EQ(inner_b.name, "inner_b");
+
+  std::set<std::uint32_t> ids;
+  for (const obs::SpanRecord& s : snap.spans) {
+    EXPECT_GT(s.id, 0u);
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id " << s.id;
+  }
+  for (const obs::SpanRecord& s : snap.spans) {
+    EXPECT_TRUE(s.parent == 0 || ids.count(s.parent)) << s.name;
+  }
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner_a.parent, outer.id);
+  EXPECT_EQ(inner_b.parent, outer.id);
+
+  // Interval containment (monotonic clock, child closes before parent).
+  for (const obs::SpanRecord* child : {&inner_a, &inner_b}) {
+    EXPECT_GE(child->start_us, outer.start_us);
+    EXPECT_LE(child->start_us + child->dur_us, outer.start_us + outer.dur_us);
+  }
+  EXPECT_LE(inner_a.start_us + inner_a.dur_us, inner_b.start_us);
+}
+
+TEST_F(ObsTest, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+// Golden test: the JSON renderer's exact output on a hand-built snapshot.
+TEST_F(ObsTest, RenderJsonGolden) {
+  obs::Snapshot snap;
+  snap.counters[static_cast<std::size_t>(obs::Counter::StatesGenerated)] = 2;
+  snap.gauges[static_cast<std::size_t>(obs::Gauge::PeakGraphStates)] = 7;
+  snap.spans.push_back({"explore", 1, 0, 1, 100, 50});
+
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"states_generated\": 2,\n"
+      "    \"successors_enumerated\": 0,\n"
+      "    \"enabled_evaluations\": 0,\n"
+      "    \"configs_expanded\": 0,\n"
+      "    \"scc_passes\": 0,\n"
+      "    \"lasso_candidates\": 0,\n"
+      "    \"inclusion_pairs\": 0,\n"
+      "    \"product_nodes\": 0,\n"
+      "    \"product_steps\": 0,\n"
+      "    \"freeze_steps\": 0,\n"
+      "    \"refinement_edges_checked\": 0,\n"
+      "    \"oracle_evaluations\": 0\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"peak_configuration_count\": 0,\n"
+      "    \"peak_graph_states\": 7,\n"
+      "    \"peak_product_nodes\": 0\n"
+      "  },\n"
+      "  \"spans_dropped\": 0,\n"
+      "  \"spans\": [\n"
+      "    {\"name\": \"explore\", \"id\": 1, \"parent\": 0, \"tid\": 1, "
+      "\"ts_us\": 100, \"dur_us\": 50}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(obs::render_json(snap), expected);
+}
+
+// Golden test: the Chrome trace_event renderer. One metadata event, one
+// "X" complete event per span, one "C" counter sample per nonzero counter
+// stamped at the trace's last timestamp.
+TEST_F(ObsTest, RenderChromeTraceGolden) {
+  obs::Snapshot snap;
+  snap.counters[static_cast<std::size_t>(obs::Counter::StatesGenerated)] = 2;
+  snap.spans.push_back({"explore", 1, 0, 1, 100, 50});
+
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"args\": {\"name\": \"opentla\"}},\n"
+      "  {\"name\": \"explore\", \"cat\": \"opentla\", \"ph\": \"X\", "
+      "\"ts\": 100, \"dur\": 50, \"pid\": 1, \"tid\": 1, "
+      "\"args\": {\"id\": 1, \"parent\": 0}},\n"
+      "  {\"name\": \"states_generated\", \"ph\": \"C\", \"ts\": 150, "
+      "\"pid\": 1, \"args\": {\"value\": 2}}\n"
+      "], \"displayTimeUnit\": \"ms\"}\n";
+  EXPECT_EQ(obs::render_chrome_trace(snap), expected);
+}
+
+TEST_F(ObsTest, RenderHumanMentionsEveryCounter) {
+  obs::Snapshot snap;
+  snap.spans.push_back({"explore", 1, 0, 1, 100, 50});
+  const std::string table = obs::render_human(snap);
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_NE(table.find(obs::name(static_cast<obs::Counter>(i))),
+              std::string::npos);
+  }
+  for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
+    EXPECT_NE(table.find(obs::name(static_cast<obs::Gauge>(i))),
+              std::string::npos);
+  }
+  EXPECT_NE(table.find("explore"), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteBenchJsonRoundTrips) {
+  const std::filesystem::path prev = std::filesystem::current_path();
+  std::filesystem::current_path(::testing::TempDir());
+  obs::Snapshot snap;
+  snap.counters[static_cast<std::size_t>(obs::Counter::StatesGenerated)] = 42;
+  const std::string path = obs::write_bench_json("unit_test", snap);
+  std::filesystem::current_path(prev);
+  ASSERT_EQ(path, "BENCH_unit_test.json");
+
+  std::ifstream in(std::filesystem::path(::testing::TempDir()) / path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string body = buf.str();
+  EXPECT_NE(body.find("\"schema\": \"opentla-bench-v1\""), std::string::npos);
+  EXPECT_NE(body.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(body.find("\"states_generated\": 42"), std::string::npos);
+  EXPECT_NE(body.find("\"peak_configuration_count\": 0"), std::string::npos);
+}
+
+// With the runtime flag off, every primitive the macros expand to must
+// leave the registry untouched, and Span construction must not record.
+TEST_F(ObsTest, RuntimeDisabledRecordsNothing) {
+  ASSERT_FALSE(obs::enabled());
+  OPENTLA_OBS_COUNT(StatesGenerated);
+  OPENTLA_OBS_COUNT_N(ConfigsExpanded, 17);
+  OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, 99);
+  { OPENTLA_OBS_SPAN("ignored"); }
+  { obs::Span direct("also_ignored"); }
+  const obs::Snapshot snap = obs::snapshot();
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_EQ(snap.counters[i], 0u);
+  }
+  for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
+    EXPECT_EQ(snap.gauges[i], 0u);
+  }
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+}  // namespace
+}  // namespace opentla

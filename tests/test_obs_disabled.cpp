@@ -1,0 +1,54 @@
+// Compiled with OPENTLA_OBS_ENABLED=0 (see tests/CMakeLists.txt): checks
+// that the instrumentation macros vanish entirely in an obs-off build —
+// they expand to ((void)0), so even with the runtime flag forced on, code
+// compiled this way records nothing.
+
+#include <gtest/gtest.h>
+
+#include "opentla/obs/obs.hpp"
+
+namespace opentla {
+namespace {
+
+namespace obs = ::opentla::obs;
+
+static_assert(!obs::compile_time_enabled(),
+              "this TU must be compiled with OPENTLA_OBS_ENABLED=0");
+
+TEST(ObsDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
+  obs::reset();
+  obs::set_enabled(true);
+  OPENTLA_OBS_COUNT(StatesGenerated);
+  OPENTLA_OBS_COUNT_N(ConfigsExpanded, 1000);
+  OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, 1000);
+  { OPENTLA_OBS_SPAN("stripped"); }
+  obs::set_enabled(false);
+
+  const obs::Snapshot snap = obs::snapshot();
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_EQ(snap.counters[i], 0u) << obs::name(static_cast<obs::Counter>(i));
+  }
+  for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
+    EXPECT_EQ(snap.gauges[i], 0u);
+  }
+  EXPECT_TRUE(snap.spans.empty());
+  obs::reset();
+}
+
+TEST(ObsDisabled, MacroArgumentsAreNotEvaluated) {
+  // The side effects below must be compiled out with the macros.
+  int evaluations = 0;
+  auto bump = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  obs::set_enabled(true);
+  OPENTLA_OBS_COUNT_N(SccPasses, bump());
+  OPENTLA_OBS_GAUGE_MAX(PeakProductNodes, bump());
+  obs::set_enabled(false);
+  (void)bump;  // otherwise unreferenced once the macros vanish
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace opentla

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Smoke-run every bench binary with a tiny min-time and validate the
+# BENCH_<name>.json counter export each one writes against the checked-in
+# schema (tools/bench_schema.json). Then repeat the run in the sanitized
+# configuration so the instrumented hot paths get ASan/UBSan coverage too.
+#
+# Usage: tools/ci_bench.sh [build-dir [sanitize-build-dir]]
+#   (defaults: build, build-sanitize — both are configured+built if needed)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+san_dir="${2:-${repo_root}/build-sanitize}"
+schema="${repo_root}/tools/bench_schema.json"
+
+# google-benchmark in this toolchain takes a plain double (seconds).
+min_time="--benchmark_min_time=0.01"
+
+validate() {
+  # validate <json-file>: structural check against tools/bench_schema.json.
+  # Hand-rolled (no jsonschema module dependency); the schema file is the
+  # single source of truth for the required key sets.
+  python3 - "$schema" "$1" <<'PY'
+import json, re, sys
+
+schema_path, data_path = sys.argv[1], sys.argv[2]
+schema = json.load(open(schema_path))
+data = json.load(open(data_path))
+
+errors = []
+
+def need(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+need(isinstance(data, dict), "top level is not an object")
+for key in schema["required"]:
+    need(key in data, f"missing top-level key '{key}'")
+need(data.get("schema") == schema["properties"]["schema"]["const"],
+     f"schema tag is {data.get('schema')!r}")
+need(isinstance(data.get("bench"), str) and data.get("bench"),
+     "bench name missing or empty")
+for section in ("counters", "gauges"):
+    block = data.get(section)
+    need(isinstance(block, dict), f"'{section}' is not an object")
+    if not isinstance(block, dict):
+        continue
+    for key in schema["properties"][section]["required"]:
+        need(key in block, f"missing {section} key '{key}'")
+    for key, value in block.items():
+        need(re.fullmatch(r"[a-z][a-z0-9_]*", key),
+             f"{section} key '{key}' is not snake_case")
+        need(isinstance(value, int) and not isinstance(value, bool)
+             and value >= 0,
+             f"{section}['{key}'] = {value!r} is not a non-negative integer")
+for key in data:
+    need(key in schema["properties"], f"unexpected top-level key '{key}'")
+
+if errors:
+    print(f"{data_path}: SCHEMA VIOLATION", file=sys.stderr)
+    for e in errors:
+        print(f"  - {e}", file=sys.stderr)
+    sys.exit(1)
+print(f"{data_path}: ok")
+PY
+}
+
+run_config() {
+  # run_config <build-dir> <extra cmake flags...>
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "$dir" -j"$(nproc)"
+
+  local outdir="$dir/bench-json"
+  rm -rf "$outdir"
+  mkdir -p "$outdir"
+
+  local found=0
+  local bench
+  for bench in "$dir"/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    found=1
+    local name
+    name="$(basename "$bench")"
+    echo "== $name =="
+    (cd "$outdir" && "$bench" "$min_time" >/dev/null)
+    local json="$outdir/BENCH_${name}.json"
+    if [ ! -f "$json" ]; then
+      echo "error: $name did not write BENCH_${name}.json" >&2
+      exit 1
+    fi
+    validate "$json"
+  done
+  if [ "$found" -eq 0 ]; then
+    echo "error: no bench binaries found under $dir/bench" >&2
+    exit 1
+  fi
+}
+
+echo "--- bench smoke: regular configuration ($build_dir) ---"
+run_config "$build_dir"
+
+echo "--- bench smoke: sanitized configuration ($san_dir) ---"
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+run_config "$san_dir" -DOPENTLA_SANITIZE=ON
+
+echo "all bench exports validated against $(basename "$schema")"

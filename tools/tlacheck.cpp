@@ -1,9 +1,11 @@
 // tlacheck — command-line model checker for mini-TLA modules.
 //
-//   tlacheck info   SPEC.tla                    parse and summarize
-//   tlacheck states SPEC.tla                    explore; print state count
+//   tlacheck info   SPEC.tla [--format json]    parse and summarize
+//   tlacheck states SPEC.tla [--format json]    explore; print state count
 //                     [--dump]                  ... and every state
-//   tlacheck check  SPEC.tla --invariant EXPR   check [](EXPR)
+//   tlacheck check  SPEC.tla [--invariant EXPR] check [](EXPR); without
+//                                               --invariant, checks TRUE
+//                                               (i.e. just explores)
 //   tlacheck closure SPEC.tla                   machine closure (Prop 1 +
 //                                               on-graph validation)
 //   tlacheck deadlock SPEC.tla                  any reachable state with no
@@ -28,9 +30,24 @@
 //                   [--state-bound N]           several files share one
 //                                               universe and are also
 //                                               checked pairwise (OTL006)
+//   tlacheck profile SUBCOMMAND ARGS...         run any subcommand under
+//                   [--format human|json|trace] full opentla::obs
+//                   [--out FILE]                instrumentation and render
+//                                               the counters and spans
+//                                               (trace = Chrome trace_event,
+//                                               loadable in chrome://tracing
+//                                               and Perfetto)
 //
-// Exit code: 0 = property holds / info printed / lint clean, 1 = violated
-// or lint errors (any finding with --werror), 2 = usage or input error.
+// The global --stats flag appends an opentla::obs stats block to any
+// subcommand's output (most useful with check/refine/compose).
+//
+// Exit codes (uniform across subcommands; `profile` returns the wrapped
+// subcommand's code):
+//   0  info/states/simulate printed; check/closure/deadlock/refine/
+//      leadsto/compose: the property holds; lint: clean
+//   1  check/closure/deadlock/refine/leadsto/compose: the property is
+//      violated; lint: any Error finding (or any finding with --werror)
+//   2  usage error or unreadable/unparseable input
 
 #include <fstream>
 #include <iomanip>
@@ -48,6 +65,7 @@
 #include "opentla/compose/compose.hpp"
 #include "opentla/graph/successor.hpp"
 #include "opentla/lint/checks.hpp"
+#include "opentla/obs/obs.hpp"
 #include "opentla/parser/parser.hpp"
 
 using namespace opentla;
@@ -63,7 +81,15 @@ int usage() {
          "                [--constraint FILE.tla]... [--witness VAR=EXPR]...\n"
          "       tlacheck lint SPEC.tla [SPEC2.tla ...] [--format json] [--werror]\n"
          "                [--state-bound N]\n"
-         "options: --invariant EXPR   --dump   --max-states N   --steps N   --seed S\n";
+         "       tlacheck profile SUBCOMMAND ARGS... [--format human|json|trace]\n"
+         "                [--out FILE]\n"
+         "options: --invariant EXPR   --dump   --max-states N   --steps N   --seed S\n"
+         "         --format json (info|states|lint)   --stats (any subcommand)\n"
+         "exit codes (all subcommands; profile forwards the wrapped one's):\n"
+         "  0  printed / property holds / lint clean\n"
+         "  1  property violated (check, closure, deadlock, refine, leadsto,\n"
+         "     compose) or lint errors (any finding with --werror)\n"
+         "  2  usage or input error\n";
   return 2;
 }
 
@@ -76,10 +102,59 @@ std::string slurp(const std::string& path) {
 }
 
 StateGraph explore(const ParsedModule& mod, std::size_t max_states) {
-  return build_composite_graph(*mod.vars, {{mod.spec.unhidden(), true}}, {}, {}, max_states);
+  // An open module (one whose subscript does not cover every declared
+  // variable — e.g. an environment assumption like QE1) leaves the rest
+  // unconstrained: explore them as free environment moves, exactly like
+  // the composition verifier's EnvFrame.
+  CanonicalSpec spec = mod.spec.unhidden();
+  std::vector<char> covered(mod.vars->size(), 0);
+  for (VarId v : spec.sub) covered[v] = 1;
+  std::vector<VarId> env_free;
+  for (VarId v = 0; v < mod.vars->size(); ++v) {
+    if (!covered[v]) env_free.push_back(v);
+  }
+  std::vector<CompositePart> parts = {{spec, /*mover=*/true}};
+  std::vector<std::vector<VarId>> free_tuples;
+  if (!env_free.empty()) {
+    CanonicalSpec frame;
+    frame.name = "EnvFrame";
+    frame.init = ex::top();
+    frame.next = ex::top();
+    frame.sub = env_free;
+    parts.push_back({frame, /*mover=*/false});
+    free_tuples.push_back(env_free);
+  }
+  return build_composite_graph(*mod.vars, parts, free_tuples, {}, max_states);
 }
 
-int cmd_info(const ParsedModule& mod) {
+// JSON emission follows the lint renderer's conventions: compact objects,
+// two-space indent, escaped strings, always-valid output.
+int cmd_info(const ParsedModule& mod, const std::string& format) {
+  if (format == "json") {
+    std::cout << "{\n  \"module\": \"" << obs::json_escape(mod.name) << "\",\n"
+              << "  \"variables\": [";
+    for (VarId v = 0; v < mod.vars->size(); ++v) {
+      const bool hidden = std::find(mod.spec.hidden.begin(), mod.spec.hidden.end(), v) !=
+                          mod.spec.hidden.end();
+      if (v > 0) std::cout << ",";
+      std::cout << "\n    {\"name\": \"" << obs::json_escape(mod.vars->name(v))
+                << "\", \"hidden\": " << (hidden ? "true" : "false")
+                << ", \"domain_size\": " << mod.vars->domain(v).size() << "}";
+    }
+    if (mod.vars->size() > 0) std::cout << "\n  ";
+    std::cout << "],\n  \"definitions\": [";
+    bool first = true;
+    for (const auto& [name, def] : mod.definitions) {
+      if (!first) std::cout << ",";
+      first = false;
+      std::cout << "\n    {\"name\": \"" << obs::json_escape(name) << "\", \"expr\": \""
+                << obs::json_escape(def.to_string(*mod.vars)) << "\"}";
+    }
+    if (!first) std::cout << "\n  ";
+    std::cout << "],\n  \"spec\": \"" << obs::json_escape(mod.spec.to_string(*mod.vars))
+              << "\"\n}\n";
+    return 0;
+  }
   std::cout << "module " << mod.name << "\n";
   for (VarId v = 0; v < mod.vars->size(); ++v) {
     const bool hidden = std::find(mod.spec.hidden.begin(), mod.spec.hidden.end(), v) !=
@@ -94,8 +169,25 @@ int cmd_info(const ParsedModule& mod) {
   return 0;
 }
 
-int cmd_states(const ParsedModule& mod, bool dump, std::size_t max_states) {
+int cmd_states(const ParsedModule& mod, bool dump, std::size_t max_states,
+               const std::string& format) {
   StateGraph g = explore(mod, max_states);
+  if (format == "json") {
+    std::cout << "{\n  \"module\": \"" << obs::json_escape(mod.name) << "\",\n"
+              << "  \"states\": " << g.num_states() << ",\n  \"edges\": " << g.num_edges()
+              << ",\n  \"initial\": " << g.initial().size();
+    if (dump) {
+      std::cout << ",\n  \"state_list\": [";
+      for (StateId s = 0; s < g.num_states(); ++s) {
+        if (s > 0) std::cout << ",";
+        std::cout << "\n    \"" << obs::json_escape(g.state(s).to_string(*mod.vars)) << "\"";
+      }
+      if (g.num_states() > 0) std::cout << "\n  ";
+      std::cout << "]";
+    }
+    std::cout << "\n}\n";
+    return 0;
+  }
   std::cout << g.num_states() << " states, " << g.num_edges() << " edges, "
             << g.initial().size() << " initial\n";
   if (dump) {
@@ -108,7 +200,11 @@ int cmd_states(const ParsedModule& mod, bool dump, std::size_t max_states) {
 
 int cmd_check(const ParsedModule& mod, const std::string& invariant_src,
               std::size_t max_states) {
-  Expr invariant = parse_expression(invariant_src, *mod.vars, &mod.definitions);
+  // Without --invariant, check TRUE: the graph is still fully explored
+  // (useful under `profile`), and the invariant trivially holds.
+  Expr invariant = invariant_src.empty()
+                       ? ex::top()
+                       : parse_expression(invariant_src, *mod.vars, &mod.definitions);
   StateGraph g = explore(mod, max_states);
   InvariantResult r = check_invariant(g, invariant);
   if (r.holds) {
@@ -288,16 +384,28 @@ int cmd_lint(const std::vector<std::string>& files, const std::string& format, b
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.size() < 2) return usage();
-  const std::string cmd = args[0];
+  std::string cmd = args[0];
+
+  // `profile SUBCOMMAND ...` wraps another subcommand; --format/--out then
+  // configure the profile renderer, not the wrapped subcommand.
+  const bool profiling = cmd == "profile";
+  if (profiling) {
+    args.erase(args.begin());
+    if (args.size() < 2) return usage();
+    cmd = args[0];
+    if (cmd == "profile") return usage();
+  }
 
   // Common options.
   std::string invariant_src;
   std::string from_src, to_src;
   bool dump = false;
+  bool stats = false;
   std::size_t max_states = 2'000'000;
   std::size_t steps = 16;
   unsigned seed = 0;
   std::string format = "human";
+  std::string out_file;
   bool werror = false;
   lint::LintOptions lint_opts;
   std::vector<std::pair<std::string, std::string>> witnesses;
@@ -330,7 +438,14 @@ int main(int argc, char** argv) {
       seed = static_cast<unsigned>(std::stoul(args[++i]));
     } else if (args[i] == "--format" && i + 1 < args.size()) {
       format = args[++i];
-      if (format != "human" && format != "json") return usage();
+      // "trace" (Chrome trace_event) only makes sense for `profile`.
+      if (format != "human" && format != "json" && !(profiling && format == "trace")) {
+        return usage();
+      }
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_file = args[++i];
+    } else if (args[i] == "--stats") {
+      stats = true;
     } else if (args[i] == "--werror") {
       werror = true;
     } else if (args[i] == "--state-bound" && i + 1 < args.size()) {
@@ -353,37 +468,64 @@ int main(int argc, char** argv) {
     }
   }
 
-    if (cmd == "compose") {
-      if (goal_files.first.empty() || component_files.empty()) return usage();
-      return cmd_compose(component_files, constraint_files, goal_files, witnesses,
-                         max_states);
+    // Under `profile`, --format belongs to the profile renderer; the
+    // wrapped subcommand renders its default (human) output.
+    const std::string inner_format = profiling ? "human" : format;
+
+    auto dispatch = [&]() -> int {
+      if (cmd == "compose") {
+        if (goal_files.first.empty() || component_files.empty()) return usage();
+        return cmd_compose(component_files, constraint_files, goal_files, witnesses,
+                           max_states);
+      }
+      if (cmd == "lint") {
+        if (files.empty()) return usage();
+        return cmd_lint(files, inner_format, werror, lint_opts);
+      }
+      if (cmd == "refine") {
+        if (files.size() != 2) return usage();
+        ParsedModule low = parse_module(slurp(files[0]));
+        ParsedModule high = parse_module(slurp(files[1]));
+        return cmd_refine(low, high, witnesses, max_states);
+      }
+      if (files.size() != 1) return usage();
+      ParsedModule mod = parse_module(slurp(files[0]));
+      if (cmd == "info") return cmd_info(mod, inner_format);
+      if (cmd == "states") return cmd_states(mod, dump, max_states, inner_format);
+      if (cmd == "check") return cmd_check(mod, invariant_src, max_states);
+      if (cmd == "closure") return cmd_closure(mod, max_states);
+      if (cmd == "deadlock") return cmd_deadlock(mod, max_states);
+      if (cmd == "simulate") return cmd_simulate(mod, steps, seed, max_states);
+      if (cmd == "leadsto") {
+        if (from_src.empty() || to_src.empty()) return usage();
+        return cmd_leadsto(mod, from_src, to_src, max_states);
+      }
+      return usage();
+    };
+
+    if (!profiling && !stats) return dispatch();
+
+    obs::ScopedSink sink;
+    const int rc = dispatch();
+    obs::Snapshot snap = sink.take();
+    if (!profiling) {
+      std::cout << "--- stats ---\n" << obs::render_human(snap);
+      return rc;
     }
-    if (cmd == "lint") {
-      if (files.empty()) return usage();
-      return cmd_lint(files, format, werror, lint_opts);
+    const std::string rendered = format == "trace"  ? obs::render_chrome_trace(snap)
+                                 : format == "json" ? obs::render_json(snap)
+                                                    : obs::render_human(snap);
+    if (out_file.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(out_file);
+      out << rendered;
+      if (!out) {
+        std::cerr << "error: cannot write " << out_file << "\n";
+        return 2;
+      }
     }
-    if (cmd == "refine") {
-      if (files.size() != 2) return usage();
-      ParsedModule low = parse_module(slurp(files[0]));
-      ParsedModule high = parse_module(slurp(files[1]));
-      return cmd_refine(low, high, witnesses, max_states);
-    }
-    if (files.size() != 1) return usage();
-    ParsedModule mod = parse_module(slurp(files[0]));
-    if (cmd == "info") return cmd_info(mod);
-    if (cmd == "states") return cmd_states(mod, dump, max_states);
-    if (cmd == "check") {
-      if (invariant_src.empty()) return usage();
-      return cmd_check(mod, invariant_src, max_states);
-    }
-    if (cmd == "closure") return cmd_closure(mod, max_states);
-    if (cmd == "deadlock") return cmd_deadlock(mod, max_states);
-    if (cmd == "simulate") return cmd_simulate(mod, steps, seed, max_states);
-    if (cmd == "leadsto") {
-      if (from_src.empty() || to_src.empty()) return usage();
-      return cmd_leadsto(mod, from_src, to_src, max_states);
-    }
-    return usage();
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
