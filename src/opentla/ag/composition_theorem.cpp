@@ -321,8 +321,11 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
       parts.push_back({make_pin(vars, pin_tuple, "PinUnconstrained"), /*mover=*/false});
     }
     try {
-      StateGraph low = build_composite_graph(vars, parts, opts.free_tuples, pin_tuple,
-                                             opts.max_states);
+      ExploreOptions explore_opts;
+      explore_opts.threads = opts.threads;
+      explore_opts.max_states = opts.max_states;
+      StateGraph low =
+          build_composite_graph(vars, parts, opts.free_tuples, pin_tuple, explore_opts);
       RefinementMapping mapping = mapping_by_name(vars, vars, opts.goal_witness);
       RefinementResult r = check_refinement(low, low_fairness, goal.guarantee, mapping);
       ob.discharged = r.holds;
@@ -461,8 +464,11 @@ std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
       std::vector<std::vector<VarId>> free_tuples = opts.free_tuples;
       if (!env_free.empty()) free_tuples.push_back(env_free);
 
+      ExploreOptions explore_opts;
+      explore_opts.threads = opts.threads;
+      explore_opts.max_states = opts.max_states;
       StateGraph r_graph =
-          build_composite_graph(vars, parts, free_tuples, pin_tuple, opts.max_states);
+          build_composite_graph(vars, parts, free_tuples, pin_tuple, explore_opts);
       PrefixMachine e_machine(vars, goal.assumption);
       PrefixMachine m_machine(vars, goal_p1.closure);
       OrthogonalityResult orth = check_orthogonality(r_graph, e_machine, m_machine);

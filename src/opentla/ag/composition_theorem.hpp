@@ -63,6 +63,10 @@ struct CompositionOptions {
   std::vector<VarId> env_outputs;
   std::size_t max_nodes = 1'000'000;
   std::size_t max_states = 2'000'000;
+  /// Worker threads for the state-graph explorations (H2b's low graph and
+  /// Proposition 3's R graph): 1 = serial, 0 = hardware concurrency. The
+  /// verdicts and graphs are identical for every value (see ExploreOptions).
+  unsigned threads = 1;
   /// Also verify H1/H2a's closure side conditions semantically on graphs
   /// (slower; default is the syntactic Proposition 1 check only).
   bool semantic_machine_closure = false;

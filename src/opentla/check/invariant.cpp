@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "opentla/compose/compose.hpp"
 #include "opentla/expr/eval.hpp"
 
 namespace opentla {
@@ -23,6 +24,12 @@ InvariantResult check_invariant(const StateGraph& g, const Expr& invariant) {
   result.counterexample.reserve(path.size());
   for (StateId s : path) result.counterexample.push_back(g.state(s));
   return result;
+}
+
+InvariantResult check_invariant(const VarTable& vars, const CanonicalSpec& spec,
+                                const Expr& invariant, const ExploreOptions& opts) {
+  const StateGraph g = build_composite_graph(vars, {{spec, /*mover=*/true}}, {}, {}, opts);
+  return check_invariant(g, invariant);
 }
 
 std::string format_trace(const VarTable& vars, const std::vector<State>& states) {

@@ -12,6 +12,7 @@
 
 #include "opentla/expr/expr.hpp"
 #include "opentla/graph/state_graph.hpp"
+#include "opentla/tla/spec.hpp"
 
 namespace opentla {
 
@@ -27,6 +28,13 @@ struct InvariantResult {
 
 /// Checks that every reachable state of `g` satisfies `invariant`.
 InvariantResult check_invariant(const StateGraph& g, const Expr& invariant);
+
+/// Explore-and-check entry point: builds the reachable graph of the
+/// complete system `spec` (per `opts`, serial or parallel — the verdict and
+/// counterexample are identical for every opts.threads) and checks
+/// `invariant` over it.
+InvariantResult check_invariant(const VarTable& vars, const CanonicalSpec& spec,
+                                const Expr& invariant, const ExploreOptions& opts);
 
 /// Renders a counterexample path for diagnostics.
 std::string format_trace(const VarTable& vars, const std::vector<State>& states);

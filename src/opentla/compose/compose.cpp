@@ -59,6 +59,14 @@ CanonicalSpec make_pin(const VarTable& vars, const std::vector<VarId>& tuple,
 StateGraph build_composite_graph(const VarTable& vars, const std::vector<CompositePart>& parts,
                                  const std::vector<std::vector<VarId>>& free_tuples,
                                  const std::vector<VarId>& pinned, std::size_t max_states) {
+  ExploreOptions opts;
+  opts.max_states = max_states;
+  return build_composite_graph(vars, parts, free_tuples, pinned, opts);
+}
+
+StateGraph build_composite_graph(const VarTable& vars, const std::vector<CompositePart>& parts,
+                                 const std::vector<std::vector<VarId>>& free_tuples,
+                                 const std::vector<VarId>& pinned, const ExploreOptions& opts) {
   // Coverage check: a variable outside every subscript is unconstrained.
   std::vector<char> covered(vars.size(), 0);
   for (const CompositePart& p : parts) {
@@ -93,6 +101,13 @@ StateGraph build_composite_graph(const VarTable& vars, const std::vector<Composi
   const std::vector<State> init_states =
       ActionSuccessors::states_satisfying(vars, ex::land(std::move(inits)), pinned);
 
+  // Determinism contract (relied on by the parallel engine's canonical
+  // renumbering): for a fixed state `s`, this lambda emits successors in a
+  // fixed order — movers in construction order, each enumerating
+  // odometer-style over ordered structures (see graph/successor.cpp). The
+  // unordered `seen` set is membership-only dedup; it never drives emission
+  // order. The lambda is safe to call concurrently on distinct states: all
+  // captures are read-only and `seen` is per-call.
   auto succ = [&vars, &parts, movers = std::move(movers)](
                   const State& s, const std::function<void(const State&)>& emit) {
     std::unordered_set<State, StateHash> seen;
@@ -107,7 +122,7 @@ StateGraph build_composite_graph(const VarTable& vars, const std::vector<Composi
     }
   };
 
-  return StateGraph(vars, init_states, succ, /*add_self_loops=*/true, max_states);
+  return StateGraph(vars, init_states, succ, opts);
 }
 
 }  // namespace opentla

@@ -67,6 +67,12 @@ StateGraph build_composite_graph(const VarTable& vars, const std::vector<Composi
                                  const std::vector<VarId>& pinned = {},
                                  std::size_t max_states = 2'000'000);
 
+/// Same composition, explored per `opts` (serial or parallel; see
+/// ExploreOptions). The graph is identical for every opts.threads value.
+StateGraph build_composite_graph(const VarTable& vars, const std::vector<CompositePart>& parts,
+                                 const std::vector<std::vector<VarId>>& free_tuples,
+                                 const std::vector<VarId>& pinned, const ExploreOptions& opts);
+
 /// A canonical frame spec pinning `tuple` to its initial values: init sets
 /// each variable to its first domain value, and no step may change them.
 /// Used to close a composition over variables none of its parts constrain

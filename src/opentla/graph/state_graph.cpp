@@ -3,14 +3,40 @@
 #include <algorithm>
 #include <deque>
 #include <stdexcept>
+#include <thread>
 
 #include "opentla/obs/obs.hpp"
+#include "opentla/par/explore.hpp"
 
 namespace opentla {
 
 StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_states,
                        const SuccessorFn& succ, bool add_self_loops, std::size_t max_states)
     : vars_(&vars) {
+  explore_serial(init_states, succ, add_self_loops, max_states);
+}
+
+StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_states,
+                       const SuccessorFn& succ, const ExploreOptions& opts)
+    : vars_(&vars) {
+  unsigned threads = opts.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads <= 1) {
+    explore_serial(init_states, succ, opts.add_self_loops, opts.max_states);
+    return;
+  }
+  par::ExploreResult r = par::explore(init_states, succ, opts, threads);
+  store_ = std::move(r.store);
+  init_ = std::move(r.init);
+  adjacency_ = std::move(r.adjacency);
+  num_edges_ = r.num_edges;
+}
+
+void StateGraph::explore_serial(const std::vector<State>& init_states, const SuccessorFn& succ,
+                                bool add_self_loops, std::size_t max_states) {
   OPENTLA_OBS_SPAN("StateGraph.explore");
   std::deque<StateId> frontier;
   for (const State& s : init_states) {

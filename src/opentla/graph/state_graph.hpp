@@ -5,6 +5,12 @@
 // Because every canonical-form specification's [][N]_v admits stuttering,
 // each node carries an implicit self-loop; they are materialized so that
 // liveness analysis sees the stuttering behaviors.
+//
+// Exploration can run on one thread (the classic BFS) or on a worker pool
+// (opentla/par). The parallel engine renumbers its result canonically, so
+// the graph — state ids, adjacency order, initial() order — is bit-identical
+// to the serial BFS regardless of thread count; downstream SCC, fair-cycle,
+// and trace code never observes which engine ran.
 
 #pragma once
 
@@ -17,6 +23,24 @@
 
 namespace opentla {
 
+/// How to explore a state space. Threaded through the checking stack
+/// (compose, composition_theorem, tlacheck --threads).
+struct ExploreOptions {
+  /// Worker threads: 1 = the serial BFS (default), 0 = hardware
+  /// concurrency, N > 1 = a pool of N workers with work stealing. With
+  /// threads != 1 the successor function must be safe to call concurrently
+  /// on distinct states (the engine's ActionSuccessors-based providers are:
+  /// they evaluate immutable expression trees with per-call scratch state).
+  unsigned threads = 1;
+  /// Throw if more than this many states are reached.
+  std::size_t max_states = 2'000'000;
+  /// Materialize the stuttering self-loop on every node.
+  bool add_self_loops = true;
+  /// Seen-set stripes for the parallel engine (0 = default, 64). Rounded
+  /// up to a power of two. Ignored by the serial path.
+  std::size_t shards = 0;
+};
+
 class StateGraph {
  public:
   using SuccessorFn = std::function<void(const State&, const std::function<void(const State&)>&)>;
@@ -26,6 +50,11 @@ class StateGraph {
   /// states are reached (guards against runaway spaces).
   StateGraph(const VarTable& vars, const std::vector<State>& init_states, const SuccessorFn& succ,
              bool add_self_loops = true, std::size_t max_states = 2'000'000);
+
+  /// Same exploration, configured by `opts` (serial or parallel). The
+  /// resulting graph is identical for every opts.threads value.
+  StateGraph(const VarTable& vars, const std::vector<State>& init_states, const SuccessorFn& succ,
+             const ExploreOptions& opts);
 
   const VarTable& vars() const { return *vars_; }
   const StateStore& store() const { return store_; }
@@ -45,6 +74,9 @@ class StateGraph {
                             const std::function<bool(StateId)>& filter) const;
 
  private:
+  void explore_serial(const std::vector<State>& init_states, const SuccessorFn& succ,
+                      bool add_self_loops, std::size_t max_states);
+
   const VarTable* vars_;
   StateStore store_;
   std::vector<StateId> init_;

@@ -32,6 +32,14 @@ bool ActionSuccessors::run(const State& s, bool existential_only,
                            const std::function<bool(const State&)>& fn) const {
   // `fn` returns true to stop early. Duplicates across disjuncts are
   // filtered here so callers see each successor once.
+  //
+  // Determinism contract: for a fixed `s`, successors are visited in a
+  // fixed order — disjuncts in decompose_action order, completions in
+  // StateSpace's odometer order over `enumerate` (a VarId-ordered list).
+  // The unordered `seen` set only suppresses repeats; it never reorders
+  // emissions. The parallel engine's canonical renumbering
+  // (opentla/par/explore.hpp) depends on this. `run` is also safe to call
+  // concurrently on distinct states: it mutates no member data.
   std::unordered_set<State, StateHash> seen;
   for (const CompiledDisjunct& cd : disjuncts_) {
     EvalContext ctx;

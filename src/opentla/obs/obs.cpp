@@ -24,6 +24,9 @@ const char* name(Counter c) {
     case Counter::FreezeSteps: return "freeze_steps";
     case Counter::RefinementEdgesChecked: return "refinement_edges_checked";
     case Counter::OracleEvaluations: return "oracle_evaluations";
+    case Counter::ParStatesExpanded: return "par_states_expanded";
+    case Counter::ParSteals: return "par_steals";
+    case Counter::ParShardContention: return "par_shard_contention";
     case Counter::kCount: break;
   }
   return "?";
@@ -34,6 +37,7 @@ const char* name(Gauge g) {
     case Gauge::PeakConfigurationCount: return "peak_configuration_count";
     case Gauge::PeakGraphStates: return "peak_graph_states";
     case Gauge::PeakProductNodes: return "peak_product_nodes";
+    case Gauge::PeakParWorkers: return "peak_par_workers";
     case Gauge::kCount: break;
   }
   return "?";

@@ -42,6 +42,9 @@ enum class Counter : std::size_t {
   FreezeSteps,             // FreezeMachine::step calls
   RefinementEdgesChecked,  // low edges checked against [HighNext]_v
   OracleEvaluations,       // lasso-oracle formula node evaluations
+  ParStatesExpanded,       // states expanded by parallel exploration workers
+  ParSteals,               // work items stolen from another worker's deque
+  ParShardContention,      // seen-set shard locks that were contended
   kCount
 };
 
@@ -50,6 +53,7 @@ enum class Gauge : std::size_t {
   PeakConfigurationCount,  // largest prefix-machine configuration seen
   PeakGraphStates,         // largest single StateGraph built
   PeakProductNodes,        // largest ConstraintExplorer node set built
+  PeakParWorkers,          // widest worker pool used by parallel exploration
   kCount
 };
 

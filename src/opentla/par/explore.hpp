@@ -1,0 +1,50 @@
+// opentla/par/explore.hpp
+//
+// Work-sharing parallel state-space exploration with a deterministic
+// result. The design is two-phase:
+//
+//   Phase 1 (parallel): a pool of workers drains per-thread frontier
+//   deques (owners pop LIFO, idle workers steal FIFO from peers), interns
+//   discovered states in a ShardedStateSet (mutex-striped by State::hash),
+//   and records, per expanded state, the raw successor emission list in
+//   the order the successor provider produced it. Ids in this phase are
+//   provisional: dense, but scheduling-dependent.
+//
+//   Phase 2 (serial, cheap): a replay BFS over the recorded emission lists
+//   renumbers every state exactly as the serial engine's interleaved
+//   intern-during-BFS would have — initial states first in seeding order,
+//   then successors in parent-BFS x emission order. Because each state's
+//   emission list depends only on the state (the successor providers
+//   enumerate odometer-style over ordered structures; see
+//   graph/successor.cpp), the renumbered graph is bit-identical to the
+//   serial BFS for every thread count.
+//
+// Phase 1 dominates the cost (successor generation is the hot path);
+// phase 2 is a linear pointer-chase over already-computed lists.
+
+#pragma once
+
+#include <cstddef>
+
+#include "opentla/graph/state_graph.hpp"
+
+namespace opentla::par {
+
+/// The canonical exploration result a StateGraph adopts: states interned
+/// in serial-BFS order, adjacency sorted per node, initial ids sorted.
+struct ExploreResult {
+  StateStore store;
+  std::vector<StateId> init;
+  std::vector<std::vector<StateId>> adjacency;
+  std::size_t num_edges = 0;
+};
+
+/// Explores with `threads` workers (must be >= 1; callers resolve 0 to
+/// hardware concurrency first). Throws std::runtime_error when more than
+/// opts.max_states states are reached, and rethrows the first exception a
+/// successor provider raises on any worker.
+ExploreResult explore(const std::vector<State>& init_states,
+                      const StateGraph::SuccessorFn& succ, const ExploreOptions& opts,
+                      unsigned threads);
+
+}  // namespace opentla::par

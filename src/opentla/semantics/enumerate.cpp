@@ -71,6 +71,8 @@ LassoBehavior random_graph_lasso(const StateGraph& g, std::mt19937& rng,
   const std::vector<StateId>& inits = g.initial();
   StateId cur = inits[std::uniform_int_distribution<std::size_t>(0, inits.size() - 1)(rng)];
   std::vector<StateId> walk = {cur};
+  // Lookup-only: iteration order of this map never influences the walk, so
+  // the result is a pure function of (g, rng state).
   std::unordered_map<StateId, std::size_t> first_seen = {{cur, 0}};
   for (std::size_t step = 0; step < max_steps; ++step) {
     const std::vector<StateId>& succ = g.successors(cur);

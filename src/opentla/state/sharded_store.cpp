@@ -1,0 +1,40 @@
+#include "opentla/state/sharded_store.hpp"
+
+namespace opentla {
+
+namespace {
+constexpr std::size_t kDefaultShards = 64;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+ShardedStateSet::ShardedStateSet(std::size_t shard_count) {
+  const std::size_t n = round_up_pow2(shard_count == 0 ? kDefaultShards : shard_count);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  mask_ = n - 1;
+}
+
+ShardedStateSet::InternResult ShardedStateSet::intern(const State& s) {
+  const std::size_t h = s.hash();
+  // The shard index uses the hash's high bits: unordered_map derives its
+  // bucket from the low bits, so reusing them for striping would correlate
+  // stripe choice with bucket choice.
+  Shard& shard = *shards_[(h >> 7) & mask_];
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  auto it = shard.ids.find(s);
+  if (it != shard.ids.end()) return {it->second, false};
+  const StateId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  shard.ids.emplace(s, id);
+  return {id, true};
+}
+
+}  // namespace opentla

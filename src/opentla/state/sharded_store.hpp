@@ -1,0 +1,66 @@
+// opentla/state/sharded_store.hpp
+//
+// Concurrent insert path for state interning. A ShardedStateSet is the
+// parallel counterpart of StateStore's hash-consing map: the key space is
+// striped over 2^k independently locked shards (selected by State::hash),
+// so concurrent interns from different worker threads contend only when
+// they hash to the same stripe. Ids are allocated from one atomic counter,
+// which keeps them dense (0..size-1) but makes their *order* dependent on
+// thread scheduling — callers that need canonical ids renumber afterwards
+// (see opentla/par/explore.hpp's two-phase design).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "opentla/state/state.hpp"
+
+namespace opentla {
+
+class ShardedStateSet {
+ public:
+  /// `shard_count` is rounded up to a power of two; 0 picks the default
+  /// (64 stripes, plenty for any worker count this engine runs with).
+  explicit ShardedStateSet(std::size_t shard_count = 0);
+
+  struct InternResult {
+    StateId id = 0;
+    bool inserted = false;
+  };
+
+  /// Thread-safe hash-consing insert: returns the id of `s`, allocating a
+  /// fresh dense id on first sight. Safe to call concurrently from any
+  /// number of threads.
+  InternResult intern(const State& s);
+
+  /// Number of distinct states interned so far. Exact once all inserting
+  /// threads have quiesced (a relaxed read of the id allocator).
+  std::size_t size() const { return next_id_.load(std::memory_order_relaxed); }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Shard locks that were already held by another thread when an intern
+  /// tried to take them (a try_lock miss). A direct contention measure for
+  /// tuning the stripe count.
+  std::uint64_t contended_locks() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<State, StateId, StateHash> ids;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t mask_ = 0;
+  std::atomic<StateId> next_id_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+}  // namespace opentla

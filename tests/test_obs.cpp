@@ -171,12 +171,16 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"product_steps\": 0,\n"
       "    \"freeze_steps\": 0,\n"
       "    \"refinement_edges_checked\": 0,\n"
-      "    \"oracle_evaluations\": 0\n"
+      "    \"oracle_evaluations\": 0,\n"
+      "    \"par_states_expanded\": 0,\n"
+      "    \"par_steals\": 0,\n"
+      "    \"par_shard_contention\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"peak_configuration_count\": 0,\n"
       "    \"peak_graph_states\": 7,\n"
-      "    \"peak_product_nodes\": 0\n"
+      "    \"peak_product_nodes\": 0,\n"
+      "    \"peak_par_workers\": 0\n"
       "  },\n"
       "  \"spans_dropped\": 0,\n"
       "  \"spans\": [\n"
@@ -241,6 +245,53 @@ TEST_F(ObsTest, WriteBenchJsonRoundTrips) {
   EXPECT_NE(body.find("\"bench\": \"unit_test\""), std::string::npos);
   EXPECT_NE(body.find("\"states_generated\": 42"), std::string::npos);
   EXPECT_NE(body.find("\"peak_configuration_count\": 0"), std::string::npos);
+}
+
+// The parallel engine's counters: a multi-threaded exploration reports its
+// worker-pool width and expansion count, and — because the graph must be
+// canonical — the *graph-shape* counters match a serial run of the same
+// space exactly. Steal/contention counts are scheduling-dependent, so only
+// their presence in the snapshot is asserted, not a value.
+TEST_F(ObsTest, ParallelCountersAreRecordedAndGraphCountersMatchSerial) {
+  VarTable vars;
+  const VarId x = vars.declare("x", range_domain(0, 63));
+  const Expr next =
+      ex::lor(ex::land(ex::lt(ex::var(x), ex::integer(63)),
+                       ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1)))),
+              ex::land(ex::eq(ex::var(x), ex::integer(63)),
+                       ex::eq(ex::primed_var(x), ex::integer(0))));
+  ActionSuccessors gen(vars, next);
+  const StateGraph::SuccessorFn succ =
+      [&gen](const State& s, const std::function<void(const State&)>& emit) {
+        gen.for_each_successor(s, emit);
+      };
+  const State init({Value::integer(0)});
+
+  auto run = [&](unsigned threads) {
+    obs::ScopedSink sink;
+    ExploreOptions opts;
+    opts.threads = threads;
+    StateGraph g(vars, {init}, succ, opts);
+    EXPECT_EQ(g.num_states(), 64u);
+    return sink.take();
+  };
+
+  const obs::Snapshot serial = run(1);
+  const obs::Snapshot parallel = run(4);
+
+  // Serial exploration never touches the par.* instruments.
+  EXPECT_EQ(serial.counter(obs::Counter::ParStatesExpanded), 0u);
+  EXPECT_EQ(serial.counter(obs::Counter::ParSteals), 0u);
+  EXPECT_EQ(serial.gauge(obs::Gauge::PeakParWorkers), 0u);
+
+  // The parallel run expands every state exactly once and records its pool.
+  EXPECT_EQ(parallel.counter(obs::Counter::ParStatesExpanded), 64u);
+  EXPECT_EQ(parallel.gauge(obs::Gauge::PeakParWorkers), 4u);
+  // Graph-shape counters are engine-independent.
+  EXPECT_EQ(parallel.counter(obs::Counter::StatesGenerated),
+            serial.counter(obs::Counter::StatesGenerated));
+  EXPECT_EQ(parallel.counter(obs::Counter::SuccessorsEnumerated),
+            serial.counter(obs::Counter::SuccessorsEnumerated));
 }
 
 // With the runtime flag off, every primitive the macros expand to must

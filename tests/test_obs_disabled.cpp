@@ -21,6 +21,11 @@ TEST(ObsDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
   OPENTLA_OBS_COUNT(StatesGenerated);
   OPENTLA_OBS_COUNT_N(ConfigsExpanded, 1000);
   OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, 1000);
+  // The parallel-engine instruments vanish like every other site.
+  OPENTLA_OBS_COUNT(ParStatesExpanded);
+  OPENTLA_OBS_COUNT(ParSteals);
+  OPENTLA_OBS_COUNT_N(ParShardContention, 7);
+  OPENTLA_OBS_GAUGE_MAX(PeakParWorkers, 8);
   { OPENTLA_OBS_SPAN("stripped"); }
   obs::set_enabled(false);
 

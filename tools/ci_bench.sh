@@ -96,6 +96,18 @@ run_config() {
     echo "error: no bench binaries found under $dir/bench" >&2
     exit 1
   fi
+
+  # The parallel-scaling bench once more, pinned to the 1- and 2-worker
+  # series (serial engine + the smallest real worker pool), so both engines
+  # demonstrably run and the re-written export still validates.
+  local pbench="$dir/bench/bench_parallel_scaling"
+  if [ ! -x "$pbench" ]; then
+    echo "error: bench_parallel_scaling missing under $dir/bench" >&2
+    exit 1
+  fi
+  echo "== bench_parallel_scaling (1 and 2 threads) =="
+  (cd "$outdir" && "$pbench" "$min_time" '--benchmark_filter=/(1|2)$' >/dev/null)
+  validate "$outdir/BENCH_bench_parallel_scaling.json"
 }
 
 echo "--- bench smoke: regular configuration ($build_dir) ---"

@@ -38,8 +38,11 @@
 //                                               loadable in chrome://tracing
 //                                               and Perfetto)
 //
-// The global --stats flag appends an opentla::obs stats block to any
-// subcommand's output (most useful with check/refine/compose).
+// Global flags: --stats appends an opentla::obs stats block to any
+// subcommand's output (most useful with check/refine/compose); --threads N
+// explores on N workers (default 1 = serial, 0 = hardware concurrency) —
+// the explored graph, and so every verdict and counterexample, is
+// bit-identical for every N.
 //
 // Exit codes (uniform across subcommands; `profile` returns the wrapped
 // subcommand's code):
@@ -84,6 +87,8 @@ int usage() {
          "       tlacheck profile SUBCOMMAND ARGS... [--format human|json|trace]\n"
          "                [--out FILE]\n"
          "options: --invariant EXPR   --dump   --max-states N   --steps N   --seed S\n"
+         "         --threads N (exploration workers; 1 = serial, 0 = hardware\n"
+         "         concurrency; the graph is identical for every N)\n"
          "         --format json (info|states|lint)   --stats (any subcommand)\n"
          "exit codes (all subcommands; profile forwards the wrapped one's):\n"
          "  0  printed / property holds / lint clean\n"
@@ -101,7 +106,7 @@ std::string slurp(const std::string& path) {
   return buf.str();
 }
 
-StateGraph explore(const ParsedModule& mod, std::size_t max_states) {
+StateGraph explore(const ParsedModule& mod, const ExploreOptions& eopts) {
   // An open module (one whose subscript does not cover every declared
   // variable — e.g. an environment assumption like QE1) leaves the rest
   // unconstrained: explore them as free environment moves, exactly like
@@ -124,7 +129,7 @@ StateGraph explore(const ParsedModule& mod, std::size_t max_states) {
     parts.push_back({frame, /*mover=*/false});
     free_tuples.push_back(env_free);
   }
-  return build_composite_graph(*mod.vars, parts, free_tuples, {}, max_states);
+  return build_composite_graph(*mod.vars, parts, free_tuples, {}, eopts);
 }
 
 // JSON emission follows the lint renderer's conventions: compact objects,
@@ -169,9 +174,9 @@ int cmd_info(const ParsedModule& mod, const std::string& format) {
   return 0;
 }
 
-int cmd_states(const ParsedModule& mod, bool dump, std::size_t max_states,
+int cmd_states(const ParsedModule& mod, bool dump, const ExploreOptions& eopts,
                const std::string& format) {
-  StateGraph g = explore(mod, max_states);
+  StateGraph g = explore(mod, eopts);
   if (format == "json") {
     std::cout << "{\n  \"module\": \"" << obs::json_escape(mod.name) << "\",\n"
               << "  \"states\": " << g.num_states() << ",\n  \"edges\": " << g.num_edges()
@@ -199,13 +204,13 @@ int cmd_states(const ParsedModule& mod, bool dump, std::size_t max_states,
 }
 
 int cmd_check(const ParsedModule& mod, const std::string& invariant_src,
-              std::size_t max_states) {
+              const ExploreOptions& eopts) {
   // Without --invariant, check TRUE: the graph is still fully explored
   // (useful under `profile`), and the invariant trivially holds.
   Expr invariant = invariant_src.empty()
                        ? ex::top()
                        : parse_expression(invariant_src, *mod.vars, &mod.definitions);
-  StateGraph g = explore(mod, max_states);
+  StateGraph g = explore(mod, eopts);
   InvariantResult r = check_invariant(g, invariant);
   if (r.holds) {
     std::cout << "invariant holds over " << r.states_checked << " states\n";
@@ -215,22 +220,22 @@ int cmd_check(const ParsedModule& mod, const std::string& invariant_src,
   return 1;
 }
 
-int cmd_closure(const ParsedModule& mod, std::size_t max_states) {
+int cmd_closure(const ParsedModule& mod, const ExploreOptions& eopts) {
   MachineClosureResult syn = check_prop1_syntactic(mod.spec);
   std::cout << "Proposition 1 (syntactic): " << (syn ? "applies" : "does NOT apply") << " — "
             << syn.detail << "\n";
-  StateGraph g = explore(mod, max_states);
+  StateGraph g = explore(mod, eopts);
   MachineClosureResult sem = check_machine_closure_on_graph(g, mod.spec.unhidden());
   std::cout << "on-graph machine closure: " << (sem ? "confirmed" : "REFUTED") << " — "
             << sem.detail << "\n";
   return (syn && sem) ? 0 : 1;
 }
 
-int cmd_deadlock(const ParsedModule& mod, std::size_t max_states) {
+int cmd_deadlock(const ParsedModule& mod, const ExploreOptions& eopts) {
   // A deadlock is a reachable state whose only successor is itself
   // (stuttering); canonical specs always allow stuttering, so "no real
   // step" is the meaningful notion.
-  StateGraph g = explore(mod, max_states);
+  StateGraph g = explore(mod, eopts);
   for (StateId s = 0; s < g.num_states(); ++s) {
     const std::vector<StateId>& succ = g.successors(s);
     const bool stuck = succ.size() == 1 && succ[0] == s;
@@ -249,12 +254,12 @@ int cmd_deadlock(const ParsedModule& mod, std::size_t max_states) {
 
 int cmd_refine(const ParsedModule& low, const ParsedModule& high,
                const std::vector<std::pair<std::string, std::string>>& witness_srcs,
-               std::size_t max_states) {
+               const ExploreOptions& eopts) {
   std::vector<std::pair<std::string, Expr>> witnesses;
   for (const auto& [name, src] : witness_srcs) {
     witnesses.emplace_back(name, parse_expression(src, *low.vars, &low.definitions));
   }
-  StateGraph g = explore(low, max_states);
+  StateGraph g = explore(low, eopts);
   RefinementMapping mapping = mapping_by_name(*low.vars, *high.vars, witnesses);
   RefinementResult r = check_refinement(g, low.spec.fairness, high.spec, mapping);
   if (r.holds) {
@@ -271,10 +276,10 @@ int cmd_refine(const ParsedModule& low, const ParsedModule& high,
 }
 
 int cmd_leadsto(const ParsedModule& mod, const std::string& from_src,
-                const std::string& to_src, std::size_t max_states) {
+                const std::string& to_src, const ExploreOptions& eopts) {
   Expr p = parse_expression(from_src, *mod.vars, &mod.definitions);
   Expr q = parse_expression(to_src, *mod.vars, &mod.definitions);
-  StateGraph g = explore(mod, max_states);
+  StateGraph g = explore(mod, eopts);
   LeadsToResult r = check_leads_to(g, mod.spec.fairness, p, q);
   if (r.holds) {
     std::cout << from_src << "  ~>  " << to_src << "  holds over " << g.num_states()
@@ -289,8 +294,8 @@ int cmd_leadsto(const ParsedModule& mod, const std::string& from_src,
 }
 
 int cmd_simulate(const ParsedModule& mod, std::size_t steps, unsigned seed,
-                 std::size_t max_states) {
-  StateGraph g = explore(mod, max_states);
+                 const ExploreOptions& eopts) {
+  StateGraph g = explore(mod, eopts);
   std::mt19937 rng(seed);
   StateId cur = g.initial()[std::uniform_int_distribution<std::size_t>(
       0, g.initial().size() - 1)(rng)];
@@ -315,7 +320,7 @@ int cmd_compose(const std::vector<std::pair<std::string, std::string>>& componen
                 const std::vector<std::string>& constraint_files,
                 const std::pair<std::string, std::string>& goal_files,
                 const std::vector<std::pair<std::string, std::string>>& witness_srcs,
-                std::size_t max_states) {
+                std::size_t max_states, unsigned threads) {
   // All modules share one universe, merged by variable name.
   auto universe = std::make_shared<VarTable>();
   std::vector<AGSpec> components;
@@ -335,6 +340,7 @@ int cmd_compose(const std::vector<std::pair<std::string, std::string>>& componen
   CompositionOptions opts;
   opts.max_states = max_states;
   opts.max_nodes = max_states;
+  opts.threads = threads;
   for (const auto& [name, src] : witness_srcs) {
     opts.goal_witness.emplace_back(name, parse_expression(src, *universe));
   }
@@ -402,6 +408,7 @@ int main(int argc, char** argv) {
   bool dump = false;
   bool stats = false;
   std::size_t max_states = 2'000'000;
+  unsigned threads = 1;
   std::size_t steps = 16;
   unsigned seed = 0;
   std::string format = "human";
@@ -428,6 +435,8 @@ int main(int argc, char** argv) {
       dump = true;
     } else if (args[i] == "--max-states" && i + 1 < args.size()) {
       max_states = std::stoull(args[++i]);
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<unsigned>(std::stoul(args[++i]));
     } else if (args[i] == "--from" && i + 1 < args.size()) {
       from_src = args[++i];
     } else if (args[i] == "--to" && i + 1 < args.size()) {
@@ -472,11 +481,15 @@ int main(int argc, char** argv) {
     // wrapped subcommand renders its default (human) output.
     const std::string inner_format = profiling ? "human" : format;
 
+    ExploreOptions eopts;
+    eopts.threads = threads;
+    eopts.max_states = max_states;
+
     auto dispatch = [&]() -> int {
       if (cmd == "compose") {
         if (goal_files.first.empty() || component_files.empty()) return usage();
         return cmd_compose(component_files, constraint_files, goal_files, witnesses,
-                           max_states);
+                           max_states, threads);
       }
       if (cmd == "lint") {
         if (files.empty()) return usage();
@@ -486,19 +499,19 @@ int main(int argc, char** argv) {
         if (files.size() != 2) return usage();
         ParsedModule low = parse_module(slurp(files[0]));
         ParsedModule high = parse_module(slurp(files[1]));
-        return cmd_refine(low, high, witnesses, max_states);
+        return cmd_refine(low, high, witnesses, eopts);
       }
       if (files.size() != 1) return usage();
       ParsedModule mod = parse_module(slurp(files[0]));
       if (cmd == "info") return cmd_info(mod, inner_format);
-      if (cmd == "states") return cmd_states(mod, dump, max_states, inner_format);
-      if (cmd == "check") return cmd_check(mod, invariant_src, max_states);
-      if (cmd == "closure") return cmd_closure(mod, max_states);
-      if (cmd == "deadlock") return cmd_deadlock(mod, max_states);
-      if (cmd == "simulate") return cmd_simulate(mod, steps, seed, max_states);
+      if (cmd == "states") return cmd_states(mod, dump, eopts, inner_format);
+      if (cmd == "check") return cmd_check(mod, invariant_src, eopts);
+      if (cmd == "closure") return cmd_closure(mod, eopts);
+      if (cmd == "deadlock") return cmd_deadlock(mod, eopts);
+      if (cmd == "simulate") return cmd_simulate(mod, steps, seed, eopts);
       if (cmd == "leadsto") {
         if (from_src.empty() || to_src.empty()) return usage();
-        return cmd_leadsto(mod, from_src, to_src, max_states);
+        return cmd_leadsto(mod, from_src, to_src, eopts);
       }
       return usage();
     };
