@@ -126,6 +126,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
   Prop1Result goal_p1;
   {
     OPENTLA_OBS_SPAN("fig9:1");
+    OPENTLA_OBS_PHASE("fig9:1");
     for (const AGSpec& c : components) {
       Prop1Result p1 = prop1_closure(c.guarantee);
       report.add(p1.obligation);
@@ -205,6 +206,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
   // --- H1: |= C(E) /\ /\_j C(M_j) => E_i ---
   {
     OPENTLA_OBS_SPAN("fig9:2.1");
+    OPENTLA_OBS_PHASE("fig9:2.1");
     std::vector<std::shared_ptr<const SafetyMachine>> constraints;
     constraints.push_back(std::make_shared<PrefixMachine>(vars, goal.assumption));
     for (const CanonicalSpec& c : closures) {
@@ -247,6 +249,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
     ob.method = "product-inclusion(freeze)";
     {
       OPENTLA_OBS_SPAN("fig9:2.2");
+      OPENTLA_OBS_PHASE("fig9:2.2");
       ObligationTimer timer(ob);
       std::vector<std::shared_ptr<const SafetyMachine>> constraints;
       constraints.push_back(std::make_shared<FreezeMachine>(
@@ -284,6 +287,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
     ob.method = "complete-system refinement";
     {
     OPENTLA_OBS_SPAN("fig9:2.3");
+    OPENTLA_OBS_PHASE("fig9:2.3");
     ObligationTimer timer_guard(ob);
     std::vector<CompositePart> parts;
     if (!is_trivial_spec(goal.assumption)) {
@@ -350,6 +354,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
     // Step 3: the Composition Theorem's conclusion — assembling the verdict
     // from the discharged hypotheses (no further exploration).
     OPENTLA_OBS_SPAN("fig9:3");
+    OPENTLA_OBS_PHASE("fig9:3");
     report.all_discharged();
   }
   return report;
@@ -428,6 +433,7 @@ std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
     ob.method = "orthogonality(product)";
     {
       OPENTLA_OBS_SPAN("prop3:2.1");
+      OPENTLA_OBS_PHASE("prop3:2.1");
       ObligationTimer timer(ob);
       // R's generator: the closures with hidden variables explicit, plus a
       // single free tuple for everything no mover constrains (environment
@@ -490,6 +496,7 @@ std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
     ob.method = "product-inclusion";
     {
       OPENTLA_OBS_SPAN("prop3:2.2");
+      OPENTLA_OBS_PHASE("prop3:2.2");
       ObligationTimer timer(ob);
       std::vector<std::shared_ptr<const SafetyMachine>> constraints;
       constraints.push_back(std::make_shared<PrefixMachine>(vars, goal.assumption));

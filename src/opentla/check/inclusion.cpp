@@ -172,6 +172,7 @@ std::vector<State> ConstraintExplorer::trace_to(std::uint32_t node) const {
 
 ConstraintExplorer::Verdict ConstraintExplorer::check_target(const SafetyMachine& target) const {
   OPENTLA_OBS_SPAN("ConstraintExplorer.check_target");
+  OPENTLA_OBS_PHASE("check.inclusion");
   Verdict verdict;
   verdict.target_name = target.name();
 

@@ -4,10 +4,12 @@
 
 #include "opentla/compose/compose.hpp"
 #include "opentla/expr/eval.hpp"
+#include "opentla/obs/obs.hpp"
 
 namespace opentla {
 
 InvariantResult check_invariant(const StateGraph& g, const Expr& invariant) {
+  OPENTLA_OBS_PHASE("check.invariant");
   InvariantResult result;
   result.states_checked = g.num_states();
   std::vector<signed char> bad(g.num_states(), -1);

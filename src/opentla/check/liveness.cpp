@@ -12,6 +12,7 @@ namespace opentla {
 LeadsToResult check_leads_to(const StateGraph& graph, const std::vector<Fairness>& fairness,
                              const Expr& p, const Expr& q) {
   OPENTLA_OBS_SPAN("check_leads_to");
+  OPENTLA_OBS_PHASE("check.leadsto");
   LeadsToResult result;
   const VarTable& vars = graph.vars();
 

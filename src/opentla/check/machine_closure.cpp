@@ -6,6 +6,7 @@
 #include "opentla/expr/analysis.hpp"
 #include "opentla/expr/eval.hpp"
 #include "opentla/graph/scc.hpp"
+#include "opentla/obs/obs.hpp"
 #include "opentla/state/state_space.hpp"
 
 namespace opentla {
@@ -59,6 +60,7 @@ MachineClosureResult check_prop1_semantic(const VarTable& vars, const CanonicalS
 
 MachineClosureResult check_machine_closure_on_graph(const StateGraph& graph,
                                                     const CanonicalSpec& spec) {
+  OPENTLA_OBS_PHASE("check.closure");
   MachineClosureResult result;
   FairnessCompiler compiler(graph);
   FairCycleQuery query;

@@ -57,6 +57,7 @@ RefinementResult check_refinement(const StateGraph& low_graph,
                                   const std::vector<Fairness>& low_fairness,
                                   const CanonicalSpec& high, const RefinementMapping& mapping) {
   OPENTLA_OBS_SPAN("check_refinement");
+  OPENTLA_OBS_PHASE("check.refinement");
   RefinementResult result;
   result.states = low_graph.num_states();
   result.edges = low_graph.num_edges();

@@ -87,6 +87,9 @@ StateGraph build_composite_graph(const VarTable& vars, const std::vector<Composi
     std::vector<VarId> part_pinned = pinned;
     part_pinned.insert(part_pinned.end(), p.extra_pinned.begin(), p.extra_pinned.end());
     movers.emplace_back(vars, p.spec.next, std::move(part_pinned));
+    // Per-action coverage attributes each mover's emissions to its spec.
+    movers.back().set_label(p.spec.name.empty() ? "part_" + std::to_string(movers.size())
+                                                : p.spec.name);
   }
   for (const std::vector<VarId>& tuple : free_tuples) {
     // Everything outside the tuple is pinned by assignment; the tuple's

@@ -53,6 +53,7 @@ void StateGraph::explore_serial(const std::vector<State>& init_states, const Suc
   init_.erase(std::unique(init_.begin(), init_.end()), init_.end());
 
   while (!frontier.empty()) {
+    OPENTLA_OBS_LEVEL_SET(FrontierSize, frontier.size());
     const StateId id = frontier.front();
     frontier.pop_front();
     // Copy: store_ may reallocate while successors are interned.
@@ -76,9 +77,14 @@ void StateGraph::explore_serial(const std::vector<State>& init_states, const Suc
     if (add_self_loops) out.push_back(id);
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
+    // Fanout = final deduped out-degree (incl. any stuttering self-loop);
+    // the parallel engine observes the same quantity after renumbering,
+    // so the histogram is engine-independent for a given spec.
+    OPENTLA_OBS_HIST(SuccessorFanout, out.size());
     num_edges_ += out.size();
     adjacency_[id] = std::move(out);
   }
+  OPENTLA_OBS_LEVEL_SET(FrontierSize, 0);
   OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, store_.size());
 }
 

@@ -28,6 +28,11 @@ ActionSuccessors::ActionSuccessors(const VarTable& vars, Expr action, std::vecto
   }
 }
 
+void ActionSuccessors::set_label(const std::string& label) {
+  label_ = obs::intern_label(label);
+  has_label_ = true;
+}
+
 bool ActionSuccessors::run(const State& s, bool existential_only,
                            const std::function<bool(const State&)>& fn) const {
   // `fn` returns true to stop early. Duplicates across disjuncts are
@@ -41,6 +46,15 @@ bool ActionSuccessors::run(const State& s, bool existential_only,
   // (opentla/par/explore.hpp) depends on this. `run` is also safe to call
   // concurrently on distinct states: it mutates no member data.
   std::unordered_set<State, StateHash> seen;
+  // Per-run emission count for the coverage attribution below; local, so
+  // the concurrency and determinism guarantees above are unaffected.
+  std::uint64_t fired = 0;
+  const auto note_run = [&] {
+    if (has_label_ && fired > 0) {
+      OPENTLA_OBS_COUNT_LABELED(ActionFired, label_, fired);
+      OPENTLA_OBS_COUNT_LABELED(ActionEnabled, label_, 1);
+    }
+  };
   for (const CompiledDisjunct& cd : disjuncts_) {
     EvalContext ctx;
     ctx.vars = vars_;
@@ -80,10 +94,15 @@ bool ActionSuccessors::run(const State& s, bool existential_only,
       }
       if (!seen.insert(t).second) return;
       OPENTLA_OBS_COUNT(SuccessorsEnumerated);
+      ++fired;
       if (fn(t)) stop = true;
     });
-    if (stop) return true;
+    if (stop) {
+      note_run();
+      return true;
+    }
   }
+  note_run();
   return false;
 }
 

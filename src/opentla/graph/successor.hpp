@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -37,6 +38,13 @@ class ActionSuccessors {
   ActionSuccessors(const VarTable& vars, Expr action, std::vector<VarId> pinned = {});
 
   const Expr& action() const { return action_; }
+
+  /// Attributes this generator's emissions to `label` in the obs
+  /// labeled-counter families: every emitted successor counts toward
+  /// ActionFired{action=label} and every run() with at least one
+  /// emission counts toward ActionEnabled{action=label}. Cold path
+  /// (interns the label) — call once at construction time.
+  void set_label(const std::string& label);
 
   /// Calls `fn` for every state t with action(s, t), without duplicates.
   void for_each_successor(const State& s, const std::function<void(const State&)>& fn) const;
@@ -72,6 +80,9 @@ class ActionSuccessors {
   Expr action_;
   StateSpace space_;
   std::vector<CompiledDisjunct> disjuncts_;
+  /// Obs attribution label (see set_label); 0 = unlabeled.
+  std::uint32_t label_ = 0;
+  bool has_label_ = false;
 };
 
 }  // namespace opentla

@@ -1,0 +1,111 @@
+#include "opentla/obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace opentla::obs {
+
+std::string openmetrics_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_openmetrics(const Snapshot& snap) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const char* n = name(static_cast<Counter>(i));
+    out << "# TYPE opentla_" << n << " counter\n";
+    out << "opentla_" << n << "_total " << snap.counters[i] << "\n";
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    const char* n = name(static_cast<Gauge>(i));
+    out << "# TYPE opentla_" << n << " gauge\n";
+    out << "opentla_" << n << " " << snap.gauges[i] << "\n";
+  }
+  for (std::size_t i = 0; i < kNumLevels; ++i) {
+    const char* n = name(static_cast<Level>(i));
+    out << "# TYPE opentla_" << n << " gauge\n";
+    out << "opentla_" << n << " " << snap.levels[i] << "\n";
+  }
+  for (std::size_t f = 0; f < kNumLabeledCounters; ++f) {
+    const char* n = name(static_cast<LabeledCounter>(f));
+    const char* key = label_key(static_cast<LabeledCounter>(f));
+    out << "# TYPE opentla_" << n << " counter\n";
+    for (std::size_t l = 0; l < snap.labeled[f].size(); ++l) {
+      if (snap.labeled[f][l] == 0) continue;
+      out << "opentla_" << n << "_total{" << key << "=\""
+          << openmetrics_escape(snap.labels[l]) << "\"} " << snap.labeled[f][l] << "\n";
+    }
+  }
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    const char* n = name(static_cast<Histogram>(h));
+    const HistogramSnapshot& hist = snap.hists[h];
+    out << "# TYPE opentla_" << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      cum += hist.buckets[b];
+      if (b + 1 == kHistBuckets) {
+        out << "opentla_" << n << "_bucket{le=\"+Inf\"} " << cum << "\n";
+      } else {
+        // Skip empty interior buckets past the data to keep the
+        // exposition short, but always emit le="0" and the +Inf bound.
+        if (hist.buckets[b] == 0 && b != 0) continue;
+        out << "opentla_" << n << "_bucket{le=\"" << hist_bucket_le(b) << "\"} " << cum
+            << "\n";
+      }
+    }
+    out << "opentla_" << n << "_sum " << hist.sum << "\n";
+    out << "opentla_" << n << "_count " << hist.count << "\n";
+  }
+  out << "# EOF\n";
+  return out.str();
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "a");
+  ok_ = file_ != nullptr;
+}
+
+JsonlWriter::~JsonlWriter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_) std::fclose(file_);
+  file_ = nullptr;
+  ok_ = false;
+}
+
+void JsonlWriter::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);  // crash-safe: at most the in-flight line is lost
+}
+
+void JsonlWriter::write_phase(const PhaseEvent& ev) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\",\"ts_us\":%" PRIu64 "}", ev.ts_us);
+  write_line("{\"type\":\"phase\",\"phase\":\"" + json_escape(ev.phase) + buf);
+}
+
+void JsonlWriter::write_progress(const ProgressSample& s) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"progress\",\"seq\":%" PRIu64 ",\"final\":%s,\"ts_us\":%" PRIu64
+                ",\"elapsed_us\":%" PRIu64 ",\"states\":%" PRIu64 ",\"frontier\":%" PRIu64
+                ",\"states_per_sec\":%.1f,\"rss_bytes\":%" PRIu64 "}",
+                s.seq, s.final_sample ? "true" : "false", s.ts_us, s.elapsed_us, s.states,
+                s.frontier, s.states_per_sec, s.rss_bytes);
+  write_line(buf);
+}
+
+}  // namespace opentla::obs

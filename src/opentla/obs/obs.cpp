@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace opentla::obs {
 
@@ -24,6 +25,7 @@ const char* name(Counter c) {
     case Counter::FreezeSteps: return "freeze_steps";
     case Counter::RefinementEdgesChecked: return "refinement_edges_checked";
     case Counter::OracleEvaluations: return "oracle_evaluations";
+    case Counter::BehaviorsChecked: return "behaviors_checked";
     case Counter::ParStatesExpanded: return "par_states_expanded";
     case Counter::ParSteals: return "par_steals";
     case Counter::ParShardContention: return "par_shard_contention";
@@ -43,6 +45,43 @@ const char* name(Gauge g) {
   return "?";
 }
 
+const char* name(Level l) {
+  switch (l) {
+    case Level::FrontierSize: return "frontier_size";
+    case Level::kCount: break;
+  }
+  return "?";
+}
+
+const char* name(LabeledCounter f) {
+  switch (f) {
+    case LabeledCounter::ActionFired: return "action_fired";
+    case LabeledCounter::ActionEnabled: return "action_enabled";
+    case LabeledCounter::kCount: break;
+  }
+  return "?";
+}
+
+const char* label_key(LabeledCounter f) {
+  switch (f) {
+    case LabeledCounter::ActionFired:
+    case LabeledCounter::ActionEnabled: return "action";
+    case LabeledCounter::kCount: break;
+  }
+  return "label";
+}
+
+const char* name(Histogram h) {
+  switch (h) {
+    case Histogram::SuccessorFanout: return "successor_fanout";
+    case Histogram::ParWorkerExpansions: return "par_worker_expansions";
+    case Histogram::ShardProbeLength: return "shard_probe_length";
+    case Histogram::LassoWalkLength: return "lasso_walk_length";
+    case Histogram::kCount: break;
+  }
+  return "?";
+}
+
 namespace detail {
 
 Bank g_bank;
@@ -54,10 +93,15 @@ namespace {
 // (a span per benchmark iteration) cannot exhaust memory; overflow is
 // counted and reported by every renderer.
 constexpr std::size_t kMaxSpans = 1u << 17;
+constexpr std::size_t kMaxPhases = 1u << 14;
 
 std::mutex g_span_mutex;
 std::vector<SpanRecord> g_spans;
 std::uint64_t g_spans_dropped = 0;
+std::vector<PhaseEvent> g_phases;
+
+std::mutex g_phase_sink_mutex;
+std::function<void(const PhaseEvent&)> g_phase_sink;
 
 std::atomic<std::uint32_t> g_next_span_id{1};
 std::atomic<std::uint32_t> g_next_tid{1};
@@ -65,10 +109,35 @@ std::atomic<std::uint32_t> g_next_tid{1};
 thread_local std::uint32_t t_current_span = 0;  // innermost open span, 0 = none
 thread_local std::uint32_t t_tid = 0;
 
+// Labels: id 0 is the overflow bucket; real labels start at 1. The table
+// is written only under the mutex (interning is a setup-time operation).
+std::mutex g_label_mutex;
+std::vector<std::string> g_labels = {"_other"};
+std::unordered_map<std::string, LabelId> g_label_ids;
+
+// Live ScopedSinks: gauge_max feeds each one its scope-local high-water.
+std::mutex g_sink_mutex;
+std::vector<ScopedSink*> g_sinks;
+
 std::uint32_t thread_tid() {
   if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
   return t_tid;
 }
+
+}  // namespace
+
+void gauge_max_slow(std::size_t g, std::uint64_t v) {
+  auto bump = [v](std::atomic<std::uint64_t>& cell) {
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (v > cur && !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  };
+  bump(g_bank.gauges[g]);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  for (ScopedSink* sink : g_sinks) bump(sink->local_gauges_[g]);
+}
+
+}  // namespace detail
 
 std::uint64_t now_us() {
   static const auto epoch = std::chrono::steady_clock::now();
@@ -77,11 +146,36 @@ std::uint64_t now_us() {
                                         .count());
 }
 
-}  // namespace
-}  // namespace detail
-
 void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+LabelId intern_label(const std::string& label) {
+  std::lock_guard<std::mutex> lock(detail::g_label_mutex);
+  auto it = detail::g_label_ids.find(label);
+  if (it != detail::g_label_ids.end()) return it->second;
+  if (detail::g_labels.size() >= kMaxLabels) return kLabelOverflow;
+  const LabelId id = static_cast<LabelId>(detail::g_labels.size());
+  detail::g_labels.push_back(label);
+  detail::g_label_ids.emplace(label, id);
+  return id;
+}
+
+void phase_event(std::string phase_name) {
+  PhaseEvent ev;
+  ev.phase = std::move(phase_name);
+  ev.ts_us = now_us();
+  {
+    std::lock_guard<std::mutex> lock(detail::g_span_mutex);
+    if (detail::g_phases.size() < detail::kMaxPhases) detail::g_phases.push_back(ev);
+  }
+  std::lock_guard<std::mutex> lock(detail::g_phase_sink_mutex);
+  if (detail::g_phase_sink) detail::g_phase_sink(ev);
+}
+
+void set_phase_sink(std::function<void(const PhaseEvent&)> sink) {
+  std::lock_guard<std::mutex> lock(detail::g_phase_sink_mutex);
+  detail::g_phase_sink = std::move(sink);
 }
 
 void Span::open(std::string span_name) {
@@ -90,11 +184,11 @@ void Span::open(std::string span_name) {
   id_ = detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_ = detail::t_current_span;
   detail::t_current_span = id_;
-  start_us_ = detail::now_us();
+  start_us_ = now_us();
 }
 
 void Span::close() {
-  const std::uint64_t end_us = detail::now_us();
+  const std::uint64_t end_us = now_us();
   detail::t_current_span = parent_;
   SpanRecord rec;
   rec.name = std::move(name_);
@@ -119,40 +213,131 @@ Snapshot snapshot() {
   for (std::size_t i = 0; i < kNumGauges; ++i) {
     snap.gauges[i] = detail::g_bank.gauges[i].load(std::memory_order_relaxed);
   }
+  for (std::size_t i = 0; i < kNumLevels; ++i) {
+    snap.levels[i] = detail::g_bank.levels[i].load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(detail::g_label_mutex);
+    snap.labels = detail::g_labels;
+  }
+  for (std::size_t f = 0; f < kNumLabeledCounters; ++f) {
+    snap.labeled[f].resize(snap.labels.size());
+    for (std::size_t l = 0; l < snap.labels.size(); ++l) {
+      snap.labeled[f][l] = detail::g_bank.labeled[f][l].load(std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    std::uint64_t count = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      snap.hists[h].buckets[b] =
+          detail::g_bank.hist_buckets[h][b].load(std::memory_order_relaxed);
+      count += snap.hists[h].buckets[b];
+    }
+    snap.hists[h].sum = detail::g_bank.hist_sums[h].load(std::memory_order_relaxed);
+    snap.hists[h].count = count;
+  }
   std::lock_guard<std::mutex> lock(detail::g_span_mutex);
   snap.spans = detail::g_spans;
   snap.spans_dropped = detail::g_spans_dropped;
+  snap.phases = detail::g_phases;
   return snap;
 }
 
 void reset() {
   for (auto& c : detail::g_bank.counters) c.store(0, std::memory_order_relaxed);
   for (auto& g : detail::g_bank.gauges) g.store(0, std::memory_order_relaxed);
+  for (auto& l : detail::g_bank.levels) l.store(0, std::memory_order_relaxed);
+  for (auto& fam : detail::g_bank.labeled) {
+    for (auto& cell : fam) cell.store(0, std::memory_order_relaxed);
+  }
+  for (auto& hist : detail::g_bank.hist_buckets) {
+    for (auto& cell : hist) cell.store(0, std::memory_order_relaxed);
+  }
+  for (auto& s : detail::g_bank.hist_sums) s.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(detail::g_label_mutex);
+    detail::g_labels = {"_other"};
+    detail::g_label_ids.clear();
+  }
   std::lock_guard<std::mutex> lock(detail::g_span_mutex);
   detail::g_spans.clear();
   detail::g_spans_dropped = 0;
+  detail::g_phases.clear();
+}
+
+std::uint64_t Snapshot::labeled_value(LabeledCounter f, const std::string& label) const {
+  for (std::size_t l = 0; l < labels.size(); ++l) {
+    if (labels[l] == label) return labeled[static_cast<std::size_t>(f)][l];
+  }
+  return 0;
 }
 
 ScopedSink::ScopedSink() : prev_enabled_(enabled()) {
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     base_counters_[i] = detail::g_bank.counters[i].load(std::memory_order_relaxed);
   }
+  for (std::size_t f = 0; f < kNumLabeledCounters; ++f) {
+    for (std::size_t l = 0; l < kMaxLabels; ++l) {
+      base_labeled_[f][l] = detail::g_bank.labeled[f][l].load(std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      base_hist_buckets_[h][b] =
+          detail::g_bank.hist_buckets[h][b].load(std::memory_order_relaxed);
+    }
+    base_hist_sums_[h] = detail::g_bank.hist_sums[h].load(std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(detail::g_span_mutex);
     base_spans_ = detail::g_spans.size();
+    base_phases_ = detail::g_phases.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(detail::g_sink_mutex);
+    detail::g_sinks.push_back(this);
   }
   set_enabled(true);
 }
 
-ScopedSink::~ScopedSink() { set_enabled(prev_enabled_); }
+ScopedSink::~ScopedSink() {
+  {
+    std::lock_guard<std::mutex> lock(detail::g_sink_mutex);
+    detail::g_sinks.erase(
+        std::remove(detail::g_sinks.begin(), detail::g_sinks.end(), this),
+        detail::g_sinks.end());
+  }
+  set_enabled(prev_enabled_);
+}
 
 Snapshot ScopedSink::take() const {
   Snapshot snap = snapshot();
   for (std::size_t i = 0; i < kNumCounters; ++i) snap.counters[i] -= base_counters_[i];
-  // Gauges are high-water marks, not differences: report them as-is.
+  // Gauges: the scope-local high-water this sink accumulated, not the
+  // process-lifetime peak (a peak set before the scope opened is stale).
+  for (std::size_t g = 0; g < kNumGauges; ++g) {
+    snap.gauges[g] = local_gauges_[g].load(std::memory_order_relaxed);
+  }
+  for (std::size_t f = 0; f < kNumLabeledCounters; ++f) {
+    for (std::size_t l = 0; l < snap.labeled[f].size(); ++l) {
+      snap.labeled[f][l] -= base_labeled_[f][l];
+    }
+  }
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    std::uint64_t count = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      snap.hists[h].buckets[b] -= base_hist_buckets_[h][b];
+      count += snap.hists[h].buckets[b];
+    }
+    snap.hists[h].sum -= base_hist_sums_[h];
+    snap.hists[h].count = count;
+  }
   snap.spans.erase(snap.spans.begin(),
                    snap.spans.begin() + static_cast<std::ptrdiff_t>(
                                             std::min(base_spans_, snap.spans.size())));
+  snap.phases.erase(snap.phases.begin(),
+                    snap.phases.begin() + static_cast<std::ptrdiff_t>(
+                                              std::min(base_phases_, snap.phases.size())));
   return snap;
 }
 
@@ -194,6 +379,55 @@ std::string render_human(const Snapshot& snap) {
     std::snprintf(line, sizeof line, "    %-26s %12llu\n", name(static_cast<Gauge>(i)),
                   static_cast<unsigned long long>(snap.gauges[i]));
     out << line;
+  }
+  // Labeled counters: only interned labels with activity in some family.
+  bool labeled_header = false;
+  for (std::size_t f = 0; f < kNumLabeledCounters; ++f) {
+    for (std::size_t l = 0; l < snap.labeled[f].size(); ++l) {
+      if (snap.labeled[f][l] == 0) continue;
+      if (!labeled_header) {
+        out << "  labeled counters:\n";
+        labeled_header = true;
+      }
+      char line[160];
+      std::snprintf(line, sizeof line, "    %s{%s=\"%s\"} %llu\n",
+                    name(static_cast<LabeledCounter>(f)),
+                    label_key(static_cast<LabeledCounter>(f)), snap.labels[l].c_str(),
+                    static_cast<unsigned long long>(snap.labeled[f][l]));
+      out << line;
+    }
+  }
+  // Histograms: count/sum plus the nonzero buckets.
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    const HistogramSnapshot& hist = snap.hists[h];
+    if (hist.count == 0) continue;
+    char line[160];
+    std::snprintf(line, sizeof line, "  histogram %s: count=%llu sum=%llu\n",
+                  name(static_cast<Histogram>(h)),
+                  static_cast<unsigned long long>(hist.count),
+                  static_cast<unsigned long long>(hist.sum));
+    out << line;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (hist.buckets[b] == 0) continue;
+      if (b + 1 == kHistBuckets) {
+        std::snprintf(line, sizeof line, "    le=+Inf %12llu\n",
+                      static_cast<unsigned long long>(hist.buckets[b]));
+      } else {
+        std::snprintf(line, sizeof line, "    le=%-5llu %12llu\n",
+                      static_cast<unsigned long long>(hist_bucket_le(b)),
+                      static_cast<unsigned long long>(hist.buckets[b]));
+      }
+      out << line;
+    }
+  }
+  if (!snap.phases.empty()) {
+    out << "  phases:\n";
+    for (const PhaseEvent& p : snap.phases) {
+      char line[160];
+      std::snprintf(line, sizeof line, "    %-26s at %12.3f ms\n", p.phase.c_str(),
+                    static_cast<double>(p.ts_us) / 1000.0);
+      out << line;
+    }
   }
   if (!snap.spans.empty()) {
     // Aggregate by name, preserving first-appearance order.
@@ -239,7 +473,43 @@ std::string render_json(const Snapshot& snap) {
     if (i > 0) out << ",";
     out << "\n    \"" << name(static_cast<Gauge>(i)) << "\": " << snap.gauges[i];
   }
-  out << "\n  },\n  \"spans_dropped\": " << snap.spans_dropped;
+  out << "\n  },\n  \"levels\": {";
+  for (std::size_t i = 0; i < kNumLevels; ++i) {
+    if (i > 0) out << ",";
+    out << "\n    \"" << name(static_cast<Level>(i)) << "\": " << snap.levels[i];
+  }
+  out << "\n  },\n  \"labeled\": {";
+  for (std::size_t f = 0; f < kNumLabeledCounters; ++f) {
+    if (f > 0) out << ",";
+    out << "\n    \"" << name(static_cast<LabeledCounter>(f)) << "\": {";
+    bool first = true;
+    for (std::size_t l = 0; l < snap.labeled[f].size(); ++l) {
+      if (snap.labeled[f][l] == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\n      \"" << json_escape(snap.labels[l]) << "\": " << snap.labeled[f][l];
+    }
+    out << (first ? "}" : "\n    }");
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    if (h > 0) out << ",";
+    const HistogramSnapshot& hist = snap.hists[h];
+    out << "\n    \"" << name(static_cast<Histogram>(h)) << "\": {\"buckets\": [";
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (b > 0) out << ", ";
+      out << hist.buckets[b];
+    }
+    out << "], \"sum\": " << hist.sum << ", \"count\": " << hist.count << "}";
+  }
+  out << "\n  },\n  \"phases\": [";
+  for (std::size_t i = 0; i < snap.phases.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    {\"phase\": \"" << json_escape(snap.phases[i].phase)
+        << "\", \"ts_us\": " << snap.phases[i].ts_us << "}";
+  }
+  if (!snap.phases.empty()) out << "\n  ";
+  out << "],\n  \"spans_dropped\": " << snap.spans_dropped;
   out << ",\n  \"spans\": [";
   for (std::size_t i = 0; i < snap.spans.size(); ++i) {
     const SpanRecord& s = snap.spans[i];
@@ -273,12 +543,24 @@ std::string render_chrome_trace(const Snapshot& snap) {
         << ", \"pid\": 1, \"tid\": " << s.tid << ", \"args\": {\"id\": " << s.id
         << ", \"parent\": " << s.parent << "}}";
   }
+  for (const PhaseEvent& p : snap.phases) {
+    last_ts = std::max(last_ts, p.ts_us);
+    sep();
+    out << "  {\"name\": \"" << json_escape(p.phase) << "\", \"cat\": \"phase\", "
+        << "\"ph\": \"I\", \"ts\": " << p.ts_us << ", \"pid\": 1, \"tid\": 1, "
+        << "\"s\": \"p\"}";
+  }
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     if (snap.counters[i] == 0) continue;
     sep();
     out << "  {\"name\": \"" << name(static_cast<Counter>(i)) << "\", \"ph\": \"C\", "
         << "\"ts\": " << last_ts << ", \"pid\": 1, \"args\": {\"value\": "
         << snap.counters[i] << "}}";
+  }
+  if (snap.spans_dropped > 0) {
+    sep();
+    out << "  {\"name\": \"spans_dropped\", \"ph\": \"M\", \"pid\": 1, "
+        << "\"args\": {\"value\": " << snap.spans_dropped << "}}";
   }
   out << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out.str();
@@ -288,7 +570,7 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
   const std::string path = "BENCH_" + bench_name + ".json";
   std::ofstream out(path);
   if (!out) return "";
-  out << "{\n  \"schema\": \"opentla-bench-v1\",\n  \"bench\": \""
+  out << "{\n  \"schema\": \"opentla-bench-v2\",\n  \"bench\": \""
       << json_escape(bench_name) << "\",\n  \"counters\": {";
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     if (i > 0) out << ",";
@@ -298,6 +580,30 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
   for (std::size_t i = 0; i < kNumGauges; ++i) {
     if (i > 0) out << ",";
     out << "\n    \"" << name(static_cast<Gauge>(i)) << "\": " << snap.gauges[i];
+  }
+  out << "\n  },\n  \"labeled\": {";
+  for (std::size_t f = 0; f < kNumLabeledCounters; ++f) {
+    if (f > 0) out << ",";
+    out << "\n    \"" << name(static_cast<LabeledCounter>(f)) << "\": {";
+    bool first = true;
+    for (std::size_t l = 0; l < snap.labeled[f].size(); ++l) {
+      if (snap.labeled[f][l] == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\n      \"" << json_escape(snap.labels[l]) << "\": " << snap.labeled[f][l];
+    }
+    out << (first ? "}" : "\n    }");
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    if (h > 0) out << ",";
+    const HistogramSnapshot& hist = snap.hists[h];
+    out << "\n    \"" << name(static_cast<Histogram>(h)) << "\": {\"buckets\": [";
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (b > 0) out << ", ";
+      out << hist.buckets[b];
+    }
+    out << "], \"sum\": " << hist.sum << ", \"count\": " << hist.count << "}";
   }
   out << "\n  }\n}\n";
   return out ? path : "";

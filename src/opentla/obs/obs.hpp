@@ -3,10 +3,14 @@
 // Zero-dependency observability layer for the checking engine: monotonic
 // counters and peak gauges for the hot algorithms (successor generation,
 // subset construction, SCC refinement, fair-cycle search, product
-// inclusion), RAII timer spans with parent/child nesting, and a
-// thread-safe global registry. Three renderers serve different consumers:
-// a human table, a JSON object, and the Chrome trace_event format that
-// `chrome://tracing` and Perfetto load directly.
+// inclusion), string-labeled counters over a bounded interned label table
+// (per-action coverage), power-of-two-bucket histograms (successor
+// fanout, worker balance, shard probe lengths), level gauges that track a
+// current value (frontier size, for live progress), phase-boundary
+// events, and RAII timer spans with parent/child nesting — all behind a
+// thread-safe global registry. Renderers serve different consumers: a
+// human table, a JSON object, the Chrome trace_event format, and an
+// OpenMetrics/Prometheus exposition (see export.hpp).
 //
 // Instrumentation sites use the OPENTLA_OBS_* macros below. They are
 // gated twice: at compile time by OPENTLA_OBS_ENABLED (the default build
@@ -18,7 +22,9 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,6 +48,7 @@ enum class Counter : std::size_t {
   FreezeSteps,             // FreezeMachine::step calls
   RefinementEdgesChecked,  // low edges checked against [HighNext]_v
   OracleEvaluations,       // lasso-oracle formula node evaluations
+  BehaviorsChecked,        // lasso behaviors examined by bounded validity
   ParStatesExpanded,       // states expanded by parallel exploration workers
   ParSteals,               // work items stolen from another worker's deque
   ParShardContention,      // seen-set shard locks that were contended
@@ -57,22 +64,87 @@ enum class Gauge : std::size_t {
   kCount
 };
 
+// --- Levels: current-value gauges (plain atomic store, last write wins).
+// Unlike Gauge these go up and down; the ProgressSampler reads them live.
+enum class Level : std::size_t {
+  FrontierSize,  // states discovered but not yet expanded
+  kCount
+};
+
+// --- Labeled counters: one family x interned-label table of atomic cells.
+// Labels are interned once (cold path, e.g. at ActionSuccessors
+// construction); counting is an index into a fixed table.
+enum class LabeledCounter : std::size_t {
+  ActionFired,    // successors emitted, attributed to the labeled action
+  ActionEnabled,  // expansions in which the labeled action had a successor
+  kCount
+};
+
+// --- Histograms: power-of-two buckets. Bucket 0 holds the value 0;
+// bucket i (i >= 1) holds values in (2^(i-2), 2^(i-1)], i.e. the `le`
+// upper bounds run 0, 1, 2, 4, 8, ...; the last bucket is unbounded.
+enum class Histogram : std::size_t {
+  SuccessorFanout,      // distinct successors (incl. stuttering self-loop) per expanded state
+  ParWorkerExpansions,  // states expanded per parallel worker (one sample each)
+  ShardProbeLength,     // hash-bucket chain length probed per sharded intern
+  LassoWalkLength,      // random-walk length before a lasso closes
+  kCount
+};
+
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
 constexpr std::size_t kNumGauges = static_cast<std::size_t>(Gauge::kCount);
+constexpr std::size_t kNumLevels = static_cast<std::size_t>(Level::kCount);
+constexpr std::size_t kNumLabeledCounters =
+    static_cast<std::size_t>(LabeledCounter::kCount);
+constexpr std::size_t kNumHistograms = static_cast<std::size_t>(Histogram::kCount);
+
+/// Interned labels are bounded: id 0 is the overflow bucket "_other" that
+/// absorbs every label interned past the table's capacity.
+using LabelId = std::uint32_t;
+constexpr LabelId kLabelOverflow = 0;
+constexpr std::size_t kMaxLabels = 256;
+
+constexpr std::size_t kHistBuckets = 32;
 
 /// Stable snake_case identifiers used by every renderer and BENCH_*.json.
 const char* name(Counter c);
 const char* name(Gauge g);
+const char* name(Level l);
+const char* name(LabeledCounter f);
+const char* name(Histogram h);
+/// The OpenMetrics label key of a family, e.g. "action" for ActionFired.
+const char* label_key(LabeledCounter f);
+
+/// Inclusive upper bound of histogram bucket `i`; the final bucket has no
+/// bound (render it as +Inf).
+constexpr std::uint64_t hist_bucket_le(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+/// Bucket index a value lands in: 0 for 0, else 1 + ceil(log2(v)), capped.
+constexpr std::size_t hist_bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  const std::size_t i = 1 + static_cast<std::size_t>(std::bit_width(v - 1));
+  return i < kHistBuckets ? i : kHistBuckets - 1;
+}
 
 namespace detail {
 
 struct Bank {
   std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
   std::array<std::atomic<std::uint64_t>, kNumGauges> gauges{};
+  std::array<std::atomic<std::uint64_t>, kNumLevels> levels{};
+  std::array<std::array<std::atomic<std::uint64_t>, kMaxLabels>, kNumLabeledCounters>
+      labeled{};
+  std::array<std::array<std::atomic<std::uint64_t>, kHistBuckets>, kNumHistograms>
+      hist_buckets{};
+  std::array<std::atomic<std::uint64_t>, kNumHistograms> hist_sums{};
 };
 
 extern Bank g_bank;
 extern std::atomic<bool> g_enabled;
+
+void gauge_max_slow(std::size_t g, std::uint64_t v);
 
 }  // namespace detail
 
@@ -89,12 +161,55 @@ inline void count(Counter c, std::uint64_t n = 1) {
                                                                  std::memory_order_relaxed);
 }
 
+/// High-water update. Also feeds every live ScopedSink's scope-local
+/// gauge bank (a cold path: gauges change once per graph build, not per
+/// state).
 inline void gauge_max(Gauge g, std::uint64_t v) {
-  auto& cell = detail::g_bank.gauges[static_cast<std::size_t>(g)];
-  std::uint64_t cur = cell.load(std::memory_order_relaxed);
-  while (v > cur && !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
+  detail::gauge_max_slow(static_cast<std::size_t>(g), v);
 }
+
+inline void level_set(Level l, std::uint64_t v) {
+  detail::g_bank.levels[static_cast<std::size_t>(l)].store(v, std::memory_order_relaxed);
+}
+
+inline std::uint64_t level_get(Level l) {
+  return detail::g_bank.levels[static_cast<std::size_t>(l)].load(std::memory_order_relaxed);
+}
+
+/// Interns `label` into the bounded global table and returns its id. Ids
+/// are stable until reset(). Past kMaxLabels - 1 distinct labels, returns
+/// kLabelOverflow ("_other"). Cold path (takes a mutex) — call at
+/// construction time, not per event.
+LabelId intern_label(const std::string& label);
+
+inline void count_labeled(LabeledCounter f, LabelId l, std::uint64_t n = 1) {
+  detail::g_bank.labeled[static_cast<std::size_t>(f)][l].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+inline void hist_observe(Histogram h, std::uint64_t v) {
+  const std::size_t hi = static_cast<std::size_t>(h);
+  detail::g_bank.hist_buckets[hi][hist_bucket_index(v)].fetch_add(
+      1, std::memory_order_relaxed);
+  detail::g_bank.hist_sums[hi].fetch_add(v, std::memory_order_relaxed);
+}
+
+// --- Phase events ---
+
+/// A phase boundary crossed by the engine (a proof step starting, a check
+/// beginning). Timestamps share the span epoch (microseconds).
+struct PhaseEvent {
+  std::string phase;
+  std::uint64_t ts_us = 0;
+};
+
+/// Records a phase event in the registry and forwards it to the phase
+/// sink, if one is registered (the JSONL event stream).
+void phase_event(std::string phase_name);
+
+/// Registers a callback that observes every phase event as it happens
+/// (nullptr clears). Called under an internal mutex; keep it cheap.
+void set_phase_sink(std::function<void(const PhaseEvent&)> sink);
 
 // --- Spans ---
 
@@ -110,6 +225,10 @@ struct SpanRecord {
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
 };
+
+/// Microseconds since the process-wide span epoch (what SpanRecord and
+/// PhaseEvent timestamps are measured in).
+std::uint64_t now_us();
 
 /// RAII timer span. Construction is a no-op when the runtime flag is off
 /// — the inline constructors test the flag before materializing the name,
@@ -143,9 +262,22 @@ class Span {
 
 // --- Snapshot and registry operations ---
 
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+};
+
 struct Snapshot {
   std::array<std::uint64_t, kNumCounters> counters{};
   std::array<std::uint64_t, kNumGauges> gauges{};
+  std::array<std::uint64_t, kNumLevels> levels{};
+  /// The interned label table at snapshot time; labeled[f][id] pairs with
+  /// labels[id]. Index 0 is the overflow bucket "_other".
+  std::vector<std::string> labels;
+  std::array<std::vector<std::uint64_t>, kNumLabeledCounters> labeled;
+  std::array<HistogramSnapshot, kNumHistograms> hists;
+  std::vector<PhaseEvent> phases;
   std::vector<SpanRecord> spans;
   std::uint64_t spans_dropped = 0;
 
@@ -153,19 +285,31 @@ struct Snapshot {
     return counters[static_cast<std::size_t>(c)];
   }
   std::uint64_t gauge(Gauge g) const { return gauges[static_cast<std::size_t>(g)]; }
+  std::uint64_t level(Level l) const { return levels[static_cast<std::size_t>(l)]; }
+  const HistogramSnapshot& hist(Histogram h) const {
+    return hists[static_cast<std::size_t>(h)];
+  }
+  /// Value of family `f` at `label`, 0 when the label was never interned.
+  std::uint64_t labeled_value(LabeledCounter f, const std::string& label) const;
 };
 
-/// Copy the registry's current totals (counters, gauges, completed spans).
+/// Copy the registry's current totals (counters, gauges, levels, labeled
+/// counters, histograms, phase events, completed spans).
 Snapshot snapshot();
 
-/// Zero all counters and gauges and drop all recorded spans.
+/// Zero every instrument, drop all recorded spans and phase events, and
+/// clear the interned label table (outstanding LabelIds become stale —
+/// reset only between independent runs, never mid-exploration).
 void reset();
 
 /// Scoped sink: remembers the registry baseline and the previous runtime
 /// flag at construction, enables collection, and restores the flag at
-/// destruction. `take()` returns only what happened inside the scope, so
-/// sinks nest (each sees its own delta) and drivers never have to reset
-/// the global registry.
+/// destruction. `take()` returns only what happened inside the scope —
+/// counters, labeled counters, histograms, spans, and phase events as
+/// deltas, and gauges as *scope-local* high-water marks (observations
+/// made while this sink was live, not process-lifetime peaks) — so sinks
+/// nest (each sees its own delta) and drivers never have to reset the
+/// global registry.
 class ScopedSink {
  public:
   ScopedSink();
@@ -176,8 +320,16 @@ class ScopedSink {
   Snapshot take() const;
 
  private:
+  friend void detail::gauge_max_slow(std::size_t, std::uint64_t);
+
   std::array<std::uint64_t, kNumCounters> base_counters_{};
+  std::array<std::array<std::uint64_t, kMaxLabels>, kNumLabeledCounters> base_labeled_{};
+  std::array<std::array<std::uint64_t, kHistBuckets>, kNumHistograms> base_hist_buckets_{};
+  std::array<std::uint64_t, kNumHistograms> base_hist_sums_{};
+  /// Scope-local gauge high-water: fed by gauge_max while this sink lives.
+  std::array<std::atomic<std::uint64_t>, kNumGauges> local_gauges_{};
   std::size_t base_spans_ = 0;
+  std::size_t base_phases_ = 0;
   bool prev_enabled_ = false;
 };
 
@@ -186,20 +338,24 @@ class ScopedSink {
 /// Minimal JSON string escaping (shared with the CLI's JSON emitters).
 std::string json_escape(const std::string& s);
 
-/// Aligned table: all counters and gauges, then spans aggregated by name
-/// (count, total/self milliseconds).
+/// Aligned table: counters, gauges, labeled counters, histograms, then
+/// spans aggregated by name (count, total milliseconds).
 std::string render_human(const Snapshot& snap);
 
-/// One JSON object: {"counters": {...}, "gauges": {...}, "spans": [...]}.
+/// One JSON object: {"counters": {...}, "gauges": {...}, "labeled": {...},
+/// "histograms": {...}, "phases": [...], "spans": [...]}.
 std::string render_json(const Snapshot& snap);
 
 /// Chrome trace_event JSON ({"traceEvents": [...]}): one "X" complete
-/// event per span plus one "C" counter sample per nonzero counter.
-/// Loadable in chrome://tracing and https://ui.perfetto.dev.
+/// event per span, one "I" instant event per phase event, one "C" counter
+/// sample per nonzero counter, and a metadata event carrying the dropped-
+/// span count when the recording cap was hit. Loadable in
+/// chrome://tracing and https://ui.perfetto.dev.
 std::string render_chrome_trace(const Snapshot& snap);
 
 /// Write `BENCH_<bench_name>.json` (schema tools/bench_schema.json) into
-/// the current directory: counters + gauges for the whole process run.
+/// the current directory: counters, gauges, labeled counters, and
+/// histograms for the whole process run.
 /// Returns the path written, or an empty string on I/O failure.
 std::string write_bench_json(const std::string& bench_name, const Snapshot& snap);
 
@@ -233,6 +389,35 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
                                 static_cast<std::uint64_t>(v));         \
   } while (0)
 
+#define OPENTLA_OBS_LEVEL_SET(level_id, v)                              \
+  do {                                                                  \
+    if (::opentla::obs::enabled())                                      \
+      ::opentla::obs::level_set(::opentla::obs::Level::level_id,        \
+                                static_cast<std::uint64_t>(v));         \
+  } while (0)
+
+// `label` is a LabelId obtained from intern_label at setup time.
+#define OPENTLA_OBS_COUNT_LABELED(family_id, label, n)                    \
+  do {                                                                    \
+    if (::opentla::obs::enabled())                                        \
+      ::opentla::obs::count_labeled(                                      \
+          ::opentla::obs::LabeledCounter::family_id, (label),             \
+          static_cast<std::uint64_t>(n));                                 \
+  } while (0)
+
+#define OPENTLA_OBS_HIST(hist_id, v)                                    \
+  do {                                                                  \
+    if (::opentla::obs::enabled())                                      \
+      ::opentla::obs::hist_observe(::opentla::obs::Histogram::hist_id,  \
+                                   static_cast<std::uint64_t>(v));      \
+  } while (0)
+
+#define OPENTLA_OBS_PHASE(name_expr)                                    \
+  do {                                                                  \
+    if (::opentla::obs::enabled())                                      \
+      ::opentla::obs::phase_event(name_expr);                           \
+  } while (0)
+
 #define OPENTLA_OBS_CONCAT_IMPL(a, b) a##b
 #define OPENTLA_OBS_CONCAT(a, b) OPENTLA_OBS_CONCAT_IMPL(a, b)
 
@@ -248,6 +433,10 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
 #define OPENTLA_OBS_COUNT(counter_id) ((void)0)
 #define OPENTLA_OBS_COUNT_N(counter_id, n) ((void)0)
 #define OPENTLA_OBS_GAUGE_MAX(gauge_id, v) ((void)0)
+#define OPENTLA_OBS_LEVEL_SET(level_id, v) ((void)0)
+#define OPENTLA_OBS_COUNT_LABELED(family_id, label, n) ((void)0)
+#define OPENTLA_OBS_HIST(hist_id, v) ((void)0)
+#define OPENTLA_OBS_PHASE(name_expr) ((void)0)
 #define OPENTLA_OBS_SPAN(name_expr) ((void)0)
 
 #endif  // OPENTLA_OBS_ENABLED

@@ -76,6 +76,13 @@ ExploreResult explore(const std::vector<State>& init_states,
   auto worker = [&](unsigned me) {
     OPENTLA_OBS_SPAN("par.worker");
     std::vector<Expanded>& mine = records[me];
+    // One ParWorkerExpansions sample per worker at exit: the histogram's
+    // spread is the load-balance picture for this run.
+    std::uint64_t expanded_here = 0;
+    struct ExitSample {
+      const std::uint64_t& n;
+      ~ExitSample() { OPENTLA_OBS_HIST(ParWorkerExpansions, n); }
+    } exit_sample{expanded_here};
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
 
@@ -154,8 +161,11 @@ ExploreResult explore(const std::vector<State>& init_states,
         return;
       }
       OPENTLA_OBS_COUNT(ParStatesExpanded);
+      ++expanded_here;
       mine.push_back(std::move(rec));
-      outstanding.fetch_sub(1, std::memory_order_release);
+      const std::int64_t left = outstanding.fetch_sub(1, std::memory_order_release) - 1;
+      (void)left;  // only read by the level below, which OPENTLA_OBS=OFF strips
+      OPENTLA_OBS_LEVEL_SET(FrontierSize, left > 0 ? left : 0);
     }
   };
 
@@ -213,6 +223,9 @@ ExploreResult explore(const std::vector<State>& init_states,
     if (opts.add_self_loops) out.push_back(c);
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
+    // Same fanout definition as the serial engine (final deduped
+    // out-degree), so the histogram matches it bit for bit.
+    OPENTLA_OBS_HIST(SuccessorFanout, out.size());
     res.num_edges += out.size();
     res.adjacency[c] = std::move(out);
   }

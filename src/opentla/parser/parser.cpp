@@ -466,6 +466,7 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
       if (!cur.done()) parse_error(cur.peek(), "trailing input in definition");
       mod.definitions.emplace(name.text, std::move(body));
       mod.locs.definitions.emplace(name.text, loc_of(name));
+      if (kw == "ACTION") mod.action_names.push_back(name.text);
     } else if (kw == "INIT") {
       mod.locs.init = loc_of(st.keyword);
       ExprParser parser(cur, *mod.vars, &mod.definitions);

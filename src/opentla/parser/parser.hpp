@@ -64,6 +64,9 @@ struct ParsedModule {
   std::string name;
   std::shared_ptr<VarTable> vars;
   std::map<std::string, Expr> definitions;
+  /// Names introduced with ACTION (not DEFINE), in statement order.
+  /// Coverage reporting treats these as the module's named actions.
+  std::vector<std::string> action_names;
   CanonicalSpec spec;
   /// Variables this module itself declares (a shared universe may hold
   /// more), in declaration order.

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "opentla/obs/obs.hpp"
 #include "opentla/state/state_space.hpp"
 
 namespace opentla {
@@ -42,6 +43,7 @@ BoundedValidity check_validity_bounded(const VarTable& vars, const Formula& f,
     for_each_lasso(vars, len, [&](const LassoBehavior& sigma) {
       if (!result.valid) return;
       ++result.behaviors_checked;
+      OPENTLA_OBS_COUNT(BehaviorsChecked);
       if (!oracle.evaluate(f, sigma)) {
         result.valid = false;
         result.violation = sigma;
@@ -80,6 +82,7 @@ LassoBehavior random_graph_lasso(const StateGraph& g, std::mt19937& rng,
     cur = succ[std::uniform_int_distribution<std::size_t>(0, succ.size() - 1)(rng)];
     auto it = first_seen.find(cur);
     if (it != first_seen.end()) {
+      OPENTLA_OBS_HIST(LassoWalkLength, walk.size());
       std::vector<State> states;
       states.reserve(walk.size());
       for (StateId s : walk) states.push_back(g.state(s));
@@ -89,6 +92,7 @@ LassoBehavior random_graph_lasso(const StateGraph& g, std::mt19937& rng,
     walk.push_back(cur);
   }
   // Close on the final state's stuttering self-loop.
+  OPENTLA_OBS_HIST(LassoWalkLength, walk.size());
   std::vector<State> states;
   states.reserve(walk.size());
   for (StateId s : walk) states.push_back(g.state(s));

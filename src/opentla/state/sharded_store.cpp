@@ -1,5 +1,7 @@
 #include "opentla/state/sharded_store.hpp"
 
+#include "opentla/obs/obs.hpp"
+
 namespace opentla {
 
 namespace {
@@ -30,6 +32,11 @@ ShardedStateSet::InternResult ShardedStateSet::intern(const State& s) {
     contended_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
   }
+  // Chain length of the bucket this state hashes into: the distribution
+  // diagnoses hash quality / load factor under heavy interning.
+  OPENTLA_OBS_HIST(ShardProbeLength, shard.ids.bucket_count() == 0
+                                         ? 0
+                                         : shard.ids.bucket_size(shard.ids.bucket(s)));
   auto it = shard.ids.find(s);
   if (it != shard.ids.end()) return {it->second, false};
   const StateId id = next_id_.fetch_add(1, std::memory_order_relaxed);

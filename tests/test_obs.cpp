@@ -4,14 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "opentla/graph/state_graph.hpp"
 #include "opentla/graph/successor.hpp"
+#include "opentla/obs/export.hpp"
 #include "opentla/obs/obs.hpp"
+#include "opentla/obs/progress.hpp"
 
 namespace opentla {
 namespace {
@@ -53,6 +57,9 @@ TEST_F(ObsTest, NamesAreStableSnakeCase) {
 // engine's instrumentation counts algorithmic events, not wall-clock
 // accidents.
 TEST_F(ObsTest, CountersAreDeterministicAcrossIdenticalRuns) {
+  if (!obs::compile_time_enabled()) {
+    GTEST_SKIP() << "engine instrumentation compiled out (-DOPENTLA_OBS=OFF)";
+  }
   VarTable vars;
   const VarId x = vars.declare("x", range_domain(0, 7));
   const Expr next =
@@ -157,6 +164,11 @@ TEST_F(ObsTest, RenderJsonGolden) {
   snap.gauges[static_cast<std::size_t>(obs::Gauge::PeakGraphStates)] = 7;
   snap.spans.push_back({"explore", 1, 0, 1, 100, 50});
 
+  std::string zeros = "0";
+  for (std::size_t i = 1; i < obs::kHistBuckets; ++i) zeros += ", 0";
+  const std::string empty_hist =
+      "{\"buckets\": [" + zeros + "], \"sum\": 0, \"count\": 0}";
+
   const std::string expected =
       "{\n"
       "  \"counters\": {\n"
@@ -172,6 +184,7 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"freeze_steps\": 0,\n"
       "    \"refinement_edges_checked\": 0,\n"
       "    \"oracle_evaluations\": 0,\n"
+      "    \"behaviors_checked\": 0,\n"
       "    \"par_states_expanded\": 0,\n"
       "    \"par_steals\": 0,\n"
       "    \"par_shard_contention\": 0\n"
@@ -182,6 +195,20 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"peak_product_nodes\": 0,\n"
       "    \"peak_par_workers\": 0\n"
       "  },\n"
+      "  \"levels\": {\n"
+      "    \"frontier_size\": 0\n"
+      "  },\n"
+      "  \"labeled\": {\n"
+      "    \"action_fired\": {},\n"
+      "    \"action_enabled\": {}\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"successor_fanout\": " + empty_hist + ",\n"
+      "    \"par_worker_expansions\": " + empty_hist + ",\n"
+      "    \"shard_probe_length\": " + empty_hist + ",\n"
+      "    \"lasso_walk_length\": " + empty_hist + "\n"
+      "  },\n"
+      "  \"phases\": [],\n"
       "  \"spans_dropped\": 0,\n"
       "  \"spans\": [\n"
       "    {\"name\": \"explore\", \"id\": 1, \"parent\": 0, \"tid\": 1, "
@@ -241,10 +268,13 @@ TEST_F(ObsTest, WriteBenchJsonRoundTrips) {
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string body = buf.str();
-  EXPECT_NE(body.find("\"schema\": \"opentla-bench-v1\""), std::string::npos);
+  EXPECT_NE(body.find("\"schema\": \"opentla-bench-v2\""), std::string::npos);
   EXPECT_NE(body.find("\"bench\": \"unit_test\""), std::string::npos);
   EXPECT_NE(body.find("\"states_generated\": 42"), std::string::npos);
   EXPECT_NE(body.find("\"peak_configuration_count\": 0"), std::string::npos);
+  EXPECT_NE(body.find("\"labeled\""), std::string::npos);
+  EXPECT_NE(body.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(body.find("\"successor_fanout\""), std::string::npos);
 }
 
 // The parallel engine's counters: a multi-threaded exploration reports its
@@ -253,6 +283,9 @@ TEST_F(ObsTest, WriteBenchJsonRoundTrips) {
 // space exactly. Steal/contention counts are scheduling-dependent, so only
 // their presence in the snapshot is asserted, not a value.
 TEST_F(ObsTest, ParallelCountersAreRecordedAndGraphCountersMatchSerial) {
+  if (!obs::compile_time_enabled()) {
+    GTEST_SKIP() << "engine instrumentation compiled out (-DOPENTLA_OBS=OFF)";
+  }
   VarTable vars;
   const VarId x = vars.declare("x", range_domain(0, 63));
   const Expr next =
@@ -301,6 +334,10 @@ TEST_F(ObsTest, RuntimeDisabledRecordsNothing) {
   OPENTLA_OBS_COUNT(StatesGenerated);
   OPENTLA_OBS_COUNT_N(ConfigsExpanded, 17);
   OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, 99);
+  OPENTLA_OBS_LEVEL_SET(FrontierSize, 42);
+  OPENTLA_OBS_COUNT_LABELED(ActionFired, obs::kLabelOverflow, 3);
+  OPENTLA_OBS_HIST(SuccessorFanout, 8);
+  OPENTLA_OBS_PHASE("ignored_phase");
   { OPENTLA_OBS_SPAN("ignored"); }
   { obs::Span direct("also_ignored"); }
   const obs::Snapshot snap = obs::snapshot();
@@ -310,7 +347,346 @@ TEST_F(ObsTest, RuntimeDisabledRecordsNothing) {
   for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
     EXPECT_EQ(snap.gauges[i], 0u);
   }
+  for (std::size_t i = 0; i < obs::kNumLevels; ++i) {
+    EXPECT_EQ(snap.levels[i], 0u);
+  }
+  for (std::size_t f = 0; f < obs::kNumLabeledCounters; ++f) {
+    for (std::uint64_t v : snap.labeled[f]) EXPECT_EQ(v, 0u);
+  }
+  for (std::size_t h = 0; h < obs::kNumHistograms; ++h) {
+    EXPECT_EQ(snap.hists[h].count, 0u);
+  }
+  EXPECT_TRUE(snap.phases.empty());
   EXPECT_TRUE(snap.spans.empty());
+}
+
+// --- obs v2: labeled counters, histograms, levels, phases, sampler, exports ---
+
+// Regression for the ScopedSink gauge-leak bug: a peak recorded BEFORE the
+// sink existed must not appear in the sink's snapshot; the sink reports
+// only the high-water observed within its own scope.
+TEST_F(ObsTest, ScopedSinkGaugeIsScopeLocal) {
+  obs::set_enabled(true);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 1000);  // stale, pre-scope peak
+  {
+    obs::ScopedSink outer;
+    obs::gauge_max(obs::Gauge::PeakGraphStates, 7);
+    {
+      obs::ScopedSink inner;
+      obs::gauge_max(obs::Gauge::PeakGraphStates, 3);
+      EXPECT_EQ(inner.take().gauge(obs::Gauge::PeakGraphStates), 3u);
+    }
+    EXPECT_EQ(outer.take().gauge(obs::Gauge::PeakGraphStates), 7u);
+    // A sink that saw no gauge update reports 0, not the global peak.
+    obs::ScopedSink quiet;
+    EXPECT_EQ(quiet.take().gauge(obs::Gauge::PeakGraphStates), 0u);
+  }
+  // The global registry still holds the process-lifetime high-water.
+  EXPECT_EQ(obs::snapshot().gauge(obs::Gauge::PeakGraphStates), 1000u);
+}
+
+// The span-recording cap: spans past the cap are dropped and counted, and
+// the Chrome trace renderer surfaces the count as a metadata event.
+TEST_F(ObsTest, SpanCapDropsAndCountsOverflow) {
+  obs::set_enabled(true);
+  constexpr std::size_t kCap = std::size_t{1} << 17;  // kMaxSpans in obs.cpp
+  constexpr std::size_t kOver = 5;
+  for (std::size_t i = 0; i < kCap + kOver; ++i) {
+    obs::Span s("bulk");
+  }
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.spans.size(), kCap);
+  EXPECT_EQ(snap.spans_dropped, kOver);
+}
+
+TEST_F(ObsTest, ChromeTraceSurfacesDroppedSpans) {
+  obs::Snapshot snap;
+  snap.spans.push_back({"explore", 1, 0, 1, 100, 50});
+  snap.spans_dropped = 3;
+  const std::string trace = obs::render_chrome_trace(snap);
+  EXPECT_NE(trace.find("{\"name\": \"spans_dropped\", \"ph\": \"M\", \"pid\": 1, "
+                       "\"args\": {\"value\": 3}}"),
+            std::string::npos);
+}
+
+// Schema-drift guard: every enum value of every instrument family has a
+// unique, non-empty name that appears in render_json output.
+TEST_F(ObsTest, RendererNamesAreUniqueAndPresentInJson) {
+  const std::string json = obs::render_json(obs::Snapshot{});
+  std::set<std::string> seen;
+  auto check = [&](const char* n) {
+    ASSERT_NE(n, nullptr);
+    const std::string s = n;
+    EXPECT_FALSE(s.empty());
+    EXPECT_NE(s, "?");
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate metric name " << s;
+    EXPECT_NE(json.find("\"" + s + "\""), std::string::npos) << s;
+  };
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    check(obs::name(static_cast<obs::Counter>(i)));
+  }
+  for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
+    check(obs::name(static_cast<obs::Gauge>(i)));
+  }
+  for (std::size_t i = 0; i < obs::kNumLevels; ++i) {
+    check(obs::name(static_cast<obs::Level>(i)));
+  }
+  for (std::size_t i = 0; i < obs::kNumLabeledCounters; ++i) {
+    check(obs::name(static_cast<obs::LabeledCounter>(i)));
+  }
+  for (std::size_t i = 0; i < obs::kNumHistograms; ++i) {
+    check(obs::name(static_cast<obs::Histogram>(i)));
+  }
+}
+
+TEST_F(ObsTest, LabelInterningIsStableAndBounded) {
+  obs::set_enabled(true);
+  const obs::LabelId a = obs::intern_label("Incr");
+  const obs::LabelId b = obs::intern_label("Wrap");
+  EXPECT_NE(a, obs::kLabelOverflow);
+  EXPECT_NE(b, obs::kLabelOverflow);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(obs::intern_label("Incr"), a);  // idempotent
+
+  obs::count_labeled(obs::LabeledCounter::ActionFired, a, 3);
+  obs::count_labeled(obs::LabeledCounter::ActionFired, b, 1);
+  obs::count_labeled(obs::LabeledCounter::ActionEnabled, a, 2);
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.labeled_value(obs::LabeledCounter::ActionFired, "Incr"), 3u);
+  EXPECT_EQ(snap.labeled_value(obs::LabeledCounter::ActionFired, "Wrap"), 1u);
+  EXPECT_EQ(snap.labeled_value(obs::LabeledCounter::ActionEnabled, "Incr"), 2u);
+  EXPECT_EQ(snap.labeled_value(obs::LabeledCounter::ActionEnabled, "missing"), 0u);
+  EXPECT_EQ(snap.labels[obs::kLabelOverflow], "_other");
+
+  // Past the table bound, interning degrades to the overflow bucket
+  // instead of growing without limit.
+  for (std::size_t i = 0; i < obs::kMaxLabels + 8; ++i) {
+    obs::intern_label("overflow_" + std::to_string(i));
+  }
+  EXPECT_EQ(obs::intern_label("one_more"), obs::kLabelOverflow);
+  EXPECT_EQ(obs::snapshot().labels.size(), obs::kMaxLabels);
+}
+
+TEST_F(ObsTest, HistogramBucketsArePowersOfTwo) {
+  // Bucket layout: le bounds 0, 1, 2, 4, 8, ...
+  EXPECT_EQ(obs::hist_bucket_index(0), 0u);
+  EXPECT_EQ(obs::hist_bucket_index(1), 1u);
+  EXPECT_EQ(obs::hist_bucket_index(2), 2u);
+  EXPECT_EQ(obs::hist_bucket_index(3), 3u);
+  EXPECT_EQ(obs::hist_bucket_index(4), 3u);
+  EXPECT_EQ(obs::hist_bucket_index(5), 4u);
+  EXPECT_EQ(obs::hist_bucket_index(8), 4u);
+  EXPECT_EQ(obs::hist_bucket_index(9), 5u);
+  EXPECT_EQ(obs::hist_bucket_le(0), 0u);
+  EXPECT_EQ(obs::hist_bucket_le(1), 1u);
+  EXPECT_EQ(obs::hist_bucket_le(3), 4u);
+  // Everything saturates into the final bucket.
+  EXPECT_EQ(obs::hist_bucket_index(~std::uint64_t{0}), obs::kHistBuckets - 1);
+
+  obs::set_enabled(true);
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 5u, 100u}) {
+    obs::hist_observe(obs::Histogram::SuccessorFanout, v);
+  }
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::HistogramSnapshot& h = snap.hist(obs::Histogram::SuccessorFanout);
+  EXPECT_EQ(h.count, 7u);
+  EXPECT_EQ(h.sum, 115u);
+  EXPECT_EQ(h.buckets[0], 1u);  // 0
+  EXPECT_EQ(h.buckets[1], 1u);  // 1
+  EXPECT_EQ(h.buckets[2], 1u);  // 2
+  EXPECT_EQ(h.buckets[3], 2u);  // 3, 4
+  EXPECT_EQ(h.buckets[4], 1u);  // 5
+  EXPECT_EQ(h.buckets[8], 1u);  // 100 in (64,128]
+}
+
+TEST_F(ObsTest, PhaseEventsRecordAndForwardToSink) {
+  if (!obs::compile_time_enabled()) {
+    GTEST_SKIP() << "OPENTLA_OBS_PHASE compiled out (-DOPENTLA_OBS=OFF)";
+  }
+  obs::set_enabled(true);
+  std::vector<std::string> forwarded;
+  obs::set_phase_sink([&](const obs::PhaseEvent& e) { forwarded.push_back(e.phase); });
+  obs::ScopedSink sink;
+  OPENTLA_OBS_PHASE("fig9:1");
+  OPENTLA_OBS_PHASE(std::string("fig9:2.") + "1");
+  obs::set_phase_sink(nullptr);
+  OPENTLA_OBS_PHASE("after_clear");
+
+  const obs::Snapshot snap = sink.take();
+  ASSERT_EQ(snap.phases.size(), 3u);
+  EXPECT_EQ(snap.phases[0].phase, "fig9:1");
+  EXPECT_EQ(snap.phases[1].phase, "fig9:2.1");
+  EXPECT_LE(snap.phases[0].ts_us, snap.phases[1].ts_us);
+  ASSERT_EQ(forwarded.size(), 2u);  // sink cleared before the third event
+  EXPECT_EQ(forwarded[1], "fig9:2.1");
+}
+
+TEST_F(ObsTest, ScopedSinkDeltasLabeledHistogramsAndPhases) {
+  obs::set_enabled(true);
+  const obs::LabelId incr = obs::intern_label("Incr");
+  obs::count_labeled(obs::LabeledCounter::ActionFired, incr, 10);
+  obs::hist_observe(obs::Histogram::SuccessorFanout, 4);
+  obs::phase_event("before");
+  {
+    obs::ScopedSink sink;
+    obs::count_labeled(obs::LabeledCounter::ActionFired, incr, 5);
+    obs::hist_observe(obs::Histogram::SuccessorFanout, 4);
+    obs::hist_observe(obs::Histogram::SuccessorFanout, 7);
+    obs::phase_event("inside");
+    const obs::Snapshot snap = sink.take();
+    EXPECT_EQ(snap.labeled_value(obs::LabeledCounter::ActionFired, "Incr"), 5u);
+    const obs::HistogramSnapshot& h = snap.hist(obs::Histogram::SuccessorFanout);
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.sum, 11u);
+    ASSERT_EQ(snap.phases.size(), 1u);
+    EXPECT_EQ(snap.phases[0].phase, "inside");
+  }
+  EXPECT_EQ(obs::snapshot().labeled_value(obs::LabeledCounter::ActionFired, "Incr"),
+            15u);
+}
+
+// Serial exploration records the fanout histogram; the same space explored
+// in parallel produces the identical histogram (same canonical graph).
+TEST_F(ObsTest, FanoutHistogramIsEngineIndependent) {
+  if (!obs::compile_time_enabled()) {
+    GTEST_SKIP() << "engine instrumentation compiled out (-DOPENTLA_OBS=OFF)";
+  }
+  VarTable vars;
+  const VarId x = vars.declare("x", range_domain(0, 31));
+  const Expr next =
+      ex::lor(ex::land(ex::lt(ex::var(x), ex::integer(31)),
+                       ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1)))),
+              ex::land(ex::eq(ex::var(x), ex::integer(31)),
+                       ex::eq(ex::primed_var(x), ex::integer(0))));
+  ActionSuccessors gen(vars, next);
+  const StateGraph::SuccessorFn succ =
+      [&gen](const State& s, const std::function<void(const State&)>& emit) {
+        gen.for_each_successor(s, emit);
+      };
+  auto run = [&](unsigned threads) {
+    obs::ScopedSink sink;
+    ExploreOptions opts;
+    opts.threads = threads;
+    StateGraph g(vars, {State({Value::integer(0)})}, succ, opts);
+    EXPECT_EQ(g.num_states(), 32u);
+    return sink.take();
+  };
+  const obs::Snapshot serial = run(1);
+  const obs::Snapshot parallel = run(4);
+  const obs::HistogramSnapshot& hs = serial.hist(obs::Histogram::SuccessorFanout);
+  const obs::HistogramSnapshot& hp = parallel.hist(obs::Histogram::SuccessorFanout);
+  EXPECT_EQ(hs.count, 32u);
+  EXPECT_EQ(hs.buckets, hp.buckets);
+  EXPECT_EQ(hs.sum, hp.sum);
+  // The parallel run also samples one expansion count per worker.
+  EXPECT_EQ(parallel.hist(obs::Histogram::ParWorkerExpansions).count, 4u);
+  EXPECT_EQ(parallel.hist(obs::Histogram::ParWorkerExpansions).sum, 32u);
+  EXPECT_EQ(serial.hist(obs::Histogram::ParWorkerExpansions).count, 0u);
+}
+
+// The sampler's delivery guarantee: one start sample, one final sample,
+// in seq order on one logical stream — even when stopped immediately.
+TEST_F(ObsTest, ProgressSamplerEmitsStartAndFinalSamples) {
+  obs::set_enabled(true);
+  std::vector<obs::ProgressSample> samples;
+  {
+    obs::ProgressSampler sampler(std::chrono::milliseconds(10'000),
+                                 [&](const obs::ProgressSample& s) {
+                                   samples.push_back(s);
+                                 });
+    obs::count(obs::Counter::StatesGenerated, 123);
+    obs::level_set(obs::Level::FrontierSize, 9);
+  }  // dtor stops and emits the final sample
+  ASSERT_GE(samples.size(), 2u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(samples[i].ts_us, samples[i - 1].ts_us);
+    }
+  }
+  EXPECT_FALSE(samples.front().final_sample);
+  EXPECT_TRUE(samples.back().final_sample);
+  EXPECT_EQ(samples.front().states, 0u);
+  EXPECT_EQ(samples.back().states, 123u);
+  EXPECT_EQ(samples.back().frontier, 9u);
+}
+
+// With a short period the background thread emits periodic samples
+// between start and final.
+TEST_F(ObsTest, ProgressSamplerEmitsPeriodicSamples) {
+  obs::set_enabled(true);
+  std::vector<obs::ProgressSample> samples;
+  {
+    obs::ProgressSampler sampler(
+        std::chrono::milliseconds(5),
+        [&](const obs::ProgressSample& s) { samples.push_back(s); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  EXPECT_GE(samples.size(), 3u);  // start + >=1 periodic + final
+  EXPECT_GT(obs::read_rss_bytes(), 0u);  // /proc/self/statm is readable here
+}
+
+TEST_F(ObsTest, RenderOpenMetricsExposition) {
+  obs::set_enabled(true);
+  obs::count(obs::Counter::StatesGenerated, 42);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 7);
+  obs::level_set(obs::Level::FrontierSize, 3);
+  const obs::LabelId incr = obs::intern_label("In\"cr");
+  obs::count_labeled(obs::LabeledCounter::ActionFired, incr, 5);
+  obs::hist_observe(obs::Histogram::SuccessorFanout, 0);
+  obs::hist_observe(obs::Histogram::SuccessorFanout, 3);
+  const std::string text = obs::render_openmetrics(obs::snapshot());
+
+  EXPECT_NE(text.find("# TYPE opentla_states_generated counter\n"
+                      "opentla_states_generated_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opentla_peak_graph_states 7\n"), std::string::npos);
+  EXPECT_NE(text.find("opentla_frontier_size 3\n"), std::string::npos);
+  // Label values are escaped per the OpenMetrics ABNF.
+  EXPECT_NE(text.find("opentla_action_fired_total{action=\"In\\\"cr\"} 5\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf = count.
+  EXPECT_NE(text.find("opentla_successor_fanout_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opentla_successor_fanout_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opentla_successor_fanout_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opentla_successor_fanout_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("opentla_successor_fanout_count 2\n"), std::string::npos);
+  // The exposition terminates with the required EOF marker.
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST_F(ObsTest, JsonlWriterAppendsOneEventPerLine) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "obs_events_test.jsonl";
+  std::filesystem::remove(path);
+  {
+    obs::JsonlWriter w(path.string());
+    ASSERT_TRUE(w.ok());
+    w.write_phase({"check.invariant", 17});
+    obs::ProgressSample s;
+    s.seq = 1;
+    s.final_sample = true;
+    s.ts_us = 99;
+    s.states = 64;
+    s.frontier = 2;
+    s.states_per_sec = 1000.0;
+    s.rss_bytes = 4096;
+    w.write_progress(s);
+  }
+  std::ifstream in(path);
+  std::string line1, line2, extra;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_FALSE(std::getline(in, extra));
+  EXPECT_EQ(line1, "{\"type\":\"phase\",\"phase\":\"check.invariant\",\"ts_us\":17}");
+  EXPECT_EQ(line2,
+            "{\"type\":\"progress\",\"seq\":1,\"final\":true,\"ts_us\":99,"
+            "\"elapsed_us\":0,\"states\":64,\"frontier\":2,"
+            "\"states_per_sec\":1000.0,\"rss_bytes\":4096}");
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -26,6 +26,11 @@ TEST(ObsDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
   OPENTLA_OBS_COUNT(ParSteals);
   OPENTLA_OBS_COUNT_N(ParShardContention, 7);
   OPENTLA_OBS_GAUGE_MAX(PeakParWorkers, 8);
+  // The obs v2 instrument families vanish too.
+  OPENTLA_OBS_LEVEL_SET(FrontierSize, 9);
+  OPENTLA_OBS_COUNT_LABELED(ActionFired, obs::kLabelOverflow, 5);
+  OPENTLA_OBS_HIST(SuccessorFanout, 16);
+  OPENTLA_OBS_PHASE("stripped_phase");
   { OPENTLA_OBS_SPAN("stripped"); }
   obs::set_enabled(false);
 
@@ -36,6 +41,16 @@ TEST(ObsDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
   for (std::size_t i = 0; i < obs::kNumGauges; ++i) {
     EXPECT_EQ(snap.gauges[i], 0u);
   }
+  for (std::size_t i = 0; i < obs::kNumLevels; ++i) {
+    EXPECT_EQ(snap.levels[i], 0u);
+  }
+  for (std::size_t f = 0; f < obs::kNumLabeledCounters; ++f) {
+    for (std::uint64_t v : snap.labeled[f]) EXPECT_EQ(v, 0u);
+  }
+  for (std::size_t h = 0; h < obs::kNumHistograms; ++h) {
+    EXPECT_EQ(snap.hists[h].count, 0u);
+  }
+  EXPECT_TRUE(snap.phases.empty());
   EXPECT_TRUE(snap.spans.empty());
   obs::reset();
 }
@@ -50,6 +65,10 @@ TEST(ObsDisabled, MacroArgumentsAreNotEvaluated) {
   obs::set_enabled(true);
   OPENTLA_OBS_COUNT_N(SccPasses, bump());
   OPENTLA_OBS_GAUGE_MAX(PeakProductNodes, bump());
+  OPENTLA_OBS_LEVEL_SET(FrontierSize, bump());
+  OPENTLA_OBS_COUNT_LABELED(ActionFired, obs::kLabelOverflow, bump());
+  OPENTLA_OBS_HIST(SuccessorFanout, bump());
+  OPENTLA_OBS_PHASE((bump(), "unused"));
   obs::set_enabled(false);
   (void)bump;  // otherwise unreferenced once the macros vanish
   EXPECT_EQ(evaluations, 0);

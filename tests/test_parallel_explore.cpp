@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstddef>
 #include <stdexcept>
 
 #include "opentla/compose/compose.hpp"
@@ -15,6 +17,8 @@
 #include "opentla/graph/successor.hpp"
 #include "opentla/queue/channel.hpp"
 #include "opentla/queue/double_queue.hpp"
+#include "opentla/obs/obs.hpp"
+#include "opentla/obs/progress.hpp"
 #include "opentla/queue/queue_spec.hpp"
 
 namespace opentla {
@@ -142,6 +146,36 @@ TEST(ParallelExplore, ZeroThreadsResolvesToHardwareConcurrency) {
   StateGraph serial(space.vars, {space.init}, space.succ(), with_threads(1));
   StateGraph parallel(space.vars, {space.init}, space.succ(), with_threads(0));
   expect_identical(serial, parallel, 0);
+}
+
+TEST(ParallelExplore, BitIdentityHoldsWithProgressSamplerActive) {
+  // The acceptance bar for the live heartbeat: a ProgressSampler polling
+  // the frontier level concurrently with the worker pool must not perturb
+  // the graph. This test is part of the TSan suite (tools/ci_sanitize.sh),
+  // so it also proves the sampler races with nothing.
+  DoubleQueueSystem sys = make_double_queue(/*capacity=*/1, /*num_values=*/2);
+  std::vector<CompositePart> parts = {{make_cdq(sys).unhidden(), true},
+                                      {make_pin(sys.vars, {sys.q}, "PinQ"), false}};
+  StateGraph serial =
+      build_composite_graph(sys.vars, parts, {}, {sys.q}, with_threads(1));
+
+  obs::reset();
+  obs::set_enabled(true);
+  std::size_t samples_delivered = 0;
+  {
+    obs::ProgressSampler sampler(std::chrono::milliseconds(1),
+                                 [&](const obs::ProgressSample&) {
+                                   ++samples_delivered;
+                                 });
+    for (unsigned threads : {2u, 4u, 8u}) {
+      StateGraph parallel =
+          build_composite_graph(sys.vars, parts, {}, {sys.q}, with_threads(threads));
+      expect_identical(serial, parallel, threads);
+    }
+  }
+  EXPECT_GE(samples_delivered, 2u);  // at least the start + final samples
+  obs::set_enabled(false);
+  obs::reset();
 }
 
 TEST(ParallelExplore, SuccessorEmissionOrderIsDeterministic) {

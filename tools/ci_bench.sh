@@ -40,6 +40,9 @@ need(data.get("schema") == schema["properties"]["schema"]["const"],
      f"schema tag is {data.get('schema')!r}")
 need(isinstance(data.get("bench"), str) and data.get("bench"),
      "bench name missing or empty")
+def nonneg_int(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
 for section in ("counters", "gauges"):
     block = data.get(section)
     need(isinstance(block, dict), f"'{section}' is not an object")
@@ -50,9 +53,58 @@ for section in ("counters", "gauges"):
     for key, value in block.items():
         need(re.fullmatch(r"[a-z][a-z0-9_]*", key),
              f"{section} key '{key}' is not snake_case")
-        need(isinstance(value, int) and not isinstance(value, bool)
-             and value >= 0,
+        need(nonneg_int(value),
              f"{section}['{key}'] = {value!r} is not a non-negative integer")
+
+# labeled: {family: {label: count}}; label values are free-form spec names.
+labeled = data.get("labeled")
+need(isinstance(labeled, dict), "'labeled' is not an object")
+if isinstance(labeled, dict):
+    for key in schema["properties"]["labeled"]["required"]:
+        need(key in labeled, f"missing labeled family '{key}'")
+    for family, counts in labeled.items():
+        need(re.fullmatch(r"[a-z][a-z0-9_]*", family),
+             f"labeled family '{family}' is not snake_case")
+        need(isinstance(counts, dict),
+             f"labeled['{family}'] is not an object")
+        if isinstance(counts, dict):
+            for label, value in counts.items():
+                need(nonneg_int(value),
+                     f"labeled['{family}']['{label}'] = {value!r} is not a "
+                     "non-negative integer")
+
+# histograms: {name: {buckets: [32 ints], sum, count}}.
+hist_schema = schema["properties"]["histograms"]
+hists = data.get("histograms")
+need(isinstance(hists, dict), "'histograms' is not an object")
+if isinstance(hists, dict):
+    for key in hist_schema["required"]:
+        need(key in hists, f"missing histogram '{key}'")
+    n_buckets = hist_schema["patternProperties"][
+        "^[a-z][a-z0-9_]*$"]["properties"]["buckets"]["minItems"]
+    for name, hist in hists.items():
+        need(re.fullmatch(r"[a-z][a-z0-9_]*", name),
+             f"histogram name '{name}' is not snake_case")
+        need(isinstance(hist, dict), f"histograms['{name}'] is not an object")
+        if not isinstance(hist, dict):
+            continue
+        buckets = hist.get("buckets")
+        need(isinstance(buckets, list) and len(buckets) == n_buckets
+             and all(nonneg_int(b) for b in buckets),
+             f"histograms['{name}'].buckets is not a list of "
+             f"{n_buckets} non-negative integers")
+        need(nonneg_int(hist.get("sum")),
+             f"histograms['{name}'].sum is not a non-negative integer")
+        need(nonneg_int(hist.get("count")),
+             f"histograms['{name}'].count is not a non-negative integer")
+        if isinstance(buckets, list) and all(nonneg_int(b) for b in buckets):
+            need(sum(buckets) == hist.get("count"),
+                 f"histograms['{name}']: bucket total {sum(buckets)} != "
+                 f"count {hist.get('count')!r}")
+        for key in hist:
+            need(key in ("buckets", "sum", "count"),
+                 f"histograms['{name}'] has unexpected key '{key}'")
+
 for key in data:
     need(key in schema["properties"], f"unexpected top-level key '{key}'")
 

@@ -25,6 +25,11 @@
 //                                               conjuncts, e.g. DISJOINT
 //                                               modules; all modules share
 //                                               one universe by name)
+//   tlacheck coverage SPEC.tla                  per-action coverage over the
+//                   [--format human|json]       reachable states: how often
+//                                               each ACTION was enabled and
+//                                               fired; exits 1 and names the
+//                                               action if any never fires
 //   tlacheck lint SPEC.tla [SPEC2.tla ...]      static analysis (OTL001-008)
 //                   [--format json] [--werror]  without state exploration;
 //                   [--state-bound N]           several files share one
@@ -44,17 +49,34 @@
 // the explored graph, and so every verdict and counterexample, is
 // bit-identical for every N.
 //
+// Live observability (require a build with OPENTLA_OBS=ON; an
+// -DOPENTLA_OBS=OFF binary rejects them with exit 2 instead of emitting
+// empty files):
+//   --progress[=MS]     heartbeat lines on stderr every MS milliseconds
+//                       (default 250): elapsed time, states interned,
+//                       frontier size, states/sec, RSS. stdout is
+//                       untouched, so `--format json` stays parseable.
+//   --events FILE       append-only JSONL event stream (phase events +
+//                       progress samples; schema tools/events_schema.json)
+//   --metrics-out FILE  OpenMetrics/Prometheus text exposition of the
+//                       run's final counters/gauges/histograms
+//
 // Exit codes (uniform across subcommands; `profile` returns the wrapped
 // subcommand's code):
 //   0  info/states/simulate printed; check/closure/deadlock/refine/
-//      leadsto/compose: the property holds; lint: clean
+//      leadsto/compose: the property holds; lint: clean; coverage: every
+//      action fired
 //   1  check/closure/deadlock/refine/leadsto/compose: the property is
-//      violated; lint: any Error finding (or any finding with --werror)
+//      violated; lint: any Error finding (or any finding with --werror);
+//      coverage: some action never fired
 //   2  usage error or unreadable/unparseable input
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
@@ -68,7 +90,9 @@
 #include "opentla/compose/compose.hpp"
 #include "opentla/graph/successor.hpp"
 #include "opentla/lint/checks.hpp"
+#include "opentla/obs/export.hpp"
 #include "opentla/obs/obs.hpp"
+#include "opentla/obs/progress.hpp"
 #include "opentla/parser/parser.hpp"
 
 using namespace opentla;
@@ -77,7 +101,8 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: tlacheck info|states|check|closure|deadlock|simulate SPEC.tla [options]\n"
+      << "usage: tlacheck info|states|check|closure|deadlock|simulate|coverage SPEC.tla\n"
+         "                [options]\n"
          "       tlacheck refine LOW.tla HIGH.tla [--witness VAR=EXPR]...\n"
          "       tlacheck leadsto SPEC.tla --from EXPR --to EXPR\n"
          "       tlacheck compose --goal ENV.tla,GUAR.tla [--component ENV.tla,GUAR.tla]...\n"
@@ -89,7 +114,9 @@ int usage() {
          "options: --invariant EXPR   --dump   --max-states N   --steps N   --seed S\n"
          "         --threads N (exploration workers; 1 = serial, 0 = hardware\n"
          "         concurrency; the graph is identical for every N)\n"
-         "         --format json (info|states|lint)   --stats (any subcommand)\n"
+         "         --format json (info|states|lint|coverage)   --stats (any subcommand)\n"
+         "         --progress[=MS] (heartbeats on stderr)   --events FILE (JSONL)\n"
+         "         --metrics-out FILE (OpenMetrics; these three need OPENTLA_OBS=ON)\n"
          "exit codes (all subcommands; profile forwards the wrapped one's):\n"
          "  0  printed / property holds / lint clean\n"
          "  1  property violated (check, closure, deadlock, refine, leadsto,\n"
@@ -316,6 +343,95 @@ int cmd_simulate(const ParsedModule& mod, std::size_t steps, unsigned seed,
   return 0;
 }
 
+int cmd_coverage(const ParsedModule& mod, const std::string& format,
+                 const ExploreOptions& eopts) {
+  // The coverage units are the module's ACTION definitions; a module
+  // written without them (bare NEXT) is covered per top-level disjunct.
+  struct Unit {
+    std::string name;
+    Expr action;
+  };
+  std::vector<Unit> units;
+  for (const std::string& name : mod.action_names) {
+    units.push_back({name, mod.definitions.at(name)});
+  }
+  if (units.empty()) {
+    std::vector<Expr> disjuncts = flatten_or(mod.spec.next);
+    for (std::size_t i = 0; i < disjuncts.size(); ++i) {
+      units.push_back({"disjunct_" + std::to_string(i + 1), disjuncts[i]});
+    }
+  }
+
+  StateGraph g = explore(mod, eopts);
+
+  // Exact per-action tallies over the reachable states, computed directly
+  // (independent of the obs registry, so `coverage` works in
+  // OPENTLA_OBS=OFF builds too). The generators are still labeled, so a
+  // `profile coverage` run sees the same attribution in action_fired /
+  // action_enabled.
+  struct Row {
+    std::string name;
+    std::uint64_t enabled_states = 0;  // reachable states where the action can step
+    std::uint64_t fired = 0;           // successor emissions over all reachable states
+  };
+  std::vector<Row> rows;
+  for (const Unit& u : units) {
+    ActionSuccessors gen(*mod.vars, u.action);
+    gen.set_label(u.name);
+    Row row;
+    row.name = u.name;
+    for (StateId s = 0; s < g.num_states(); ++s) {
+      std::uint64_t here = 0;
+      gen.for_each_successor(g.state(s), [&](const State&) { ++here; });
+      if (here > 0) ++row.enabled_states;
+      row.fired += here;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::string> never_fired;
+  for (const Row& r : rows) {
+    if (r.fired == 0) never_fired.push_back(r.name);
+  }
+
+  if (format == "json") {
+    std::cout << "{\n  \"module\": \"" << obs::json_escape(mod.name) << "\",\n"
+              << "  \"states\": " << g.num_states() << ",\n  \"actions\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      if (i > 0) std::cout << ",";
+      std::cout << "\n    {\"name\": \"" << obs::json_escape(r.name)
+                << "\", \"enabled_states\": " << r.enabled_states
+                << ", \"fired\": " << r.fired
+                << ", \"never_fired\": " << (r.fired == 0 ? "true" : "false") << "}";
+    }
+    if (!rows.empty()) std::cout << "\n  ";
+    std::cout << "],\n  \"never_fired\": [";
+    for (std::size_t i = 0; i < never_fired.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << "\"" << obs::json_escape(never_fired[i]) << "\"";
+    }
+    std::cout << "]\n}\n";
+  } else {
+    std::cout << "coverage of " << mod.name << " over " << g.num_states()
+              << " reachable states\n";
+    std::size_t width = 6;
+    for (const Row& r : rows) width = std::max(width, r.name.size());
+    std::cout << "  " << std::left << std::setw(static_cast<int>(width)) << "action"
+              << std::right << std::setw(16) << "enabled-states" << std::setw(12)
+              << "fired" << "\n";
+    for (const Row& r : rows) {
+      std::cout << "  " << std::left << std::setw(static_cast<int>(width)) << r.name
+                << std::right << std::setw(16) << r.enabled_states << std::setw(12)
+                << r.fired << (r.fired == 0 ? "   NEVER FIRED" : "") << "\n";
+    }
+    for (const std::string& name : never_fired) {
+      std::cout << "action " << name << " never fired in the explored space\n";
+    }
+  }
+  return never_fired.empty() ? 0 : 1;
+}
+
 int cmd_compose(const std::vector<std::pair<std::string, std::string>>& component_files,
                 const std::vector<std::string>& constraint_files,
                 const std::pair<std::string, std::string>& goal_files,
@@ -413,6 +529,9 @@ int main(int argc, char** argv) {
   unsigned seed = 0;
   std::string format = "human";
   std::string out_file;
+  long progress_ms = -1;  // <0 = off
+  std::string events_file;
+  std::string metrics_file;
   bool werror = false;
   lint::LintOptions lint_opts;
   std::vector<std::pair<std::string, std::string>> witnesses;
@@ -453,6 +572,15 @@ int main(int argc, char** argv) {
       }
     } else if (args[i] == "--out" && i + 1 < args.size()) {
       out_file = args[++i];
+    } else if (args[i] == "--progress") {
+      progress_ms = 250;
+    } else if (args[i].rfind("--progress=", 0) == 0) {
+      progress_ms = std::stol(args[i].substr(std::string("--progress=").size()));
+      if (progress_ms <= 0) return usage();
+    } else if (args[i] == "--events" && i + 1 < args.size()) {
+      events_file = args[++i];
+    } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+      metrics_file = args[++i];
     } else if (args[i] == "--stats") {
       stats = true;
     } else if (args[i] == "--werror") {
@@ -509,6 +637,7 @@ int main(int argc, char** argv) {
       if (cmd == "closure") return cmd_closure(mod, eopts);
       if (cmd == "deadlock") return cmd_deadlock(mod, eopts);
       if (cmd == "simulate") return cmd_simulate(mod, steps, seed, eopts);
+      if (cmd == "coverage") return cmd_coverage(mod, inner_format, eopts);
       if (cmd == "leadsto") {
         if (from_src.empty() || to_src.empty()) return usage();
         return cmd_leadsto(mod, from_src, to_src, eopts);
@@ -516,14 +645,74 @@ int main(int argc, char** argv) {
       return usage();
     };
 
-    if (!profiling && !stats) return dispatch();
+    // Live observability flags need the instrumentation compiled in; an
+    // OPENTLA_OBS=OFF binary would silently record nothing, so reject the
+    // flags outright instead of emitting empty files.
+    const bool live_obs = progress_ms >= 0 || !events_file.empty() || !metrics_file.empty();
+    if (live_obs && !obs::compile_time_enabled()) {
+      std::cerr << "error: --progress/--events/--metrics-out require a build with "
+                   "OPENTLA_OBS=ON (this binary was configured with -DOPENTLA_OBS=OFF)\n";
+      return 2;
+    }
+
+    std::unique_ptr<obs::JsonlWriter> events;
+    if (!events_file.empty()) {
+      events = std::make_unique<obs::JsonlWriter>(events_file);
+      if (!events->ok()) {
+        std::cerr << "error: cannot write " << events_file << "\n";
+        return 2;
+      }
+      obs::set_phase_sink(
+          [ev = events.get()](const obs::PhaseEvent& p) { ev->write_phase(p); });
+    }
+    // Clears the phase sink before `events` is destroyed, including when
+    // dispatch throws.
+    struct PhaseSinkGuard {
+      bool active;
+      ~PhaseSinkGuard() {
+        if (active) obs::set_phase_sink(nullptr);
+      }
+    } sink_guard{events != nullptr};
+
+    if (live_obs) obs::set_enabled(true);
+    std::unique_ptr<obs::ProgressSampler> sampler;
+    if (progress_ms >= 0) {
+      sampler = std::make_unique<obs::ProgressSampler>(
+          std::chrono::milliseconds(progress_ms),
+          [ev = events.get()](const obs::ProgressSample& s) {
+            std::fprintf(stderr,
+                         "[progress] t=%.2fs states=%llu frontier=%llu rate=%.0f/s "
+                         "rss=%.1fMB\n",
+                         static_cast<double>(s.elapsed_us) / 1e6,
+                         static_cast<unsigned long long>(s.states),
+                         static_cast<unsigned long long>(s.frontier), s.states_per_sec,
+                         static_cast<double>(s.rss_bytes) / (1024.0 * 1024.0));
+            std::fflush(stderr);
+            if (ev) ev->write_progress(s);
+          });
+    }
+
+    auto finish = [&](int rc) {
+      if (sampler) sampler->stop();
+      if (!metrics_file.empty()) {
+        std::ofstream out(metrics_file);
+        out << obs::render_openmetrics(obs::snapshot());
+        if (!out) {
+          std::cerr << "error: cannot write " << metrics_file << "\n";
+          return 2;
+        }
+      }
+      return rc;
+    };
+
+    if (!profiling && !stats) return finish(dispatch());
 
     obs::ScopedSink sink;
     const int rc = dispatch();
     obs::Snapshot snap = sink.take();
     if (!profiling) {
       std::cout << "--- stats ---\n" << obs::render_human(snap);
-      return rc;
+      return finish(rc);
     }
     const std::string rendered = format == "trace"  ? obs::render_chrome_trace(snap)
                                  : format == "json" ? obs::render_json(snap)
@@ -535,10 +724,10 @@ int main(int argc, char** argv) {
       out << rendered;
       if (!out) {
         std::cerr << "error: cannot write " << out_file << "\n";
-        return 2;
+        return finish(2);
       }
     }
-    return rc;
+    return finish(rc);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
