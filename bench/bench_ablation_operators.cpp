@@ -75,6 +75,7 @@ void artifact() {
     for_each_lasso(w.vars, len, [&](const LassoBehavior& b) {
       ++checked;
       if (oracle.evaluate(lhs, b) == oracle.evaluate(rhs, b)) ++agree;
+      return false;
     });
   }
   std::cout << "identity (E +> M) = (E -> M) /\\ (E _|_ M): " << agree << "/" << checked
@@ -86,12 +87,13 @@ void artifact() {
   std::size_t wp_true = 0, wp_implies_rest = 0;
   for (std::size_t len = 1; len <= 3; ++len) {
     for_each_lasso(w.vars, len, [&](const LassoBehavior& b) {
-      if (!oracle.evaluate(lhs, b)) return;
+      if (!oracle.evaluate(lhs, b)) return false;
       ++wp_true;
       if (oracle.evaluate(tf::arrow_while(w.ex_, w.my_), b) &&
           oracle.evaluate(tf::implies(tf::spec(w.ex_), tf::spec(w.my_)), b)) {
         ++wp_implies_rest;
       }
+      return false;
     });
   }
   std::cout << "E +> M strongest: implies the other two on " << wp_implies_rest << "/"
@@ -135,6 +137,7 @@ void BM_IdentitySweep(benchmark::State& state) {
     for_each_lasso(w.vars, static_cast<std::size_t>(state.range(0)),
                    [&](const LassoBehavior& b) {
                      all = all && (oracle.evaluate(lhs, b) == oracle.evaluate(rhs, b));
+                     return false;
                    });
     benchmark::DoNotOptimize(all);
   }

@@ -39,6 +39,7 @@ PrefixMachine::PrefixMachine(const VarTable& vars, CanonicalSpec spec)
     for (VarId v : spec_.hidden) {
       if (!assigned[v]) cd.hidden_free.push_back(v);
     }
+    cd.hidden_sched = schedule_residual(cd.parts.residual_needs, cd.hidden_free);
     disjuncts_.push_back(std::move(cd));
   }
 }
@@ -54,11 +55,13 @@ Value PrefixMachine::initial(const State& s) const {
   std::vector<Value> alive_assignments;
   StateSpace space(*vars_);
   space.for_each_completion(s, spec_.hidden, [&](const State& full) {
-    if (!eval_pred(spec_.init, *vars_, full)) return;
-    Value::Tuple h;
-    h.reserve(spec_.hidden.size());
-    for (VarId v : spec_.hidden) h.push_back(full[v]);
-    alive_assignments.push_back(Value::tuple(std::move(h)));
+    if (eval_pred(spec_.init, *vars_, full)) {
+      Value::Tuple h;
+      h.reserve(spec_.hidden.size());
+      for (VarId v : spec_.hidden) h.push_back(full[v]);
+      alive_assignments.push_back(Value::tuple(std::move(h)));
+    }
+    return false;
   });
   Value config = encode_config(std::move(alive_assignments));
   max_config_ = std::max(max_config_, config.length());
@@ -69,10 +72,14 @@ Value PrefixMachine::initial(const State& s) const {
 void PrefixMachine::hidden_successors(const State& s_full, const State& t,
                                       const std::function<void(Value)>& emit) const {
   StateSpace space(*vars_);
+  // One scratch context per call; emission order across disjuncts changes
+  // with the schedule, but configurations are sorted sets (encode_config),
+  // so only the set of emissions matters here.
+  EvalContext ctx;
+  ctx.vars = vars_;
+  ctx.current = &s_full;
   for (const Disjunct& cd : disjuncts_) {
-    EvalContext ctx;
-    ctx.vars = vars_;
-    ctx.current = &s_full;
+    ctx.next = nullptr;
 
     bool feasible = true;
     for (const Expr& g : cd.parts.guards) {
@@ -101,19 +108,19 @@ void PrefixMachine::hidden_successors(const State& s_full, const State& t,
     }
     if (!feasible) continue;
 
-    space.for_each_completion(t_full, cd.hidden_free, [&](const State& cand) {
-      EvalContext actx;
-      actx.vars = vars_;
-      actx.current = &s_full;
-      actx.next = &cand;
-      for (const Expr& r : cd.parts.residual) {
-        if (!eval_bool(r, actx)) return;
-      }
-      Value::Tuple h;
-      h.reserve(spec_.hidden.size());
-      for (VarId v : spec_.hidden) h.push_back(cand[v]);
-      emit(Value::tuple(std::move(h)));
-    });
+    space.for_each_completion_pruned(
+        t_full, cd.hidden_sched,
+        [&](std::size_t i, const State& cand) {
+          ctx.next = &cand;
+          return eval_bool(cd.parts.residual[i], ctx);
+        },
+        [&](const State& cand) {
+          Value::Tuple h;
+          h.reserve(spec_.hidden.size());
+          for (VarId v : spec_.hidden) h.push_back(cand[v]);
+          emit(Value::tuple(std::move(h)));
+          return false;
+        });
   }
 }
 

@@ -80,6 +80,10 @@ class PrefixMachine final : public SafetyMachine {
   struct Disjunct {
     ActionDisjunct parts;
     std::vector<VarId> hidden_free;  // hidden vars not assigned by this disjunct
+    /// Pruned-search schedule over hidden_free: residual conjuncts fire as
+    /// soon as their hidden variables are bound (visible primed variables
+    /// are already fixed by the given successor t).
+    ResidualSchedule hidden_sched;
   };
 
   State compose(const State& visible, const Value& hidden_vals) const;

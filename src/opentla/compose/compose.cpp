@@ -106,11 +106,14 @@ StateGraph build_composite_graph(const VarTable& vars, const std::vector<Composi
 
   // Determinism contract (relied on by the parallel engine's canonical
   // renumbering): for a fixed state `s`, this lambda emits successors in a
-  // fixed order — movers in construction order, each enumerating
-  // odometer-style over ordered structures (see graph/successor.cpp). The
-  // unordered `seen` set is membership-only dedup; it never drives emission
-  // order. The lambda is safe to call concurrently on distinct states: all
-  // captures are read-only and `seen` is per-call.
+  // fixed order — movers in construction order, each walking its residual
+  // schedule's enumeration order (see graph/successor.cpp). Pruning only
+  // skips completions whose residual conjuncts already failed; it never
+  // reorders survivors, so the emitted sequence is the naive odometer order
+  // restricted to actual successors. The unordered `seen` set is
+  // membership-only dedup; it never drives emission order. The lambda is
+  // safe to call concurrently on distinct states: all captures are
+  // read-only and `seen` is per-call.
   auto succ = [&vars, &parts, movers = std::move(movers)](
                   const State& s, const std::function<void(const State&)>& emit) {
     std::unordered_set<State, StateHash> seen;

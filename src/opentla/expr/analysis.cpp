@@ -139,6 +139,18 @@ ActionDisjunct build_disjunct(const Expr& disjunct) {
   for (VarId v : residual_primed) {
     if (!assigned.contains(v)) out.unassigned_primed.push_back(v);
   }
+  // Annotate each residual conjunct with the unassigned primed variables it
+  // mentions (ascending: std::set iteration order). Assigned primed
+  // variables are determined before enumeration starts, so they never gate
+  // a conjunct's schedule depth.
+  out.residual_needs.reserve(out.residual.size());
+  for (const Expr& c : out.residual) {
+    std::vector<VarId> needs;
+    for (VarId v : free_vars(c).primed) {
+      if (!assigned.contains(v)) needs.push_back(v);
+    }
+    out.residual_needs.push_back(std::move(needs));
+  }
   return out;
 }
 
@@ -150,6 +162,79 @@ std::vector<ActionDisjunct> decompose_action(const Expr& action) {
     out.push_back(build_disjunct(d));
   }
   return out;
+}
+
+ResidualSchedule schedule_residual(const std::vector<std::vector<VarId>>& needs,
+                                   const std::vector<VarId>& enumerate) {
+  ResidualSchedule sched;
+  sched.order.reserve(enumerate.size());
+  sched.at_depth.assign(enumerate.size() + 1, {});
+
+  const std::set<VarId> enumerable(enumerate.begin(), enumerate.end());
+  // Unbound enumerated variables each conjunct still waits for; variables
+  // outside `enumerate` are bound in the base state, so they drop out here.
+  std::vector<std::vector<VarId>> waiting(needs.size());
+  for (std::size_t i = 0; i < needs.size(); ++i) {
+    for (VarId v : needs[i]) {
+      if (enumerable.contains(v)) waiting[i].push_back(v);
+    }
+  }
+
+  std::set<VarId> bound;
+  std::vector<char> placed(needs.size(), 0);
+  auto place_ready = [&] {
+    // Every unplaced conjunct whose variables are all bound becomes
+    // checkable at the current depth (index order for determinism).
+    for (std::size_t i = 0; i < needs.size(); ++i) {
+      if (placed[i]) continue;
+      bool ready = true;
+      for (VarId v : waiting[i]) {
+        if (!bound.contains(v)) ready = false;
+      }
+      if (ready) {
+        sched.at_depth[sched.order.size()].push_back(i);
+        placed[i] = 1;
+      }
+    }
+  };
+  place_ready();  // conjuncts with no enumerated variable: depth 0
+
+  while (sched.order.size() < enumerate.size()) {
+    // Greedy: bind the variables of the conjunct that is closest to
+    // becoming checkable (fewest unbound variables; ties by index).
+    std::size_t best = needs.size();
+    std::size_t best_missing = 0;
+    for (std::size_t i = 0; i < needs.size(); ++i) {
+      if (placed[i]) continue;
+      std::size_t missing = 0;
+      for (VarId v : waiting[i]) {
+        if (!bound.contains(v)) ++missing;
+      }
+      if (best == needs.size() || missing < best_missing) {
+        best = i;
+        best_missing = missing;
+      }
+    }
+    if (best == needs.size()) {
+      // No conjunct left: the remaining variables are pure frame
+      // enumeration. Keep them in the caller's order, deepest in the tree.
+      for (VarId v : enumerate) {
+        if (!bound.contains(v)) sched.order.push_back(v);
+      }
+      break;
+    }
+    std::vector<VarId> fresh;
+    for (VarId v : waiting[best]) {
+      if (!bound.contains(v)) fresh.push_back(v);
+    }
+    std::sort(fresh.begin(), fresh.end());
+    for (VarId v : fresh) {
+      sched.order.push_back(v);
+      bound.insert(v);
+    }
+    place_ready();
+  }
+  return sched;
 }
 
 std::optional<Value> fold_constant(const Expr& e) {
@@ -235,18 +320,29 @@ std::optional<Value> fold_constant(const Expr& e) {
       std::optional<std::int64_t> a = fold_int(n.kids[0]);
       std::optional<std::int64_t> b = fold_int(n.kids[1]);
       if (!a || !b) return std::nullopt;
+      // Overflow and a nonpositive divisor fold to nullopt: evaluation
+      // reports them as eval errors, never as wrapped values.
+      std::int64_t r = 0;
       switch (n.kind) {
-        case ExprKind::Add: return Value::integer(*a + *b);
-        case ExprKind::Sub: return Value::integer(*a - *b);
-        case ExprKind::Mul: return Value::integer(*a * *b);
+        case ExprKind::Add:
+          if (__builtin_add_overflow(*a, *b, &r)) return std::nullopt;
+          return Value::integer(r);
+        case ExprKind::Sub:
+          if (__builtin_sub_overflow(*a, *b, &r)) return std::nullopt;
+          return Value::integer(r);
+        case ExprKind::Mul:
+          if (__builtin_mul_overflow(*a, *b, &r)) return std::nullopt;
+          return Value::integer(r);
         default:
-          if (*a < 0 || *b <= 0) return std::nullopt;  // eval reports these
-          return Value::integer(*a % *b);
+          if (*b <= 0) return std::nullopt;
+          // TLC's floored modulo: the result has the sign of b (here > 0).
+          r = *a % *b;
+          return Value::integer(r < 0 ? r + *b : r);
       }
     }
     case ExprKind::Neg: {
       std::optional<std::int64_t> a = fold_int(n.kids[0]);
-      if (!a) return std::nullopt;
+      if (!a || *a == INT64_MIN) return std::nullopt;
       return Value::integer(-*a);
     }
     case ExprKind::IfThenElse: {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "opentla/expr/expr.hpp"
+#include "opentla/state/state_space.hpp"
 
 namespace opentla {
 
@@ -50,11 +51,30 @@ struct ActionDisjunct {
   std::vector<std::pair<VarId, Expr>> assignments;
   std::vector<Expr> residual;
   std::vector<VarId> unassigned_primed;
+  /// Per residual conjunct: the unassigned primed variables it mentions
+  /// (ascending). residual_needs[i] annotates residual[i]; a conjunct with
+  /// an empty entry is decidable as soon as the assignments are evaluated.
+  /// This is what schedule_residual turns into a pruned-search schedule.
+  std::vector<std::vector<VarId>> residual_needs;
 };
 
 /// Decomposes `action` into executable disjuncts. Always succeeds; in the
 /// worst case a disjunct has no assignments and everything in `residual`.
 std::vector<ActionDisjunct> decompose_action(const Expr& action);
+
+/// Builds the pruned-enumeration schedule for a disjunct's residual over
+/// the variable set `enumerate` (the variables successor generation will
+/// range over; any needed variable outside it is treated as already bound
+/// in the base state). Free variables are ordered greedily so each
+/// residual conjunct becomes checkable at the shallowest possible depth:
+/// the conjunct with the fewest still-unbound variables is bound next
+/// (ties by conjunct index, variables in ascending VarId order), and
+/// variables no conjunct needs go last — they are pure frame enumeration
+/// and only run under bindings the residual has already accepted. The
+/// result is a pure function of (needs, enumerate): deterministic, so the
+/// serial/parallel bit-identity contract survives.
+ResidualSchedule schedule_residual(const std::vector<std::vector<VarId>>& needs,
+                                   const std::vector<VarId>& enumerate);
 
 /// Structural equality of expression trees (same shape, same leaves).
 /// Used for syntactic side conditions such as Proposition 1's "A implies N"

@@ -1,5 +1,6 @@
 #include "opentla/expr/eval.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "opentla/expr/analysis.hpp"
@@ -13,6 +14,20 @@ namespace {
 }
 
 std::int64_t as_int(const Expr& e, EvalContext& ctx) { return eval(e, ctx).as_int(); }
+
+// Pops one local binding on scope exit, so an eval_error thrown from a
+// quantifier body cannot leave a stale binding in a reused context.
+struct LocalScope {
+  std::vector<std::pair<std::string, Value>>* locals;
+  ~LocalScope() { locals->pop_back(); }
+};
+
+// Restores ctx.next on scope exit (ENABLED re-points it at candidate states).
+struct NextRestore {
+  EvalContext* ctx;
+  const State* saved;
+  ~NextRestore() { ctx->next = saved; }
+};
 }  // namespace
 
 Value eval(const Expr& e, EvalContext& ctx) {
@@ -76,20 +91,41 @@ Value eval(const Expr& e, EvalContext& ctx) {
     case ExprKind::Ge:
       return Value::boolean(as_int(n.kids[0], ctx) >= as_int(n.kids[1], ctx));
 
-    case ExprKind::Add:
-      return Value::integer(as_int(n.kids[0], ctx) + as_int(n.kids[1], ctx));
-    case ExprKind::Sub:
-      return Value::integer(as_int(n.kids[0], ctx) - as_int(n.kids[1], ctx));
-    case ExprKind::Mul:
-      return Value::integer(as_int(n.kids[0], ctx) * as_int(n.kids[1], ctx));
+    case ExprKind::Add: {
+      std::int64_t r = 0;
+      if (__builtin_add_overflow(as_int(n.kids[0], ctx), as_int(n.kids[1], ctx), &r)) {
+        eval_error("integer overflow in +");
+      }
+      return Value::integer(r);
+    }
+    case ExprKind::Sub: {
+      std::int64_t r = 0;
+      if (__builtin_sub_overflow(as_int(n.kids[0], ctx), as_int(n.kids[1], ctx), &r)) {
+        eval_error("integer overflow in -");
+      }
+      return Value::integer(r);
+    }
+    case ExprKind::Mul: {
+      std::int64_t r = 0;
+      if (__builtin_mul_overflow(as_int(n.kids[0], ctx), as_int(n.kids[1], ctx), &r)) {
+        eval_error("integer overflow in *");
+      }
+      return Value::integer(r);
+    }
     case ExprKind::Mod: {
       const std::int64_t a = as_int(n.kids[0], ctx);
       const std::int64_t b = as_int(n.kids[1], ctx);
-      if (a < 0 || b <= 0) eval_error("mod requires a >= 0 and b > 0");
-      return Value::integer(a % b);
+      if (b <= 0) eval_error("mod requires b > 0");
+      // TLC's floored modulo: the result carries the divisor's sign, so with
+      // b > 0 it always lies in [0, b) — e.g. -3 % 2 = 1.
+      const std::int64_t r = a % b;
+      return Value::integer(r < 0 ? r + b : r);
     }
-    case ExprKind::Neg:
-      return Value::integer(-as_int(n.kids[0], ctx));
+    case ExprKind::Neg: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      if (a == INT64_MIN) eval_error("integer overflow in unary -");
+      return Value::integer(-a);
+    }
 
     case ExprKind::IfThenElse:
       return eval_bool(n.kids[0], ctx) ? eval(n.kids[1], ctx) : eval(n.kids[2], ctx);
@@ -126,6 +162,7 @@ Value eval(const Expr& e, EvalContext& ctx) {
     case ExprKind::ForallVal: {
       const bool is_exists = (n.kind == ExprKind::ExistsVal);
       ctx.locals.emplace_back(n.local, Value());
+      LocalScope scope{&ctx.locals};
       bool result = !is_exists;
       for (const Value& v : n.domain.values()) {
         ctx.locals.back().second = v;
@@ -135,7 +172,6 @@ Value eval(const Expr& e, EvalContext& ctx) {
           break;
         }
       }
-      ctx.locals.pop_back();
       return Value::boolean(result);
     }
 
@@ -145,8 +181,8 @@ Value eval(const Expr& e, EvalContext& ctx) {
       }
       // ENABLED must be evaluated with the *outer* locals visible (the
       // action may mention bound variables of an enclosing quantifier).
-      return Value::boolean(enabled_with_locals(n.kids[0], *ctx.vars, *ctx.current,
-                                                ctx.locals));
+      // The context is reused as scratch — no per-query locals copy.
+      return Value::boolean(enabled_with_locals(n.kids[0], ctx));
     }
   }
   eval_error("unknown node kind");
@@ -188,12 +224,24 @@ bool eval_enabled(const Expr& action, const VarTable& vars, const State& s) {
 
 bool enabled_with_locals(const Expr& action, const VarTable& vars, const State& s,
                          const std::vector<std::pair<std::string, Value>>& locals) {
+  EvalContext ctx;
+  ctx.vars = &vars;
+  ctx.current = &s;
+  ctx.locals = locals;
+  return enabled_with_locals(action, ctx);
+}
+
+bool enabled_with_locals(const Expr& action, EvalContext& ctx) {
+  if (ctx.vars == nullptr || ctx.current == nullptr) {
+    eval_error("ENABLED requires a VarTable and a current state");
+  }
+  const VarTable& vars = *ctx.vars;
+  const State& s = *ctx.current;
   StateSpace space(vars);
+  NextRestore restore{&ctx, ctx.next};
   for (const ActionDisjunct& d : decompose_action(action)) {
-    EvalContext ctx;
-    ctx.vars = &vars;
-    ctx.current = &s;
-    ctx.locals = locals;
+    // Guards and assignment right-hand sides are state functions of s.
+    ctx.next = nullptr;
 
     bool feasible = true;
     for (const Expr& g : d.guards) {
@@ -217,20 +265,19 @@ bool enabled_with_locals(const Expr& action, const VarTable& vars, const State& 
 
     if (d.residual.empty()) return true;
 
-    bool found = false;
-    space.for_each_completion(t, d.unassigned_primed, [&](const State& cand) {
-      if (found) return;
-      EvalContext actx;
-      actx.vars = &vars;
-      actx.current = &s;
-      actx.next = &cand;
-      actx.locals = locals;
-      for (const Expr& r : d.residual) {
-        if (!eval_bool(r, actx)) return;
-      }
-      found = true;
-    });
-    if (found) return true;
+    // Pruned existential search: a residual conjunct is evaluated as soon
+    // as its last unassigned primed variable is bound, and the first leaf
+    // that survives every check is a witness — stop immediately.
+    const ResidualSchedule sched =
+        schedule_residual(d.residual_needs, d.unassigned_primed);
+    const bool witness = space.for_each_completion_pruned(
+        t, sched,
+        [&](std::size_t i, const State& cand) {
+          ctx.next = &cand;
+          return eval_bool(d.residual[i], ctx);
+        },
+        [](const State&) { return true; });
+    if (witness) return true;
   }
   return false;
 }

@@ -55,4 +55,11 @@ bool eval_enabled(const Expr& action, const VarTable& vars, const State& s);
 bool enabled_with_locals(const Expr& action, const VarTable& vars, const State& s,
                          const std::vector<std::pair<std::string, Value>>& locals);
 
+/// ENABLED evaluated in a reusable context: `ctx.vars`/`ctx.current` supply
+/// the query, `ctx.locals` is the outer environment (read in place, no
+/// copy), and `ctx.next` is saved and restored around the internal search.
+/// This is the allocation-free path used by hot callers (eval's ENABLED
+/// case, successor generation).
+bool enabled_with_locals(const Expr& action, EvalContext& ctx);
+
 }  // namespace opentla

@@ -45,8 +45,8 @@ enum class ExprKind : std::uint8_t {
   Add,
   Sub,
   Mul,
-  Mod,        // a % b (sign of the divisor's operand follows C++ semantics
-              // restricted to nonnegative operands; negative operands throw)
+  Mod,        // a % b, TLC's floored modulo: requires b > 0, result lies in
+              // [0, b) for any a (e.g. -3 % 2 = 1); b <= 0 throws
   Neg,
   // Conditional
   IfThenElse,

@@ -55,6 +55,21 @@ class ActionSuccessors {
   /// True iff s has at least one successor (= ENABLED action at s).
   bool enabled(const State& s) const;
 
+  /// True iff some disjunct's guards (the primed-free conjuncts) hold at s.
+  /// Weaker than enabled(): guards may pass while every completion fails
+  /// the residual or an assignment leaves the declared space. Coverage
+  /// reporting uses this to distinguish "the precondition held but the
+  /// action could not fire" from "the precondition never held".
+  bool guards_enabled(const State& s) const;
+
+  /// Test hook: when set, run() enumerates completions with the flat
+  /// odometer and tests the full residual at every leaf (the historical
+  /// enumerate-and-test path) instead of the pruned search. The two paths
+  /// must produce identical emissions in identical order — the
+  /// differential tests toggle this to prove it. Global; not for
+  /// concurrent use with live generators.
+  static void set_naive_enumeration_for_test(bool naive);
+
   /// Enumerates all states satisfying a state predicate, by treating the
   /// primed predicate as an action from an arbitrary base state. Used to
   /// enumerate initial states. `pinned` variables not constrained by the
@@ -67,6 +82,12 @@ class ActionSuccessors {
   struct CompiledDisjunct {
     ActionDisjunct parts;
     std::vector<VarId> free_vars;  // all variables with no assignment
+    /// Pruned-search schedules, precompiled once: `full_sched` orders
+    /// free_vars (full successor generation), `existential_sched` orders
+    /// only unassigned_primed (enabled() queries). Residual checks fire at
+    /// the shallowest depth where their variables are bound.
+    ResidualSchedule full_sched;
+    ResidualSchedule existential_sched;
   };
 
   /// `existential_only`: enumerate only the residual-constrained primed

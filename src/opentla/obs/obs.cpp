@@ -29,6 +29,8 @@ const char* name(Counter c) {
     case Counter::ParStatesExpanded: return "par_states_expanded";
     case Counter::ParSteals: return "par_steals";
     case Counter::ParShardContention: return "par_shard_contention";
+    case Counter::CompletionsPruned: return "completions_pruned";
+    case Counter::ResidualEarlyCuts: return "residual_early_cuts";
     case Counter::kCount: break;
   }
   return "?";

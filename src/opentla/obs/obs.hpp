@@ -52,6 +52,8 @@ enum class Counter : std::size_t {
   ParStatesExpanded,       // states expanded by parallel exploration workers
   ParSteals,               // work items stolen from another worker's deque
   ParShardContention,      // seen-set shard locks that were contended
+  CompletionsPruned,       // completions skipped by residual subtree cuts
+  ResidualEarlyCuts,       // residual conjuncts that failed before full depth
   kCount
 };
 

@@ -13,8 +13,8 @@ void enumerate_states(const StateSpace& space, std::vector<State>& all) {
 }
 }  // namespace
 
-void for_each_lasso(const VarTable& vars, std::size_t len,
-                    const std::function<void(const LassoBehavior&)>& fn) {
+bool for_each_lasso(const VarTable& vars, std::size_t len,
+                    const std::function<bool(const LassoBehavior&)>& fn) {
   StateSpace space(vars);
   std::vector<State> all;
   enumerate_states(space, all);
@@ -24,14 +24,14 @@ void for_each_lasso(const VarTable& vars, std::size_t len,
   while (true) {
     for (std::size_t i = 0; i < len; ++i) states[i] = all[idx[i]];
     for (std::size_t loop = 0; loop < len; ++loop) {
-      fn(LassoBehavior(states, loop));
+      if (fn(LassoBehavior(states, loop))) return true;
     }
     std::size_t p = 0;
     for (; p < len; ++p) {
       if (++idx[p] < all.size()) break;
       idx[p] = 0;
     }
-    if (p == len) break;
+    if (p == len) return false;
   }
 }
 
@@ -40,14 +40,17 @@ BoundedValidity check_validity_bounded(const VarTable& vars, const Formula& f,
   BoundedValidity result;
   Oracle oracle(vars);
   for (std::size_t len = 1; len <= max_len && result.valid; ++len) {
+    // The first violation stops the whole enumeration, instead of spinning
+    // through the remaining |S|^len * len lassos of this length.
     for_each_lasso(vars, len, [&](const LassoBehavior& sigma) {
-      if (!result.valid) return;
       ++result.behaviors_checked;
       OPENTLA_OBS_COUNT(BehaviorsChecked);
       if (!oracle.evaluate(f, sigma)) {
         result.valid = false;
         result.violation = sigma;
+        return true;
       }
+      return false;
     });
   }
   return result;

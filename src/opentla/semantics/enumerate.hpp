@@ -22,9 +22,11 @@
 namespace opentla {
 
 /// Invokes `fn` on every lasso of exactly `len` states (all state choices
-/// from the full universe, all loop starts). Beware: |S|^len * len lassos.
-void for_each_lasso(const VarTable& vars, std::size_t len,
-                    const std::function<void(const LassoBehavior&)>& fn);
+/// from the full universe, all loop starts). `fn` returns true to stop the
+/// enumeration (e.g. once a violation is found); the return value is true
+/// iff it stopped. Beware: |S|^len * len lassos.
+bool for_each_lasso(const VarTable& vars, std::size_t len,
+                    const std::function<bool(const LassoBehavior&)>& fn);
 
 struct BoundedValidity {
   bool valid = true;  // no violation found up to the bound

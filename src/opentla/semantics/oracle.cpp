@@ -118,6 +118,7 @@ bool Oracle::eval_spec(const CanonicalSpec& spec, const LassoBehavior& sigma, st
     const State ext_start = extend(sigma.at(start), start);
     ext_space.for_each_completion(ext_start, spec.hidden, [&](const State& full) {
       if (eval_pred(spec.init, ext, full)) inits.push_back(full);
+      return false;
     });
   }
 
@@ -127,6 +128,7 @@ bool Oracle::eval_spec(const CanonicalSpec& spec, const LassoBehavior& sigma, st
     const State ext_next = extend(sigma.at(j), j);
     ext_space.for_each_completion(ext_next, spec.hidden, [&](const State& t) {
       if (spec.step_ok(ext, s, t)) emit(t);
+      return false;
     });
   };
 

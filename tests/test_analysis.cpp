@@ -206,6 +206,80 @@ TEST_F(AnalysisTest, FoldConstantShortCircuits) {
   EXPECT_FALSE(fold_constant(ex::enabled(open)).has_value());
 }
 
+TEST_F(AnalysisTest, FoldConstantRefusesOverflowAndBadMod) {
+  // Arithmetic that would overflow (or a nonpositive divisor) never folds:
+  // evaluation reports these as errors, and folding them to a wrapped value
+  // would silently change program behavior.
+  const Expr max = ex::integer(INT64_MAX);
+  const Expr min = ex::integer(INT64_MIN);
+  EXPECT_FALSE(fold_constant(ex::add(max, ex::integer(1))).has_value());
+  EXPECT_FALSE(fold_constant(ex::sub(min, ex::integer(1))).has_value());
+  EXPECT_FALSE(fold_constant(ex::mul(max, ex::integer(2))).has_value());
+  EXPECT_FALSE(fold_constant(ex::neg(min)).has_value());
+  EXPECT_FALSE(fold_constant(ex::mod(ex::integer(1), ex::integer(0))).has_value());
+  EXPECT_FALSE(fold_constant(ex::mod(ex::integer(1), ex::integer(-2))).has_value());
+  // Floored modulo folds like it evaluates: -3 % 2 = 1.
+  EXPECT_EQ(fold_constant(ex::mod(ex::integer(-3), ex::integer(2)))->as_int(), 1);
+}
+
+TEST_F(AnalysisTest, ResidualNeedsAnnotatesUnassignedPrimedVars) {
+  // x' = x + 1 /\ y' # y /\ y' # x': residual conjuncts annotated with the
+  // unassigned primed variables they mention (x' is assigned, so only y').
+  Expr act = ex::land({ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1))),
+                       ex::neq(ex::primed_var(y), ex::var(y)),
+                       ex::neq(ex::primed_var(y), ex::primed_var(x))});
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  ASSERT_EQ(ds[0].residual.size(), 2u);
+  ASSERT_EQ(ds[0].residual_needs.size(), 2u);
+  EXPECT_EQ(ds[0].residual_needs[0], (std::vector<VarId>{y}));
+  EXPECT_EQ(ds[0].residual_needs[1], (std::vector<VarId>{y}));
+}
+
+TEST_F(AnalysisTest, ScheduleResidualOrdersCheapConjunctsFirst) {
+  VarId z = vars.declare("z", range_domain(0, 1));
+  // Conjunct 0 needs {y, z}; conjunct 1 needs {x}; conjunct 2 needs {}.
+  const std::vector<std::vector<VarId>> needs = {{y, z}, {x}, {}};
+  ResidualSchedule sched = schedule_residual(needs, {x, y, z});
+  // Conjunct 2 is decidable with nothing bound; conjunct 1 after one
+  // variable (x); conjunct 0 after binding y and z.
+  EXPECT_EQ(sched.order, (std::vector<VarId>{x, y, z}));
+  ASSERT_EQ(sched.at_depth.size(), 4u);
+  EXPECT_EQ(sched.at_depth[0], (std::vector<std::size_t>{2}));
+  EXPECT_EQ(sched.at_depth[1], (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(sched.at_depth[2].empty());
+  EXPECT_EQ(sched.at_depth[3], (std::vector<std::size_t>{0}));
+}
+
+TEST_F(AnalysisTest, ScheduleResidualPutsFrameVariablesLast) {
+  VarId z = vars.declare("z", range_domain(0, 1));
+  // Only conjunct 0 constrains anything ({y}); x and z are pure frame
+  // enumeration and must come after y so they only run under accepted
+  // bindings.
+  ResidualSchedule sched = schedule_residual({{y}}, {x, y, z});
+  ASSERT_EQ(sched.order.size(), 3u);
+  EXPECT_EQ(sched.order[0], y);
+  EXPECT_EQ(sched.at_depth[1], (std::vector<std::size_t>{0}));
+  // Frame variables keep the caller's relative order.
+  EXPECT_EQ(sched.order[1], x);
+  EXPECT_EQ(sched.order[2], z);
+}
+
+TEST_F(AnalysisTest, ScheduleResidualTreatsExternalVarsAsBound) {
+  // A conjunct needing a variable outside `enumerate` (bound by the caller)
+  // is scheduled at the depth where its in-set variables complete.
+  ResidualSchedule sched = schedule_residual({{x, y}}, {y});
+  EXPECT_EQ(sched.order, (std::vector<VarId>{y}));
+  EXPECT_TRUE(sched.at_depth[0].empty());
+  EXPECT_EQ(sched.at_depth[1], (std::vector<std::size_t>{0}));
+
+  // With no needed variable in the set at all, the check runs at depth 0.
+  ResidualSchedule none = schedule_residual({{x}}, {});
+  EXPECT_TRUE(none.order.empty());
+  ASSERT_EQ(none.at_depth.size(), 1u);
+  EXPECT_EQ(none.at_depth[0], (std::vector<std::size_t>{0}));
+}
+
 TEST_F(AnalysisTest, StructuralEquality) {
   Expr a = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));
   Expr b = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));

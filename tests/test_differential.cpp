@@ -11,16 +11,26 @@
 //      random graph walks (random_graph_lasso) must be behaviors of the
 //      spec per the Oracle.
 //
+// A fourth differential axis targets successor generation itself: the
+// pruned residual search against the historical enumerate-and-test path
+// (behind ActionSuccessors::set_naive_enumeration_for_test), over random
+// actions rich in residual constraints. The two paths must produce
+// identical successor sequences — the same states in the same emission
+// order — and identical enabled() verdicts.
+//
 // Every assertion carries the failing seed and case index so a failure is
 // reproducible in isolation.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <string>
 
 #include "opentla/check/invariant.hpp"
 #include "opentla/compose/compose.hpp"
+#include "opentla/expr/eval.hpp"
+#include "opentla/graph/successor.hpp"
 #include "opentla/semantics/enumerate.hpp"
 #include "opentla/semantics/oracle.hpp"
 
@@ -141,6 +151,105 @@ TEST_P(DifferentialHarness, SerialParallelAndSemanticVerdictsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarness, ::testing::Range(0u, kSeeds));
+
+/// Random actions over a three-variable universe, biased toward residual
+/// constraints (primed-primed comparisons, negative constraints) so the
+/// pruned search tree actually has something to cut.
+class ActionGen {
+ public:
+  explicit ActionGen(unsigned seed) : rng_(seed) {
+    v_[0] = vars_.declare("x", range_domain(0, 2));
+    v_[1] = vars_.declare("y", range_domain(0, 2));
+    v_[2] = vars_.declare("z", range_domain(0, 1));
+  }
+
+  VarTable& vars() { return vars_; }
+
+  Expr action() {
+    const int disjuncts = 1 + pick(2);
+    std::vector<Expr> ds;
+    for (int i = 0; i < disjuncts; ++i) ds.push_back(disjunct());
+    return ex::lor(std::move(ds));
+  }
+
+ private:
+  int pick(int n) { return std::uniform_int_distribution<int>(0, n - 1)(rng_); }
+  VarId rv() { return v_[pick(3)]; }
+  Expr val(VarId v) { return ex::integer(pick(v == v_[2] ? 2 : 3)); }
+
+  Expr conjunct() {
+    const VarId a = rv();
+    const VarId b = rv();
+    switch (pick(6)) {
+      case 0: return ex::eq(ex::var(a), val(a));                       // guard
+      case 1: return ex::eq(ex::primed_var(a), val(a));                // assignment
+      case 2: return ex::neq(ex::primed_var(a), val(a));               // residual, 1 var
+      case 3: return ex::neq(ex::primed_var(a), ex::primed_var(b));    // residual, 2 vars
+      case 4: return ex::le(ex::primed_var(a), ex::var(b));            // residual, 1 var
+      default: return ex::eq(ex::primed_var(a), ex::var(b));           // assignment
+    }
+  }
+
+  Expr disjunct() {
+    const int n = 1 + pick(4);
+    std::vector<Expr> cs;
+    for (int i = 0; i < n; ++i) cs.push_back(conjunct());
+    return ex::land(std::move(cs));
+  }
+
+  VarTable vars_;
+  VarId v_[3] = {0, 0, 0};
+  std::mt19937 rng_;
+};
+
+class PrunedVsNaiveHarness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrunedVsNaiveHarness, IdenticalSuccessorsOrderAndEnabledVerdicts) {
+  const unsigned seed = GetParam();
+  ActionGen gen(seed);
+  StateSpace space(gen.vars());
+
+  for (unsigned c = 0; c < kCasesPerSeed; ++c) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " case=" + std::to_string(c));
+    const Expr act = gen.action();
+    ActionSuccessors succ(gen.vars(), act);
+
+    space.for_each_state([&](const State& s) {
+      ActionSuccessors::set_naive_enumeration_for_test(true);
+      const std::vector<State> naive = succ.successors(s);
+      const bool naive_enabled = succ.enabled(s);
+      ActionSuccessors::set_naive_enumeration_for_test(false);
+      const std::vector<State> pruned = succ.successors(s);
+      const bool pruned_enabled = succ.enabled(s);
+
+      // Same states, same emission order: pruning only skips rejected
+      // subtrees, it never reorders the survivors.
+      ASSERT_EQ(pruned, naive)
+          << "action " << act.to_string(gen.vars()) << " at " << s.to_string(gen.vars());
+      ASSERT_EQ(pruned_enabled, naive_enabled)
+          << "action " << act.to_string(gen.vars()) << " at " << s.to_string(gen.vars());
+      ASSERT_EQ(pruned_enabled, !pruned.empty());
+
+      // Spot-check against direct action evaluation on a prefix of the
+      // space (the full cross-product on every case would dominate runtime).
+      if (c % 50 == 0) {
+        std::vector<State> expected;
+        space.for_each_state([&](const State& t) {
+          if (eval_action(act, gen.vars(), s, t)) expected.push_back(t);
+        });
+        std::vector<State> got = pruned;
+        auto lt = [&](const State& a, const State& b) {
+          return a.to_string(gen.vars()) < b.to_string(gen.vars());
+        };
+        std::sort(expected.begin(), expected.end(), lt);
+        std::sort(got.begin(), got.end(), lt);
+        ASSERT_EQ(got, expected) << "action " << act.to_string(gen.vars());
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunedVsNaiveHarness, ::testing::Range(0u, kSeeds));
 
 }  // namespace
 }  // namespace opentla

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "opentla/expr/eval.hpp"
 #include "opentla/expr/expr.hpp"
 #include "opentla/expr/substitute.hpp"
@@ -81,14 +83,54 @@ TEST_F(ExprTest, ModuloAndIndexing) {
   EXPECT_EQ(eval_fn(ex::mod(ex::var(x), ex::integer(2)), vars, s), Value::integer(1));
   EXPECT_EQ(eval_fn(ex::mod(ex::var(y), ex::var(y)), vars, s), Value::integer(0));
   EXPECT_THROW(eval_fn(ex::mod(ex::var(x), ex::integer(0)), vars, s), std::runtime_error);
-  EXPECT_THROW(eval_fn(ex::mod(ex::neg(ex::var(x)), ex::integer(2)), vars, s),
-               std::runtime_error);
+  EXPECT_THROW(eval_fn(ex::mod(ex::var(x), ex::integer(-2)), vars, s), std::runtime_error);
+  // Floored modulo (TLC): the result has the divisor's sign, so -3 % 2 = 1.
+  EXPECT_EQ(eval_fn(ex::mod(ex::neg(ex::var(x)), ex::integer(2)), vars, s),
+            Value::integer(1));
+  EXPECT_EQ(eval_fn(ex::mod(ex::integer(-4), ex::integer(4)), vars, s), Value::integer(0));
+  EXPECT_EQ(eval_fn(ex::mod(ex::integer(-1), ex::integer(5)), vars, s), Value::integer(4));
   EXPECT_EQ(eval_fn(ex::index(ex::var(q), ex::integer(1)), vars, s), Value::integer(1));
   EXPECT_EQ(eval_fn(ex::index(ex::var(q), ex::var(y)), vars, s), Value::integer(0));
   EXPECT_THROW(eval_fn(ex::index(ex::var(q), ex::integer(0)), vars, s), std::runtime_error);
   EXPECT_THROW(eval_fn(ex::index(ex::var(q), ex::integer(3)), vars, s), std::runtime_error);
   EXPECT_EQ(ex::index(ex::var(q), ex::integer(2)).to_string(vars), "q[2]");
   EXPECT_EQ(ex::mod(ex::var(x), ex::integer(2)).to_string(vars), "x % 2");
+}
+
+TEST_F(ExprTest, ArithmeticOverflowIsAnEvalError) {
+  // Overflow must surface as an eval error, never as a wrapped value (and
+  // never as signed-overflow UB — the sanitizer build checks this too).
+  State s = state(0, 0);
+  const Expr max = ex::integer(INT64_MAX);
+  const Expr min = ex::integer(INT64_MIN);
+  EXPECT_THROW(eval_fn(ex::add(max, ex::integer(1)), vars, s), std::runtime_error);
+  EXPECT_THROW(eval_fn(ex::sub(min, ex::integer(1)), vars, s), std::runtime_error);
+  EXPECT_THROW(eval_fn(ex::mul(max, ex::integer(2)), vars, s), std::runtime_error);
+  EXPECT_THROW(eval_fn(ex::mul(min, ex::integer(-1)), vars, s), std::runtime_error);
+  EXPECT_THROW(eval_fn(ex::neg(min), vars, s), std::runtime_error);
+  // The boundary cases right below overflow still evaluate.
+  EXPECT_EQ(eval_fn(ex::add(max, ex::integer(0)), vars, s), Value::integer(INT64_MAX));
+  EXPECT_EQ(eval_fn(ex::sub(min, ex::integer(0)), vars, s), Value::integer(INT64_MIN));
+  EXPECT_EQ(eval_fn(ex::neg(ex::integer(INT64_MAX)), vars, s),
+            Value::integer(-INT64_MAX));
+}
+
+TEST_F(ExprTest, QuantifierBindingPoppedWhenBodyThrows) {
+  // An eval error inside a quantifier body must not leave the bound
+  // variable in the (reused) context — the scope guard pops it.
+  State s = state(0, 0);
+  EvalContext ctx;
+  ctx.vars = &vars;
+  ctx.current = &s;
+  // Head(q) throws on the empty sequence, aborting the quantifier body.
+  Expr bad = ex::exists_val("v", range_domain(0, 3),
+                            ex::eq(ex::head(ex::var(q)), ex::local("v")));
+  EXPECT_THROW(eval(bad, ctx), std::runtime_error);
+  EXPECT_TRUE(ctx.locals.empty());
+  // The context stays usable: an unbound 'v' is still an error ...
+  EXPECT_THROW(eval(ex::local("v"), ctx), std::runtime_error);
+  // ... and ordinary evaluation proceeds normally.
+  EXPECT_EQ(eval(ex::add(ex::var(x), ex::integer(1)), ctx), Value::integer(1));
 }
 
 TEST_F(ExprTest, Conditional) {

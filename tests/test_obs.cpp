@@ -187,7 +187,9 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"behaviors_checked\": 0,\n"
       "    \"par_states_expanded\": 0,\n"
       "    \"par_steals\": 0,\n"
-      "    \"par_shard_contention\": 0\n"
+      "    \"par_shard_contention\": 0,\n"
+      "    \"completions_pruned\": 0,\n"
+      "    \"residual_early_cuts\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"peak_configuration_count\": 0,\n"

@@ -71,7 +71,10 @@ class RandomSpecs {
   std::vector<LassoBehavior> behaviors() {
     std::vector<LassoBehavior> out;
     for (std::size_t len = 1; len <= 2; ++len) {
-      for_each_lasso(vars_, len, [&](const LassoBehavior& b) { out.push_back(b); });
+      for_each_lasso(vars_, len, [&](const LassoBehavior& b) {
+        out.push_back(b);
+        return false;
+      });
     }
     for (int i = 0; i < 24; ++i) out.push_back(random_lasso(vars_, 5, rng_));
     return out;
@@ -205,6 +208,7 @@ TEST_P(FreezeSpecLaws, ExplicitFormMatchesSemanticFreeze) {
       ++checked;
       EXPECT_EQ(oracle.evaluate(semantic, sigma), oracle.evaluate(explicit_form, sigma))
           << sigma.to_string(vars);
+      return false;
     });
   }
   for (int i = 0; i < 16; ++i) {

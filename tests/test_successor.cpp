@@ -110,6 +110,51 @@ TEST_F(SuccessorTest, MatchesBruteForceEnumeration) {
   });
 }
 
+TEST_F(SuccessorTest, GuardsEnabledIsWeakerThanEnabled) {
+  // x < 3 guards a disjunct whose residual (y' < y - 5) can never hold:
+  // guards_enabled sees the precondition, enabled() sees the dead residual.
+  Expr act = ex::land(ex::lt(ex::var(x), ex::integer(3)),
+                      ex::eq(ex::primed_var(x), ex::var(x)),
+                      ex::lt(ex::primed_var(y), ex::sub(ex::var(y), ex::integer(5))));
+  ActionSuccessors gen(vars, act);
+  EXPECT_TRUE(gen.guards_enabled(st(0, 0)));
+  EXPECT_FALSE(gen.enabled(st(0, 0)));
+  EXPECT_FALSE(gen.guards_enabled(st(3, 0)));
+  EXPECT_FALSE(gen.enabled(st(3, 0)));
+}
+
+TEST_F(SuccessorTest, NaiveAndPrunedEnumerationsAgreeIncludingOrder) {
+  // Enumerate-and-test (test hook) vs the pruned search: identical
+  // successor sequences — pruning may only skip, never reorder.
+  Expr act = ex::lor(ex::land(ex::neq(ex::primed_var(x), ex::var(x)),
+                              ex::neq(ex::primed_var(y), ex::var(y)),
+                              ex::lt(ex::primed_var(x), ex::integer(3))),
+                     ex::eq(ex::primed_var(y), ex::integer(0)));
+  ActionSuccessors gen(vars, act);
+  StateSpace space(vars);
+  space.for_each_state([&](const State& s) {
+    ActionSuccessors::set_naive_enumeration_for_test(true);
+    std::vector<State> naive = gen.successors(s);
+    const bool naive_enabled = gen.enabled(s);
+    ActionSuccessors::set_naive_enumeration_for_test(false);
+    std::vector<State> pruned = gen.successors(s);
+    EXPECT_EQ(pruned, naive) << "at state " << s.to_string(vars);
+    EXPECT_EQ(gen.enabled(s), naive_enabled);
+  });
+}
+
+TEST_F(SuccessorTest, EarlyExitStopsEnumeration) {
+  // fn returning true must stop the generator mid-enumeration: asking for
+  // the first successor of an action with many must invoke fn exactly once.
+  ActionSuccessors gen(vars, ex::eq(ex::primed_var(x), ex::integer(0)));
+  int seen = 0;
+  // for_each_successor has a void callback; enabled() exercises the
+  // bool-returning early exit underneath.
+  EXPECT_TRUE(gen.enabled(st(0, 0)));
+  gen.for_each_successor(st(0, 0), [&](const State&) { ++seen; });
+  EXPECT_EQ(seen, 3);  // y' in {0, 1, 2}: the void path still sees all
+}
+
 TEST_F(SuccessorTest, StatesSatisfyingEnumeratesPredicate) {
   std::vector<State> states = ActionSuccessors::states_satisfying(
       vars, ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::lt(ex::var(y), ex::integer(2))));

@@ -63,6 +63,34 @@ assert step and not step[0]["never_fired"] and step[0]["fired"] > 0, step
 PY
 echo "ok: never-enabled action flagged (exit 1, named in both formats)"
 
+# --- 1b. Guard-based enabled attribution: a guard that holds while the ---
+# ---     action still cannot fire must show enabled_states > 0.        ---
+
+cat > "$workdir/stuck.tla" <<'EOF'
+MODULE Stuck
+VARIABLE x \in 0..2
+INIT x = 0
+ACTION Step == x < 2 /\ x' = x + 1
+ACTION Stuck == x = 0 /\ x' = x + 5
+NEXT Step \/ Stuck
+SUBSCRIPT <<x>>
+EOF
+
+rc=0
+"$tlacheck" coverage "$workdir/stuck.tla" --format json > "$workdir/stuck.json" || rc=$?
+[ "$rc" -eq 1 ] || fail "coverage on stuck.tla: expected exit 1, got $rc"
+python3 - "$workdir/stuck.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+stuck = [a for a in data["actions"] if a["name"] == "Stuck"][0]
+# The precondition x = 0 holds in a reachable state, so the guard-based
+# attribution reports enabled_states > 0 even though the action can never
+# fire (x + 5 always leaves the declared domain).
+assert stuck["fired"] == 0 and stuck["never_fired"], stuck
+assert stuck["enabled_states"] > 0, stuck
+PY
+echo "ok: guard-enabled-but-never-fired action reports enabled_states > 0"
+
 # --- 2. A fully-covered bundled spec passes. ---
 
 "$tlacheck" coverage "$specs/counter.tla" > /dev/null \

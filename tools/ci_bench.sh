@@ -160,6 +160,18 @@ run_config() {
   echo "== bench_parallel_scaling (1 and 2 threads) =="
   (cd "$outdir" && "$pbench" "$min_time" '--benchmark_filter=/(1|2)$' >/dev/null)
   validate "$outdir/BENCH_bench_parallel_scaling.json"
+
+  # The successor-pruning microbench must exist and have produced its
+  # export above (its artifact carries the enumerated-vs-pruned counts the
+  # PRUNING experiment records).
+  if [ ! -x "$dir/bench/bench_successor_pruning" ]; then
+    echo "error: bench_successor_pruning missing under $dir/bench" >&2
+    exit 1
+  fi
+  if [ ! -f "$outdir/BENCH_bench_successor_pruning.json" ]; then
+    echo "error: bench_successor_pruning did not export its counters" >&2
+    exit 1
+  fi
 }
 
 echo "--- bench smoke: regular configuration ($build_dir) ---"

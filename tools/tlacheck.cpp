@@ -371,7 +371,7 @@ int cmd_coverage(const ParsedModule& mod, const std::string& format,
   // action_enabled.
   struct Row {
     std::string name;
-    std::uint64_t enabled_states = 0;  // reachable states where the action can step
+    std::uint64_t enabled_states = 0;  // reachable states where the guards hold
     std::uint64_t fired = 0;           // successor emissions over all reachable states
   };
   std::vector<Row> rows;
@@ -383,7 +383,11 @@ int cmd_coverage(const ParsedModule& mod, const std::string& format,
     for (StateId s = 0; s < g.num_states(); ++s) {
       std::uint64_t here = 0;
       gen.for_each_successor(g.state(s), [&](const State&) { ++here; });
-      if (here > 0) ++row.enabled_states;
+      // Guard-based attribution: a state counts as enabled when the
+      // action's precondition held, even if the residual or a domain check
+      // then rejected every completion. fired == 0 with enabled_states > 0
+      // pinpoints exactly those "guard passes, action can't step" states.
+      if (gen.guards_enabled(g.state(s))) ++row.enabled_states;
       row.fired += here;
     }
     rows.push_back(std::move(row));
