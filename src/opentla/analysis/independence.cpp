@@ -1,0 +1,84 @@
+#include "opentla/analysis/independence.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "opentla/obs/obs.hpp"
+
+namespace opentla::analysis {
+
+namespace {
+
+std::optional<VarId> first_common(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return *ia;
+    (*ia < *ib) ? ++ia : ++ib;
+  }
+  return std::nullopt;
+}
+
+bool sorted_contains(const std::vector<VarId>& vs, VarId v) {
+  return std::binary_search(vs.begin(), vs.end(), v);
+}
+
+}  // namespace
+
+PairVerdict pair_independence(const VarTable& vars, const std::string& a_name,
+                              const Footprint& a, const std::string& b_name,
+                              const Footprint& b) {
+  auto quote = [](const std::string& s) { return "'" + s + "'"; };
+  if (a.conservative || b.conservative) {
+    return {false, "conservative fallback: " +
+                       quote(a.conservative ? a_name : b_name) +
+                       " has no precise footprint"};
+  }
+  if (std::optional<VarId> v = first_common(a.writes, b.writes)) {
+    return {false, "both write " + quote(vars.name(*v))};
+  }
+  auto write_read = [&](const std::string& wn, const Footprint& w, const std::string& rn,
+                        const Footprint& r) -> std::optional<PairVerdict> {
+    std::optional<VarId> v = first_common(w.writes, r.reads);
+    if (!v) return std::nullopt;
+    std::string why = quote(wn) + " writes " + quote(vars.name(*v)) + ", " + quote(rn) +
+                      " reads it";
+    if (sorted_contains(r.guard_reads, *v)) why += " in a guard";
+    return PairVerdict{false, std::move(why)};
+  };
+  if (std::optional<PairVerdict> d = write_read(a_name, a, b_name, b)) return *d;
+  if (std::optional<PairVerdict> d = write_read(b_name, b, a_name, a)) return *d;
+  return {true, ""};
+}
+
+double IndependenceMatrix::density() const {
+  const std::size_t total = independent_pairs_ + dependent_pairs_;
+  return total == 0 ? 0.0 : static_cast<double>(independent_pairs_) / static_cast<double>(total);
+}
+
+IndependenceMatrix compute_independence(const VarTable& vars,
+                                        std::vector<ActionUnit> units) {
+  OPENTLA_OBS_SPAN("analysis.independence");
+  IndependenceMatrix m;
+  m.units_ = std::move(units);
+  const std::size_t n = m.units_.size();
+  m.cells_.assign(n * n, 0);
+  m.reasons_.assign(n * n, "");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      PairVerdict v =
+          pair_independence(vars, m.units_[i].name, m.units_[i].fp, m.units_[j].name,
+                            m.units_[j].fp);
+      m.cells_[i * n + j] = m.cells_[j * n + i] = v.independent ? 1 : 0;
+      m.reasons_[i * n + j] = v.reason;
+      m.reasons_[j * n + i] = std::move(v.reason);
+      if (i == j) continue;
+      (v.independent ? m.independent_pairs_ : m.dependent_pairs_) += 1;
+    }
+  }
+  OPENTLA_OBS_COUNT_N(AnalysisPairsIndependent, m.independent_pairs_);
+  OPENTLA_OBS_COUNT_N(AnalysisPairsDependent, m.dependent_pairs_);
+  return m;
+}
+
+}  // namespace opentla::analysis

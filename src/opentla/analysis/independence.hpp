@@ -1,0 +1,85 @@
+// opentla/analysis/independence.hpp
+//
+// Sound static independence relation over action units (Godefroid-style,
+// the precomputation ample-set partial-order reduction executes on, and
+// the machine-checkable reading of the paper's Disjoint interleaving
+// representation: actions over disjoint variable tuples commute).
+//
+// Two units A and B are declared independent iff
+//
+//     writes(A) ∩ writes(B) = ∅   (no write/write race)
+//     writes(A) ∩ reads(B)  = ∅   (A cannot change B's effect...)
+//     writes(B) ∩ reads(A)  = ∅   (...nor B change A's, and since guard
+//                                  reads ⊆ reads, neither can enable or
+//                                  disable the other's guard)
+//
+// with footprints that count every in-scope unmentioned primed variable
+// as a write (footprint.hpp), and a conservative fallback: a unit whose
+// footprint analysis gave up is dependent on everything. Independence
+// then gives genuine diamond commutation: from any state, executing A
+// then B and B then A produce the same successor-state sets, and neither
+// step disables the other — which is exactly what the differential
+// harness brute-forces against random actions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opentla/analysis/footprint.hpp"
+
+namespace opentla::analysis {
+
+/// One pair's verdict with provenance ("why dependent: both write 'q'").
+struct PairVerdict {
+  bool independent = false;
+  std::string reason;  // empty when independent
+};
+
+/// Decides one pair from footprints alone. `vars` supplies names for the
+/// provenance string; `a_name`/`b_name` label the two units in it.
+PairVerdict pair_independence(const VarTable& vars, const std::string& a_name,
+                              const Footprint& a, const std::string& b_name,
+                              const Footprint& b);
+
+/// The N×N commutation matrix over `units`. Symmetric; the diagonal is
+/// computed by the same rule (an effect-free unit is independent of
+/// itself). Deterministic: a pure function of the unit list.
+class IndependenceMatrix {
+ public:
+  IndependenceMatrix() = default;
+
+  std::size_t size() const { return units_.size(); }
+  const std::vector<ActionUnit>& units() const { return units_; }
+  bool independent(std::size_t i, std::size_t j) const { return cells_[i * units_.size() + j]; }
+  /// Provenance for a dependent pair (empty string when independent).
+  const std::string& reason(std::size_t i, std::size_t j) const {
+    return reasons_[i * units_.size() + j];
+  }
+
+  /// Unordered pair counts over i < j (diagonal excluded).
+  std::size_t independent_pairs() const { return independent_pairs_; }
+  std::size_t dependent_pairs() const { return dependent_pairs_; }
+  /// independent_pairs / (independent_pairs + dependent_pairs); 0 when no
+  /// pairs exist.
+  double density() const;
+
+  friend IndependenceMatrix compute_independence(const VarTable& vars,
+                                                 std::vector<ActionUnit> units);
+
+ private:
+  std::vector<ActionUnit> units_;
+  std::vector<std::uint8_t> cells_;    // row-major N×N
+  std::vector<std::string> reasons_;   // row-major N×N
+  std::size_t independent_pairs_ = 0;
+  std::size_t dependent_pairs_ = 0;
+};
+
+/// Builds the matrix, bumps the analysis_pairs_* obs counters (unordered
+/// pairs, diagonal excluded) and records an "analysis.independence" span.
+IndependenceMatrix compute_independence(const VarTable& vars,
+                                        std::vector<ActionUnit> units);
+
+}  // namespace opentla::analysis

@@ -1,0 +1,108 @@
+// opentla/analysis/interval.hpp
+//
+// Interval/constant abstract domain over the declared variable domains.
+// An AbstractEnv maps every flexible variable to an abstract value: an
+// integer interval [lo, hi], a three-valued boolean, Any (some value, but
+// nothing known about it — strings, sequences, or simply "unrefined"), or
+// None (no value is possible: the context is unsatisfiable).
+//
+// The domain powers the semantic lint checks (OTL009–OTL011): abs_eval
+// over-approximates the set of values an expression can take when each
+// variable ranges over its abstract value, abs_truth is the induced
+// three-valued truth, and refine_by_guards narrows variable intervals by
+// the comparison atoms of a guard conjunction until a fixpoint. Every
+// operation is conservative: a definite answer (True/False, or an empty
+// interval) is sound; Unknown/Any never is wrong, merely useless. Lints
+// fire on definite answers only, so they cannot produce false positives.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opentla/expr/expr.hpp"
+#include "opentla/value/domain.hpp"
+
+namespace opentla::analysis {
+
+/// A (possibly empty) integer interval. lo > hi encodes the empty set.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+
+  static Interval all();
+  static Interval singleton(std::int64_t v) { return {v, v}; }
+  bool empty() const { return lo > hi; }
+  bool is_singleton() const { return lo == hi; }
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+
+  friend bool operator==(const Interval& a, const Interval& b) = default;
+};
+
+Interval meet(Interval a, Interval b);
+Interval join(Interval a, Interval b);
+/// Saturating interval arithmetic: results clamp at the int64 rails
+/// instead of wrapping, which keeps them sound over-approximations
+/// (evaluation reports actual overflow as an error, never a wrapped value).
+Interval interval_add(Interval a, Interval b);
+Interval interval_sub(Interval a, Interval b);
+Interval interval_mul(Interval a, Interval b);
+Interval interval_neg(Interval a);
+
+/// One abstract value.
+struct AbsVal {
+  enum class Kind : std::uint8_t {
+    None,  // bottom: no concrete value (unsatisfiable context)
+    Int,   // an integer in `iv`
+    Bool,  // a boolean; may_true/may_false say which truth values survive
+    Any,   // top: some value of unknown type/range
+  };
+  Kind kind = Kind::Any;
+  Interval iv;
+  bool may_true = true;
+  bool may_false = true;
+
+  static AbsVal none() { return {Kind::None, {}, false, false}; }
+  static AbsVal any() { return {Kind::Any, {}, true, true}; }
+  static AbsVal integer(Interval iv);
+  static AbsVal boolean(bool may_t, bool may_f);
+
+  bool is_none() const { return kind == Kind::None; }
+  /// The definite boolean value, if this is Bool and only one survives.
+  bool must_true() const { return kind == Kind::Bool && may_true && !may_false; }
+  bool must_false() const { return kind == Kind::Bool && !may_true && may_false; }
+
+  friend bool operator==(const AbsVal& a, const AbsVal& b) = default;
+};
+
+/// Abstract values per VarId (index = VarId), for unprimed occurrences.
+using AbstractEnv = std::vector<AbsVal>;
+
+/// The abstraction of a declared domain: the hull interval for an
+/// all-integer domain, both booleans for a boolean-containing domain,
+/// Any for mixed or sequence-valued domains, None for an empty one.
+AbsVal abstract_domain(const Domain& d);
+
+/// An environment giving every variable of `vars` its domain abstraction.
+AbstractEnv initial_env(const VarTable& vars);
+
+/// Over-approximates the values state function `e` can take when each
+/// unprimed variable ranges over env[v]. Primed variables and quantifier
+/// locals abstract to Any. Never throws; ill-typed subterms yield Any
+/// (evaluation owns type errors).
+AbsVal abs_eval(const Expr& e, const AbstractEnv& env);
+
+/// Three-valued truth of predicate `e` under `env`.
+enum class Truth : std::uint8_t { False, True, Unknown };
+Truth abs_truth(const Expr& e, const AbstractEnv& env);
+
+/// Narrows `env` by the comparison atoms of `guards` (each a state
+/// predicate, conjoined), iterating to a fixpoint. Recognizes atoms of the
+/// shape `v cmp e` / `e cmp v` where `e` abstracts to an interval or a
+/// definite boolean, and conjunctions nested inside the guard list.
+/// Returns false — with some env entry None — when the refinement proves
+/// the conjunction unsatisfiable over the declared domains; a true return
+/// means "not provably unsatisfiable", never "satisfiable".
+bool refine_by_guards(const std::vector<Expr>& guards, AbstractEnv& env);
+
+}  // namespace opentla::analysis

@@ -131,4 +131,47 @@ StateGraph build_composite_graph(const VarTable& vars, const std::vector<Composi
   return StateGraph(vars, init_states, succ, opts);
 }
 
+std::vector<analysis::ActionUnit> composite_action_units(
+    const VarTable& vars, const std::vector<CompositePart>& parts,
+    const std::vector<std::vector<VarId>>& free_tuples, const std::vector<VarId>& pinned) {
+  std::vector<analysis::ActionUnit> units;
+  std::size_t mover_ordinal = 0;
+  for (const CompositePart& p : parts) {
+    if (!p.mover) continue;
+    ++mover_ordinal;
+    const std::string label =
+        p.spec.name.empty() ? "part_" + std::to_string(mover_ordinal) : p.spec.name;
+    // The mover's generator enumerates every unpinned universe variable its
+    // action leaves unconstrained; that is the unit's frame scope.
+    std::vector<char> is_pinned(vars.size(), 0);
+    for (VarId v : pinned) is_pinned[v] = 1;
+    for (VarId v : p.extra_pinned) is_pinned[v] = 1;
+    std::vector<VarId> scope;
+    for (VarId v = 0; v < vars.size(); ++v) {
+      if (!is_pinned[v]) scope.push_back(v);
+    }
+    CanonicalSpec scoped = p.spec;
+    scoped.name = label;
+    scoped.sub = std::move(scope);
+    std::vector<analysis::ActionUnit> part_units = analysis::spec_action_units(scoped, label);
+    units.insert(units.end(), std::make_move_iterator(part_units.begin()),
+                 std::make_move_iterator(part_units.end()));
+  }
+  for (std::size_t k = 0; k < free_tuples.size(); ++k) {
+    // A free-tuple mover sets the tuple to arbitrary domain values and
+    // frames everything else: it writes the tuple and reads nothing.
+    analysis::ActionUnit u;
+    u.name = "free_" + std::to_string(k + 1);
+    std::vector<VarId> complement;
+    for (VarId v = 0; v < vars.size(); ++v) {
+      const std::vector<VarId>& tuple = free_tuples[k];
+      if (std::find(tuple.begin(), tuple.end(), v) == tuple.end()) complement.push_back(v);
+    }
+    u.action = ex::unchanged(complement);
+    u.fp = analysis::action_footprint(u.action, vars.all_vars());
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
 }  // namespace opentla

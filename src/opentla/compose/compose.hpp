@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "opentla/analysis/footprint.hpp"
 #include "opentla/graph/state_graph.hpp"
 #include "opentla/tla/spec.hpp"
 
@@ -72,6 +73,20 @@ StateGraph build_composite_graph(const VarTable& vars, const std::vector<Composi
 StateGraph build_composite_graph(const VarTable& vars, const std::vector<CompositePart>& parts,
                                  const std::vector<std::vector<VarId>>& free_tuples,
                                  const std::vector<VarId>& pinned, const ExploreOptions& opts);
+
+/// The static-analysis view of the same composition: one ActionUnit per
+/// NEXT disjunct of each mover part (labeled the way build_composite_graph
+/// labels its movers — the spec name, or "part_N" for the N-th unnamed
+/// mover — with "#i" appended when a mover has several disjuncts), plus
+/// one "free_K" unit per free tuple. Each unit's footprint uses the frame
+/// scope its candidate generator actually enumerates: every universe
+/// variable except the ones pinned for that mover. Feeding these units to
+/// analysis::compute_independence yields the composed system's
+/// independence matrix (OTL012, `tlacheck analyze`, the POR precompute).
+std::vector<analysis::ActionUnit> composite_action_units(
+    const VarTable& vars, const std::vector<CompositePart>& parts,
+    const std::vector<std::vector<VarId>>& free_tuples = {},
+    const std::vector<VarId>& pinned = {});
 
 /// A canonical frame spec pinning `tuple` to its initial values: init sets
 /// each variable to its first domain value, and no step may change them.

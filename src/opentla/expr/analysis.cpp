@@ -110,7 +110,10 @@ bool match_assignments(const Expr& conjunct, std::vector<std::pair<VarId, Expr>>
 ActionDisjunct build_disjunct(const Expr& disjunct) {
   ActionDisjunct out;
   std::set<VarId> assigned;
-  std::set<VarId> residual_primed;
+  // Primed variables of each residual conjunct, collected in the same pass
+  // that classifies the conjunct (one free_vars walk per conjunct; the
+  // needs/unassigned/primed views below are all projections of this).
+  std::vector<std::set<VarId>> per_conjunct_primed;
   for (const Expr& c : flatten_and(disjunct)) {
     if (is_state_function(c)) {
       out.guards.push_back(c);
@@ -132,10 +135,14 @@ ActionDisjunct build_disjunct(const Expr& disjunct) {
       // A second constraint on an already-assigned variable: keep it as a
       // residual so it is checked, not silently dropped.
     }
-    FreeVars fv = free_vars(c);
-    residual_primed.insert(fv.primed.begin(), fv.primed.end());
+    per_conjunct_primed.push_back(free_vars(c).primed);
     out.residual.push_back(c);
   }
+  std::set<VarId> residual_primed;
+  for (const std::set<VarId>& ps : per_conjunct_primed) {
+    residual_primed.insert(ps.begin(), ps.end());
+  }
+  out.residual_primed.assign(residual_primed.begin(), residual_primed.end());
   for (VarId v : residual_primed) {
     if (!assigned.contains(v)) out.unassigned_primed.push_back(v);
   }
@@ -144,9 +151,9 @@ ActionDisjunct build_disjunct(const Expr& disjunct) {
   // variables are determined before enumeration starts, so they never gate
   // a conjunct's schedule depth.
   out.residual_needs.reserve(out.residual.size());
-  for (const Expr& c : out.residual) {
+  for (const std::set<VarId>& ps : per_conjunct_primed) {
     std::vector<VarId> needs;
-    for (VarId v : free_vars(c).primed) {
+    for (VarId v : ps) {
       if (!assigned.contains(v)) needs.push_back(v);
     }
     out.residual_needs.push_back(std::move(needs));

@@ -51,6 +51,11 @@ struct ActionDisjunct {
   std::vector<std::pair<VarId, Expr>> assignments;
   std::vector<Expr> residual;
   std::vector<VarId> unassigned_primed;
+  /// Every primed variable occurring in `residual` (ascending), including
+  /// variables that also carry an assignment. This is the residual half of
+  /// the disjunct's write set; analysis/footprint.hpp unions it with the
+  /// non-frame assignments.
+  std::vector<VarId> residual_primed;
   /// Per residual conjunct: the unassigned primed variables it mentions
   /// (ascending). residual_needs[i] annotates residual[i]; a conjunct with
   /// an empty entry is decidable as soon as the assignments are evaluated.

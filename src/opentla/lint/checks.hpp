@@ -17,9 +17,23 @@
 //   OTL007  state-space estimate (product of declared domains) exceeds the
 //           configured bound
 //   OTL008  constant-foldable guard / dead action disjunct
+//   OTL009  guard unsatisfiable over the declared domains (interval
+//           analysis proves the action can never fire)
+//   OTL010  primed assignment provably outside the variable's declared
+//           domain (the step can never be taken)
+//   OTL011  two NEXT disjuncts with identical effects where one's guard
+//           implies the other's (dead disjunct subsumption)
+//   OTL012  a module's action writes across two tuples of a composed
+//           DISJOINT declaration (the static independence matrix
+//           contradicts the declared interleaving) — runs only when
+//           linting several modules over a shared universe
 //
-// Checks never explore states; they only use the syntactic machinery of
-// expr/analysis (free_vars, decompose_action, fold_constant).
+// Checks never explore states; they use the syntactic machinery of
+// expr/analysis (free_vars, decompose_action, fold_constant) and the
+// whole-spec dataflow layer in analysis/ (footprints, the interval
+// abstract domain, the independence relation). OTL009–OTL011 fire on
+// *definite* abstract verdicts only, so they cannot produce false
+// positives over the declared domains.
 
 #pragma once
 
@@ -46,7 +60,7 @@ struct LintCheck {
   std::function<void(const ParsedModule&, const LintOptions&, std::vector<Diagnostic>&)> run;
 };
 
-/// The per-module checks (OTL001–OTL005, OTL007, OTL008) in code order.
+/// The per-module checks (OTL001–OTL005, OTL007–OTL011) in code order.
 const std::vector<LintCheck>& check_registry();
 
 /// Runs every registered per-module check on `mod`.
@@ -60,15 +74,10 @@ std::vector<Diagnostic> lint_module(const ParsedModule& mod, const LintOptions& 
 std::vector<Diagnostic> lint_pair(const ParsedModule& a, const ParsedModule& b,
                                   const LintOptions& opts = {});
 
-/// Lints every module and, when modules share one universe, every pair.
+/// Lints every module and, when modules share one universe, every pair
+/// (OTL006 footprint overlap, OTL012 Disjoint contradiction). The written
+/// footprint OTL006 compares is analysis::write_footprint.
 std::vector<Diagnostic> lint_modules(const std::vector<ParsedModule>& mods,
                                      const LintOptions& opts = {});
-
-/// Variables a next-state action can change: assigned variables whose
-/// right-hand side is not the variable itself unprimed (v' = v and
-/// UNCHANGED conjuncts are frames, not writes), plus primed variables of
-/// residual constraints. This is the syntactic "written footprint" OTL006
-/// compares.
-std::vector<VarId> written_footprint(const Expr& next);
 
 }  // namespace opentla::lint

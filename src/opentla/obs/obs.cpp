@@ -31,6 +31,8 @@ const char* name(Counter c) {
     case Counter::ParShardContention: return "par_shard_contention";
     case Counter::CompletionsPruned: return "completions_pruned";
     case Counter::ResidualEarlyCuts: return "residual_early_cuts";
+    case Counter::AnalysisPairsIndependent: return "analysis_pairs_independent";
+    case Counter::AnalysisPairsDependent: return "analysis_pairs_dependent";
     case Counter::kCount: break;
   }
   return "?";

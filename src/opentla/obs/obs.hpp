@@ -54,6 +54,8 @@ enum class Counter : std::size_t {
   ParShardContention,      // seen-set shard locks that were contended
   CompletionsPruned,       // completions skipped by residual subtree cuts
   ResidualEarlyCuts,       // residual conjuncts that failed before full depth
+  AnalysisPairsIndependent,  // action pairs the static matrix proves commute
+  AnalysisPairsDependent,    // action pairs left dependent (incl. fallback)
   kCount
 };
 

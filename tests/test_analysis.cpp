@@ -280,6 +280,68 @@ TEST_F(AnalysisTest, ScheduleResidualTreatsExternalVarsAsBound) {
   EXPECT_EQ(none.at_depth[0], (std::vector<std::size_t>{0}));
 }
 
+TEST_F(AnalysisTest, ResidualPrimedCoversAssignedVarsInResidual) {
+  // x' = x + 1 /\ y' # x': x' is assigned AND occurs in the residual, so
+  // residual_primed = {x, y} while unassigned_primed = {y}. Footprint
+  // analysis unions residual_primed with the assignments, so nothing is
+  // lost either way.
+  Expr act = ex::land({ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1))),
+                       ex::neq(ex::primed_var(y), ex::primed_var(x))});
+  std::vector<ActionDisjunct> ds = decompose_action(act);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].residual_primed, (std::vector<VarId>{x, y}));
+  EXPECT_EQ(ds[0].unassigned_primed, (std::vector<VarId>{y}));
+  // A disjunct with no residual has no residual primed variables.
+  std::vector<ActionDisjunct> plain =
+      decompose_action(ex::eq(ex::primed_var(x), ex::integer(0)));
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_TRUE(plain[0].residual_primed.empty());
+}
+
+TEST_F(AnalysisTest, ScheduleResidualEmptyResidualKeepsEnumerateOrder) {
+  // No residual conjuncts at all: pure frame enumeration in the caller's
+  // order, with nothing to check at any depth.
+  ResidualSchedule sched = schedule_residual({}, {y, x});
+  EXPECT_EQ(sched.order, (std::vector<VarId>{y, x}));
+  ASSERT_EQ(sched.at_depth.size(), 3u);
+  for (const std::vector<std::size_t>& checks : sched.at_depth) {
+    EXPECT_TRUE(checks.empty());
+  }
+}
+
+TEST_F(AnalysisTest, ScheduleResidualSameVariableTieBreaksByIndex) {
+  // Two conjuncts need the same variable; the greedy scheduler must place
+  // both at the depth where it binds, in conjunct-index order, before
+  // moving on to the other variable.
+  const std::vector<std::vector<VarId>> needs = {{y}, {y}, {x}};
+  ResidualSchedule sched = schedule_residual(needs, {x, y});
+  EXPECT_EQ(sched.order, (std::vector<VarId>{y, x}));
+  ASSERT_EQ(sched.at_depth.size(), 3u);
+  EXPECT_TRUE(sched.at_depth[0].empty());
+  EXPECT_EQ(sched.at_depth[1], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(sched.at_depth[2], (std::vector<std::size_t>{2}));
+}
+
+TEST_F(AnalysisTest, ScheduleResidualZeroVariableConjunctRunsAtDepthZero) {
+  // A residual conjunct over no primed variables (e.g. a pure guard that
+  // survived into the residual) is decided before any enumeration.
+  ResidualSchedule sched = schedule_residual({{}}, {x, y});
+  EXPECT_EQ(sched.order, (std::vector<VarId>{x, y}));
+  ASSERT_EQ(sched.at_depth.size(), 3u);
+  EXPECT_EQ(sched.at_depth[0], (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(sched.at_depth[1].empty());
+  EXPECT_TRUE(sched.at_depth[2].empty());
+}
+
+TEST_F(AnalysisTest, ScheduleResidualIsDeterministic) {
+  VarId z = vars.declare("z", range_domain(0, 1));
+  const std::vector<std::vector<VarId>> needs = {{y, z}, {x}, {}, {y}};
+  ResidualSchedule a = schedule_residual(needs, {x, y, z});
+  ResidualSchedule b = schedule_residual(needs, {x, y, z});
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.at_depth, b.at_depth);
+}
+
 TEST_F(AnalysisTest, StructuralEquality) {
   Expr a = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));
   Expr b = ex::land(ex::eq(ex::var(x), ex::integer(0)), ex::unchanged({y}));

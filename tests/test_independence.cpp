@@ -1,0 +1,329 @@
+// Tests for the whole-spec dataflow layer (opentla/analysis): the interval
+// abstract domain, per-disjunct read/write footprints, the static
+// independence relation with provenance, and the unit extraction for
+// parsed modules and explicit compositions. The differential harness
+// (test_differential.cpp) brute-forces the soundness of claimed
+// independence; these tests pin the exact footprints, verdicts, and
+// naming the rest of the system depends on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "opentla/analysis/footprint.hpp"
+#include "opentla/analysis/independence.hpp"
+#include "opentla/analysis/interval.hpp"
+#include "opentla/compose/compose.hpp"
+#include "opentla/parser/parser.hpp"
+
+namespace opentla {
+namespace {
+
+using analysis::AbsVal;
+using analysis::AbstractEnv;
+using analysis::Footprint;
+using analysis::Interval;
+using analysis::Truth;
+
+// ---------------------------------------------------------------- interval
+
+TEST(IntervalTest, MeetJoinAndEmptiness) {
+  const Interval a{0, 5};
+  const Interval b{3, 9};
+  EXPECT_EQ(analysis::meet(a, b), (Interval{3, 5}));
+  EXPECT_EQ(analysis::join(a, b), (Interval{0, 9}));
+  EXPECT_TRUE(analysis::meet(Interval{0, 1}, Interval{3, 4}).empty());
+  EXPECT_TRUE(Interval{}.empty());
+  EXPECT_TRUE(Interval::singleton(7).is_singleton());
+  EXPECT_TRUE(Interval::all().contains(std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(IntervalTest, SaturatingArithmetic) {
+  EXPECT_EQ(analysis::interval_add(Interval{1, 2}, Interval{10, 20}), (Interval{11, 22}));
+  EXPECT_EQ(analysis::interval_sub(Interval{0, 3}, Interval{1, 1}), (Interval{-1, 2}));
+  EXPECT_EQ(analysis::interval_mul(Interval{-2, 3}, Interval{4, 5}), (Interval{-10, 15}));
+  EXPECT_EQ(analysis::interval_neg(Interval{-3, 7}), (Interval{-7, 3}));
+  // Saturation at the rails instead of UB/wraparound.
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const Interval big{kMax - 1, kMax};
+  EXPECT_EQ(analysis::interval_add(big, big).hi, kMax);
+  EXPECT_LE(analysis::interval_mul(big, big).hi, kMax);
+}
+
+TEST(IntervalTest, AbstractDomain) {
+  const AbsVal ints = analysis::abstract_domain(range_domain(2, 6));
+  EXPECT_EQ(ints.kind, AbsVal::Kind::Int);
+  EXPECT_EQ(ints.iv, (Interval{2, 6}));
+  const AbsVal bools = analysis::abstract_domain(bool_domain());
+  EXPECT_EQ(bools.kind, AbsVal::Kind::Bool);
+  EXPECT_TRUE(bools.may_true);
+  EXPECT_TRUE(bools.may_false);
+  EXPECT_TRUE(analysis::abstract_domain(Domain()).is_none());
+  // A sequence-valued domain abstracts to Any, never to a wrong interval.
+  EXPECT_EQ(analysis::abstract_domain(seq_domain(bit_domain(), 2)).kind, AbsVal::Kind::Any);
+}
+
+class AbsEvalTest : public ::testing::Test {
+ protected:
+  AbsEvalTest() {
+    x_ = vars_.declare("x", range_domain(0, 3));
+    y_ = vars_.declare("y", range_domain(0, 3));
+    env_ = analysis::initial_env(vars_);
+  }
+  VarTable vars_;
+  VarId x_ = 0, y_ = 0;
+  AbstractEnv env_;
+};
+
+TEST_F(AbsEvalTest, ArithmeticFollowsIntervals) {
+  const AbsVal sum = analysis::abs_eval(ex::add(ex::var(x_), ex::integer(2)), env_);
+  EXPECT_EQ(sum.iv, (Interval{2, 5}));
+  const AbsVal prod = analysis::abs_eval(ex::mul(ex::var(x_), ex::var(y_)), env_);
+  EXPECT_EQ(prod.iv, (Interval{0, 9}));
+  const AbsVal negated = analysis::abs_eval(ex::neg(ex::var(x_)), env_);
+  EXPECT_EQ(negated.iv, (Interval{-3, 0}));
+}
+
+TEST_F(AbsEvalTest, ModWithPositiveDivisorBoundsResult) {
+  const AbsVal m = analysis::abs_eval(ex::mod(ex::var(x_), ex::integer(4)), env_);
+  EXPECT_EQ(m.kind, AbsVal::Kind::Int);
+  // x already lies in [0, 4), so x % 4 keeps the exact interval.
+  EXPECT_EQ(m.iv, (Interval{0, 3}));
+  const AbsVal wide = analysis::abs_eval(
+      ex::mod(ex::add(ex::var(x_), ex::var(y_)), ex::integer(4)), env_);
+  EXPECT_EQ(wide.iv, (Interval{0, 3}));
+}
+
+TEST_F(AbsEvalTest, IfThenElseJoinsBranches) {
+  const Expr e = ex::ite(ex::eq(ex::var(x_), ex::integer(0)), ex::integer(1), ex::integer(5));
+  const AbsVal v = analysis::abs_eval(e, env_);
+  EXPECT_EQ(v.kind, AbsVal::Kind::Int);
+  EXPECT_EQ(v.iv, (Interval{1, 5}));
+}
+
+TEST_F(AbsEvalTest, TruthIsThreeValued) {
+  EXPECT_EQ(analysis::abs_truth(ex::lt(ex::var(x_), ex::integer(10)), env_), Truth::True);
+  EXPECT_EQ(analysis::abs_truth(ex::lt(ex::var(x_), ex::integer(0)), env_), Truth::False);
+  EXPECT_EQ(analysis::abs_truth(ex::lt(ex::var(x_), ex::integer(2)), env_), Truth::Unknown);
+}
+
+TEST_F(AbsEvalTest, RefineByGuardsNarrowsAndDetectsUnsat) {
+  AbstractEnv env = env_;
+  ASSERT_TRUE(analysis::refine_by_guards(
+      {ex::ge(ex::var(x_), ex::integer(1)), ex::lt(ex::var(x_), ex::integer(3))}, env));
+  EXPECT_EQ(env[x_].iv, (Interval{1, 2}));
+  // y untouched by the guards keeps its domain hull.
+  EXPECT_EQ(env[y_].iv, (Interval{0, 3}));
+
+  AbstractEnv unsat = env_;
+  EXPECT_FALSE(analysis::refine_by_guards({ex::gt(ex::var(x_), ex::integer(5))}, unsat));
+}
+
+// --------------------------------------------------------------- footprint
+
+class FootprintTest : public ::testing::Test {
+ protected:
+  FootprintTest() {
+    x_ = vars_.declare("x", range_domain(0, 2));
+    y_ = vars_.declare("y", range_domain(0, 2));
+    z_ = vars_.declare("z", range_domain(0, 1));
+    scope_ = vars_.all_vars();
+  }
+  VarTable vars_;
+  VarId x_ = 0, y_ = 0, z_ = 0;
+  std::vector<VarId> scope_;
+};
+
+TEST_F(FootprintTest, GuardsAssignmentsAndFramesClassified) {
+  // y > 0 /\ x' = x + 1 /\ UNCHANGED <<y, z>>
+  const Expr act = ex::land({ex::gt(ex::var(y_), ex::integer(0)),
+                             ex::eq(ex::primed_var(x_), ex::add(ex::var(x_), ex::integer(1))),
+                             ex::unchanged({y_, z_})});
+  const Footprint fp = analysis::action_footprint(act, scope_);
+  EXPECT_EQ(fp.reads, (std::vector<VarId>{x_, y_}));
+  EXPECT_EQ(fp.writes, (std::vector<VarId>{x_}));  // identity frames are not writes
+  EXPECT_EQ(fp.guard_reads, (std::vector<VarId>{y_}));
+  EXPECT_FALSE(fp.conservative);
+}
+
+TEST_F(FootprintTest, UnmentionedInScopeVariableIsAWrite) {
+  // No frame condition: z is in scope but unmentioned, so successor
+  // generation enumerates it — a nondeterministic write.
+  const Expr act = ex::land({ex::eq(ex::primed_var(x_), ex::integer(0)),
+                             ex::eq(ex::primed_var(y_), ex::var(y_))});
+  const Footprint fp = analysis::action_footprint(act, scope_);
+  EXPECT_EQ(fp.writes, (std::vector<VarId>{x_, z_}));
+  // With the scope restricted to {x, y} (an open module), z belongs to the
+  // environment and is no write of this action.
+  const Footprint open_fp = analysis::action_footprint(act, {x_, y_});
+  EXPECT_EQ(open_fp.writes, (std::vector<VarId>{x_}));
+}
+
+TEST_F(FootprintTest, ResidualConstraintsReadAndWrite) {
+  // x' != y' /\ z' <= z: all three primed variables are residual writes,
+  // and z is read by the comparison.
+  const Expr act = ex::land({ex::neq(ex::primed_var(x_), ex::primed_var(y_)),
+                             ex::le(ex::primed_var(z_), ex::var(z_))});
+  const Footprint fp = analysis::action_footprint(act, scope_);
+  EXPECT_EQ(fp.writes, (std::vector<VarId>{x_, y_, z_}));
+  EXPECT_EQ(fp.reads, (std::vector<VarId>{z_}));
+}
+
+TEST_F(FootprintTest, NullActionIsConservative) {
+  const Footprint fp = analysis::action_footprint(Expr(), scope_);
+  EXPECT_TRUE(fp.conservative);
+}
+
+TEST_F(FootprintTest, SyntacticWriteFootprintIgnoresScope) {
+  const Expr act = ex::land({ex::eq(ex::primed_var(y_), ex::integer(1)),
+                             ex::eq(ex::primed_var(x_), ex::var(x_))});
+  // write_footprint: explicit non-frame assignments only — no frame-scope
+  // completion (z unmentioned is NOT a write here; OTL006's contract).
+  EXPECT_EQ(analysis::write_footprint(act), (std::vector<VarId>{y_}));
+}
+
+// ------------------------------------------------------------ independence
+
+TEST_F(FootprintTest, PairVerdictsWithProvenance) {
+  const Expr wx = ex::land({ex::eq(ex::primed_var(x_), ex::integer(1)), ex::unchanged({y_, z_})});
+  const Expr wy = ex::land({ex::eq(ex::primed_var(y_), ex::integer(1)), ex::unchanged({x_, z_})});
+  const Expr rx_wy = ex::land({ex::gt(ex::var(x_), ex::integer(0)),
+                               ex::eq(ex::primed_var(y_), ex::integer(0)),
+                               ex::unchanged({x_, z_})});
+  const Footprint fwx = analysis::action_footprint(wx, scope_);
+  const Footprint fwy = analysis::action_footprint(wy, scope_);
+  const Footprint frx = analysis::action_footprint(rx_wy, scope_);
+
+  const analysis::PairVerdict indep =
+      analysis::pair_independence(vars_, "A", fwx, "B", fwy);
+  EXPECT_TRUE(indep.independent);
+  EXPECT_TRUE(indep.reason.empty());
+
+  const analysis::PairVerdict ww = analysis::pair_independence(vars_, "A", fwy, "B", frx);
+  EXPECT_FALSE(ww.independent);
+  EXPECT_EQ(ww.reason, "both write 'y'");
+
+  const analysis::PairVerdict wr = analysis::pair_independence(vars_, "A", fwx, "B", frx);
+  EXPECT_FALSE(wr.independent);
+  EXPECT_EQ(wr.reason, "'A' writes 'x', 'B' reads it in a guard");
+
+  Footprint bad;
+  bad.conservative = true;
+  const analysis::PairVerdict cons = analysis::pair_independence(vars_, "A", bad, "B", fwy);
+  EXPECT_FALSE(cons.independent);
+  EXPECT_EQ(cons.reason, "conservative fallback: 'A' has no precise footprint");
+}
+
+TEST_F(FootprintTest, MatrixIsSymmetricDeterministicAndCounted) {
+  auto unit = [&](std::string name, const Expr& act) {
+    analysis::ActionUnit u;
+    u.name = std::move(name);
+    u.action = act;
+    u.fp = analysis::action_footprint(act, scope_);
+    return u;
+  };
+  const Expr wx = ex::land({ex::eq(ex::primed_var(x_), ex::integer(1)), ex::unchanged({y_, z_})});
+  const Expr wy = ex::land({ex::eq(ex::primed_var(y_), ex::integer(1)), ex::unchanged({x_, z_})});
+  const Expr wxy = ex::land({ex::eq(ex::primed_var(x_), ex::integer(0)),
+                             ex::eq(ex::primed_var(y_), ex::integer(0)), ex::unchanged({z_})});
+  std::vector<analysis::ActionUnit> units = {unit("WX", wx), unit("WY", wy), unit("WXY", wxy)};
+
+  const analysis::IndependenceMatrix m = analysis::compute_independence(vars_, units);
+  ASSERT_EQ(m.size(), 3u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_EQ(m.independent(i, j), m.independent(j, i)) << i << "," << j;
+    }
+  }
+  EXPECT_TRUE(m.independent(0, 1));
+  EXPECT_FALSE(m.independent(0, 2));  // both write x
+  EXPECT_FALSE(m.independent(1, 2));  // both write y
+  EXPECT_EQ(m.reason(0, 1), "");
+  EXPECT_EQ(m.reason(0, 2), "both write 'x'");
+  EXPECT_EQ(m.independent_pairs(), 1u);
+  EXPECT_EQ(m.dependent_pairs(), 2u);
+  EXPECT_DOUBLE_EQ(m.density(), 1.0 / 3.0);
+
+  // Determinism: a pure function of the unit list.
+  const analysis::IndependenceMatrix m2 = analysis::compute_independence(vars_, units);
+  ASSERT_EQ(m2.size(), m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_EQ(m.independent(i, j), m2.independent(i, j));
+      EXPECT_EQ(m.reason(i, j), m2.reason(i, j));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- units
+
+TEST(ActionUnitsTest, ModuleUnitsNamedAfterActions) {
+  ParsedModule mod = parse_module(
+      "MODULE M\n"
+      "VARIABLES x \\in 0..3, y \\in 0..3\n"
+      "INIT x = 0 /\\ y = 0\n"
+      "ACTION IncX == x < 3 /\\ x' = x + 1 /\\ UNCHANGED y\n"
+      "ACTION IncY == y < 3 /\\ y' = y + 1 /\\ UNCHANGED x\n"
+      "NEXT IncX \\/ IncY\n");
+  const std::vector<analysis::ActionUnit> units = analysis::module_action_units(mod);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].name, "IncX");
+  EXPECT_EQ(units[1].name, "IncY");
+  EXPECT_EQ(units[0].module, "M");
+  const analysis::IndependenceMatrix m =
+      analysis::compute_independence(*mod.vars, units);
+  EXPECT_TRUE(m.independent(0, 1));
+}
+
+TEST(ActionUnitsTest, OpenModuleScopeIsItsSubscript) {
+  // An open module's subscript keeps environment variables out of its
+  // write set even though the module never mentions them.
+  auto universe = std::make_shared<VarTable>();
+  ParsedModule mod = parse_module(
+      "MODULE Open\n"
+      "VARIABLES a \\in 0..1, env \\in 0..1\n"
+      "INIT a = 0\n"
+      "NEXT a' = 1 - a\n"
+      "SUBSCRIPT <<a>>\n",
+      universe);
+  const std::vector<analysis::ActionUnit> units = analysis::module_action_units(mod);
+  ASSERT_EQ(units.size(), 1u);
+  const VarId env_var = 1;
+  EXPECT_EQ(std::count(units[0].fp.writes.begin(), units[0].fp.writes.end(), env_var), 0);
+}
+
+TEST(ActionUnitsTest, CompositeUnitsMatchMoverLabels) {
+  VarTable vars;
+  const VarId a = vars.declare("a", bit_domain());
+  const VarId b = vars.declare("b", bit_domain());
+  CanonicalSpec sa;
+  sa.name = "PartA";
+  sa.init = ex::eq(ex::var(a), ex::integer(0));
+  sa.next = ex::land({ex::eq(ex::primed_var(a), ex::sub(ex::integer(1), ex::var(a))),
+                      ex::unchanged({b})});
+  sa.sub = {a};
+  CanonicalSpec sb;  // unnamed: labeled part_2 like build_composite_graph
+  sb.init = ex::eq(ex::var(b), ex::integer(0));
+  sb.next = ex::land({ex::eq(ex::primed_var(b), ex::sub(ex::integer(1), ex::var(b))),
+                      ex::unchanged({a})});
+  sb.sub = {b};
+  const std::vector<CompositePart> parts = {{sa, true}, {sb, true}};
+
+  const std::vector<analysis::ActionUnit> units =
+      composite_action_units(vars, parts, {{a}}, {});
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].name, "PartA");
+  EXPECT_EQ(units[1].name, "part_2");
+  EXPECT_EQ(units[2].name, "free_1");
+  // The free tuple writes a and reads nothing.
+  EXPECT_EQ(units[2].fp.writes, (std::vector<VarId>{a}));
+  EXPECT_TRUE(units[2].fp.reads.empty());
+  const analysis::IndependenceMatrix m = analysis::compute_independence(vars, units);
+  EXPECT_TRUE(m.independent(0, 1));
+  EXPECT_FALSE(m.independent(0, 2));  // both can change a
+}
+
+}  // namespace
+}  // namespace opentla

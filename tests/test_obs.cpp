@@ -189,7 +189,9 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"par_steals\": 0,\n"
       "    \"par_shard_contention\": 0,\n"
       "    \"completions_pruned\": 0,\n"
-      "    \"residual_early_cuts\": 0\n"
+      "    \"residual_early_cuts\": 0,\n"
+      "    \"analysis_pairs_independent\": 0,\n"
+      "    \"analysis_pairs_dependent\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"peak_configuration_count\": 0,\n"

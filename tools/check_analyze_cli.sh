@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# End-to-end check of the `tlacheck analyze` subcommand:
+#
+#   1. analyze on specs/counter.tla emits schema-valid JSON with the known
+#      golden facts: units [Incr, Wrap], both footprints {x}, a fully
+#      dependent 2x2 matrix, and the provenance reason "both write 'x'";
+#   2. --footprints / --independence select exactly their section;
+#   3. a multi-file run over all seven ag_queue modules shares one
+#      variable universe, finds cross-module independent pairs, and is
+#      byte-for-byte deterministic across two runs;
+#   4. exit codes follow the CLI contract: 0 on success, 2 on a missing
+#      file and on an unknown flag;
+#   5. in an obs-on build, `analyze --stats` surfaces the
+#      analysis_pairs_independent / analysis_pairs_dependent counters; in
+#      --obs-off mode (binary built with -DOPENTLA_OBS=OFF) the analysis
+#      still works and only the counter probe is skipped.
+#
+# Usage: tools/check_analyze_cli.sh <tlacheck-binary> [--obs-off]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+tlacheck="${1:?usage: check_analyze_cli.sh <tlacheck-binary> [--obs-off]}"
+obs_off=0
+[ "${2:-}" = "--obs-off" ] && obs_off=1
+specs="${repo_root}/specs"
+schema="${repo_root}/tools/analyze_schema.json"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+  echo "check_analyze_cli: FAIL: $*" >&2
+  exit 1
+}
+
+validate_schema() {
+  python3 - "$schema" "$1" <<'PY'
+import json, sys
+
+schema = json.load(open(sys.argv[1]))
+data = json.load(open(sys.argv[2]))
+
+def check(value, shape, path):
+    if "const" in shape:
+        assert value == shape["const"], f"{path}: {value!r} != {shape['const']!r}"
+        return
+    t = shape.get("type")
+    if t == "object":
+        assert isinstance(value, dict), f"{path}: not an object"
+        for key in shape.get("required", []):
+            assert key in value, f"{path}: missing required '{key}'"
+        props = shape.get("properties", {})
+        if shape.get("additionalProperties") is False:
+            for key in value:
+                assert key in props, f"{path}: unexpected key '{key}'"
+        for key, sub in props.items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}")
+    elif t == "array":
+        assert isinstance(value, list), f"{path}: not an array"
+        items = shape.get("items")
+        if items:
+            for i, elem in enumerate(value):
+                check(elem, items, f"{path}[{i}]")
+    elif t == "string":
+        assert isinstance(value, str), f"{path}: not a string"
+    elif t == "integer":
+        assert isinstance(value, int) and not isinstance(value, bool), f"{path}: not an integer"
+        if "minimum" in shape:
+            assert value >= shape["minimum"], f"{path}: {value} < minimum"
+    elif t == "number":
+        assert isinstance(value, (int, float)) and not isinstance(value, bool), f"{path}: not a number"
+    elif t == "boolean":
+        assert isinstance(value, bool), f"{path}: not a boolean"
+
+check(data, schema, "$")
+print(f"  schema-valid: {sys.argv[2].rsplit('/', 1)[-1]}")
+PY
+}
+
+# --- 1. Golden facts for counter.tla. ---
+
+"$tlacheck" analyze "$specs/counter.tla" --format json > "$workdir/counter.json" \
+  || fail "analyze counter.tla: expected exit 0, got $?"
+validate_schema "$workdir/counter.json"
+python3 - "$workdir/counter.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data["schema"] == "opentla-analyze-v1", data["schema"]
+assert data["modules"] == ["Counter"], data["modules"]
+assert [u["name"] for u in data["units"]] == ["Incr", "Wrap"], data["units"]
+for fp in data["footprints"]:
+    assert fp["reads"] == ["x"] and fp["writes"] == ["x"], fp
+    assert not fp["conservative"], fp
+ind = data["independence"]
+assert ind["matrix"] == [[0, 0], [0, 0]], ind["matrix"]
+assert ind["independent_pairs"] == 0 and ind["dependent_pairs"] == 1, ind
+assert ind["dependent"] == [
+    {"a": "Incr", "b": "Wrap", "reason": "both write 'x'"}
+], ind["dependent"]
+PY
+echo "ok: counter.tla golden facts (units, footprints, matrix, provenance)"
+
+# Human format names both units and prints the pair summary.
+out="$("$tlacheck" analyze "$specs/counter.tla")"
+grep -q "Incr" <<<"$out" || fail "human output does not name Incr"
+grep -q "independence:" <<<"$out" || fail "human output lacks the independence summary"
+
+# --- 2. Section flags select exactly their section. ---
+
+"$tlacheck" analyze "$specs/counter.tla" --format json --footprints \
+  > "$workdir/fp_only.json"
+python3 - "$workdir/fp_only.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert "footprints" in data and "independence" not in data, sorted(data)
+PY
+"$tlacheck" analyze "$specs/counter.tla" --format json --independence \
+  > "$workdir/ind_only.json"
+python3 - "$workdir/ind_only.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert "independence" in data and "footprints" not in data, sorted(data)
+PY
+validate_schema "$workdir/fp_only.json"
+validate_schema "$workdir/ind_only.json"
+echo "ok: --footprints / --independence select their section"
+
+# --- 3. Multi-file ag_queue run: shared universe, determinism. ---
+
+ag_files=("$specs"/ag_queue/g.tla "$specs"/ag_queue/qe1.tla \
+          "$specs"/ag_queue/qm1.tla "$specs"/ag_queue/qe2.tla \
+          "$specs"/ag_queue/qm2.tla "$specs"/ag_queue/qedbl.tla \
+          "$specs"/ag_queue/qmdbl.tla)
+"$tlacheck" analyze "${ag_files[@]}" --format json > "$workdir/ag1.json" \
+  || fail "analyze over ag_queue modules failed with $?"
+"$tlacheck" analyze "${ag_files[@]}" --format json > "$workdir/ag2.json" \
+  || fail "second analyze over ag_queue modules failed with $?"
+cmp -s "$workdir/ag1.json" "$workdir/ag2.json" \
+  || fail "analyze output is not deterministic across runs"
+validate_schema "$workdir/ag1.json"
+python3 - "$workdir/ag1.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert len(data["modules"]) == 7, data["modules"]
+ind = data["independence"]
+# Modules over disjoint channels (e.g. QE1's i1/z1 vs QE2's i2/z2) must
+# show up as statically independent pairs across the shared universe.
+assert ind["independent_pairs"] > 0, ind
+assert ind["dependent_pairs"] > 0, ind
+n = len(data["units"])
+m = ind["matrix"]
+assert len(m) == n and all(len(row) == n for row in m), "matrix not NxN"
+assert all(m[i][j] == m[j][i] for i in range(n) for j in range(n)), "matrix not symmetric"
+assert all(m[i][i] == 0 for i in range(n)), "diagonal must be dependent"
+PY
+echo "ok: ag_queue multi-file run (7 modules, deterministic, symmetric matrix)"
+
+# --- 4. Exit codes. ---
+
+rc=0
+"$tlacheck" analyze "$specs/no_such_spec.tla" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "missing file: expected exit 2, got $rc"
+rc=0
+"$tlacheck" analyze "$specs/counter.tla" --no-such-flag > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "unknown flag: expected exit 2, got $rc"
+rc=0
+"$tlacheck" analyze > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "no input files: expected exit 2, got $rc"
+echo "ok: exit codes (0 success, 2 missing file / bad flag / no input)"
+
+# --- 5. Obs counters (obs-on builds only; analysis itself needs no obs). ---
+
+if [ "$obs_off" -eq 1 ]; then
+  echo "ok: --obs-off build analyzed everything above without the obs registry"
+  echo "check_analyze_cli: all checks passed (--obs-off mode)"
+  exit 0
+fi
+
+out="$("$tlacheck" analyze "$specs/counter.tla" --stats)"
+grep -q "analysis_pairs_independent" <<<"$out" \
+  || fail "--stats lacks analysis_pairs_independent"
+grep -q "analysis_pairs_dependent" <<<"$out" \
+  || fail "--stats lacks analysis_pairs_dependent"
+echo "ok: analysis_pairs_* counters surface via --stats"
+
+echo "check_analyze_cli: all checks passed"

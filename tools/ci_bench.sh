@@ -172,6 +172,73 @@ run_config() {
     echo "error: bench_successor_pruning did not export its counters" >&2
     exit 1
   fi
+
+  # The independence microbench carries its own hard budget (the artifact
+  # exits 1 if the static matrix costs >= 1% of exploring the fig9 H2b
+  # product), so its export existing above means the budget held.
+  if [ ! -x "$dir/bench/bench_independence" ]; then
+    echo "error: bench_independence missing under $dir/bench" >&2
+    exit 1
+  fi
+  if [ ! -f "$outdir/BENCH_bench_independence.json" ]; then
+    echo "error: bench_independence did not export its counters" >&2
+    exit 1
+  fi
+
+  # The analyze JSON surface: run the multi-module ag_queue analysis and
+  # validate it against tools/analyze_schema.json (hand-rolled, same
+  # no-jsonschema-dependency policy as validate()).
+  echo "== tlacheck analyze (ag_queue, schema check) =="
+  "$dir/tools/tlacheck" analyze \
+    "$repo_root"/specs/ag_queue/g.tla \
+    "$repo_root"/specs/ag_queue/qe1.tla "$repo_root"/specs/ag_queue/qm1.tla \
+    "$repo_root"/specs/ag_queue/qe2.tla "$repo_root"/specs/ag_queue/qm2.tla \
+    "$repo_root"/specs/ag_queue/qedbl.tla "$repo_root"/specs/ag_queue/qmdbl.tla \
+    --format json > "$outdir/analyze_ag_queue.json"
+  python3 - "$repo_root/tools/analyze_schema.json" \
+    "$outdir/analyze_ag_queue.json" <<'PY'
+import json, sys
+
+schema = json.load(open(sys.argv[1]))
+data = json.load(open(sys.argv[2]))
+
+def check(value, shape, path):
+    if "const" in shape:
+        assert value == shape["const"], f"{path}: {value!r} != {shape['const']!r}"
+        return
+    t = shape.get("type")
+    if t == "object":
+        assert isinstance(value, dict), f"{path}: not an object"
+        for key in shape.get("required", []):
+            assert key in value, f"{path}: missing required '{key}'"
+        props = shape.get("properties", {})
+        if shape.get("additionalProperties") is False:
+            for key in value:
+                assert key in props, f"{path}: unexpected key '{key}'"
+        for key, sub in props.items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}")
+    elif t == "array":
+        assert isinstance(value, list), f"{path}: not an array"
+        if "items" in shape:
+            for i, elem in enumerate(value):
+                check(elem, shape["items"], f"{path}[{i}]")
+    elif t == "string":
+        assert isinstance(value, str), f"{path}: not a string"
+    elif t == "integer":
+        assert isinstance(value, int) and not isinstance(value, bool), f"{path}: not an integer"
+    elif t == "number":
+        assert isinstance(value, (int, float)) and not isinstance(value, bool), f"{path}: not a number"
+    elif t == "boolean":
+        assert isinstance(value, bool), f"{path}: not a boolean"
+
+check(data, schema, "$")
+ind = data["independence"]
+assert ind["independent_pairs"] > 0 and ind["dependent_pairs"] > 0, ind
+print(f"{sys.argv[2]}: ok "
+      f"({ind['independent_pairs']}/{ind['independent_pairs'] + ind['dependent_pairs']} "
+      "pairs independent)")
+PY
 }
 
 echo "--- bench smoke: regular configuration ($build_dir) ---"

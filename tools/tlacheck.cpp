@@ -30,11 +30,23 @@
 //                                               each ACTION was enabled and
 //                                               fired; exits 1 and names the
 //                                               action if any never fires
-//   tlacheck lint SPEC.tla [SPEC2.tla ...]      static analysis (OTL001-008)
+//   tlacheck lint SPEC.tla [SPEC2.tla ...]      static analysis (OTL001-012)
 //                   [--format json] [--werror]  without state exploration;
 //                   [--state-bound N]           several files share one
 //                                               universe and are also
-//                                               checked pairwise (OTL006)
+//                                               checked pairwise (OTL006,
+//                                               OTL012)
+//   tlacheck analyze SPEC.tla [SPEC2.tla ...]   whole-spec dataflow: action
+//                   [--format human|json]       footprints (reads/writes/
+//                   [--independence]            guard reads per NEXT
+//                   [--footprints]              disjunct) and the N x N
+//                                               static independence matrix
+//                                               with per-pair provenance;
+//                                               with neither section flag,
+//                                               both sections are emitted.
+//                                               JSON follows
+//                                               tools/analyze_schema.json
+//                                               and is deterministic.
 //   tlacheck profile SUBCOMMAND ARGS...         run any subcommand under
 //                   [--format human|json|trace] full opentla::obs
 //                   [--out FILE]                instrumentation and render
@@ -83,6 +95,7 @@
 #include <vector>
 
 #include "opentla/ag/composition_theorem.hpp"
+#include "opentla/analysis/independence.hpp"
 #include "opentla/check/invariant.hpp"
 #include "opentla/check/liveness.hpp"
 #include "opentla/check/machine_closure.hpp"
@@ -109,6 +122,8 @@ int usage() {
          "                [--constraint FILE.tla]... [--witness VAR=EXPR]...\n"
          "       tlacheck lint SPEC.tla [SPEC2.tla ...] [--format json] [--werror]\n"
          "                [--state-bound N]\n"
+         "       tlacheck analyze SPEC.tla [SPEC2.tla ...] [--format human|json]\n"
+         "                [--independence] [--footprints]\n"
          "       tlacheck profile SUBCOMMAND ARGS... [--format human|json|trace]\n"
          "                [--out FILE]\n"
          "options: --invariant EXPR   --dump   --max-states N   --steps N   --seed S\n"
@@ -505,6 +520,162 @@ int cmd_lint(const std::vector<std::string>& files, const std::string& format, b
   return 0;
 }
 
+int cmd_analyze(const std::vector<std::string>& files, const std::string& format,
+                bool want_independence, bool want_footprints) {
+  // With neither section flag, emit both sections.
+  if (!want_independence && !want_footprints) want_independence = want_footprints = true;
+
+  // Several files share one universe by variable name (like `lint` and
+  // `compose`), so cross-module footprints compare the same VarIds.
+  std::shared_ptr<VarTable> universe =
+      files.size() > 1 ? std::make_shared<VarTable>() : nullptr;
+  std::vector<ParsedModule> mods;
+  mods.reserve(files.size());
+  for (const std::string& file : files) {
+    mods.push_back(parse_module(slurp(file), universe));
+  }
+  const VarTable& vars = *mods.front().vars;
+
+  std::vector<analysis::ActionUnit> units;
+  for (const ParsedModule& mod : mods) {
+    std::vector<analysis::ActionUnit> mu = analysis::module_action_units(mod);
+    units.insert(units.end(), std::make_move_iterator(mu.begin()),
+                 std::make_move_iterator(mu.end()));
+  }
+  const analysis::IndependenceMatrix m = analysis::compute_independence(vars, std::move(units));
+  const std::size_t n = m.size();
+
+  auto var_names = [&](const std::vector<VarId>& vs) {
+    std::vector<std::string> names;
+    names.reserve(vs.size());
+    for (VarId v : vs) names.push_back(vars.name(v));
+    return names;
+  };
+
+  if (format == "json") {
+    // Emission order is fixed (file order, then NEXT-disjunct order, then
+    // row-major pairs), so repeated runs produce byte-identical output.
+    auto str_array = [](const std::vector<std::string>& xs) {
+      std::string out = "[";
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + obs::json_escape(xs[i]) + "\"";
+      }
+      return out + "]";
+    };
+    std::cout << "{\n  \"schema\": \"opentla-analyze-v1\",\n  \"modules\": [";
+    for (std::size_t i = 0; i < mods.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << "\"" << obs::json_escape(mods[i].name) << "\"";
+    }
+    std::cout << "],\n  \"units\": [";
+    for (std::size_t i = 0; i < n; ++i) {
+      const analysis::ActionUnit& u = m.units()[i];
+      if (i > 0) std::cout << ",";
+      std::cout << "\n    {\"name\": \"" << obs::json_escape(u.name) << "\", \"module\": \""
+                << obs::json_escape(u.module) << "\"}";
+    }
+    if (n > 0) std::cout << "\n  ";
+    std::cout << "]";
+    if (want_footprints) {
+      std::cout << ",\n  \"footprints\": [";
+      for (std::size_t i = 0; i < n; ++i) {
+        const analysis::ActionUnit& u = m.units()[i];
+        if (i > 0) std::cout << ",";
+        std::cout << "\n    {\"unit\": \"" << obs::json_escape(u.name) << "\", \"module\": \""
+                  << obs::json_escape(u.module)
+                  << "\", \"reads\": " << str_array(var_names(u.fp.reads))
+                  << ", \"writes\": " << str_array(var_names(u.fp.writes))
+                  << ", \"guard_reads\": " << str_array(var_names(u.fp.guard_reads))
+                  << ", \"conservative\": " << (u.fp.conservative ? "true" : "false") << "}";
+      }
+      if (n > 0) std::cout << "\n  ";
+      std::cout << "]";
+    }
+    if (want_independence) {
+      char density[32];
+      std::snprintf(density, sizeof density, "%.6f", m.density());
+      std::cout << ",\n  \"independence\": {\n    \"independent_pairs\": "
+                << m.independent_pairs() << ",\n    \"dependent_pairs\": " << m.dependent_pairs()
+                << ",\n    \"density\": " << density << ",\n    \"matrix\": [";
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0) std::cout << ",";
+        std::cout << "\n      [";
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j > 0) std::cout << ", ";
+          std::cout << (m.independent(i, j) ? 1 : 0);
+        }
+        std::cout << "]";
+      }
+      if (n > 0) std::cout << "\n    ";
+      std::cout << "],\n    \"dependent\": [";
+      bool first = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (m.independent(i, j)) continue;
+          if (!first) std::cout << ",";
+          first = false;
+          std::cout << "\n      {\"a\": \"" << obs::json_escape(m.units()[i].name)
+                    << "\", \"b\": \"" << obs::json_escape(m.units()[j].name)
+                    << "\", \"reason\": \"" << obs::json_escape(m.reason(i, j)) << "\"}";
+        }
+      }
+      if (!first) std::cout << "\n    ";
+      std::cout << "]\n  }";
+    }
+    std::cout << "\n}\n";
+    return 0;
+  }
+
+  std::cout << "analyze";
+  for (const ParsedModule& mod : mods) std::cout << " " << mod.name;
+  std::cout << ": " << n << " action unit" << (n == 1 ? "" : "s") << "\n";
+  auto set_str = [&](const std::vector<VarId>& vs) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += vars.name(vs[i]);
+    }
+    return out + "}";
+  };
+  std::size_t width = 4;
+  for (const analysis::ActionUnit& u : m.units()) width = std::max(width, u.name.size());
+  if (want_footprints) {
+    std::cout << "footprints:\n";
+    for (const analysis::ActionUnit& u : m.units()) {
+      std::cout << "  " << std::left << std::setw(static_cast<int>(width)) << u.name
+                << std::right << "  reads " << set_str(u.fp.reads) << "  writes "
+                << set_str(u.fp.writes) << "  guards " << set_str(u.fp.guard_reads)
+                << (u.fp.conservative ? "  [conservative]" : "") << "\n";
+    }
+  }
+  if (want_independence) {
+    char density[32];
+    std::snprintf(density, sizeof density, "%.2f", m.density());
+    std::cout << "independence: " << m.independent_pairs() << "/"
+              << (m.independent_pairs() + m.dependent_pairs())
+              << " unordered pairs independent (density " << density << ")\n";
+    if (n > 0) {
+      // Matrix rows: '.' independent, 'X' dependent (diagonal included).
+      std::cout << "  matrix ('.' independent, 'X' dependent):\n";
+      for (std::size_t i = 0; i < n; ++i) {
+        std::cout << "  " << std::left << std::setw(static_cast<int>(width))
+                  << m.units()[i].name << std::right << "  ";
+        for (std::size_t j = 0; j < n; ++j) std::cout << (m.independent(i, j) ? '.' : 'X');
+        std::cout << "\n";
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (m.independent(i, j)) continue;
+          std::cout << "  " << m.units()[i].name << " ~ " << m.units()[j].name << ": "
+                    << m.reason(i, j) << "\n";
+        }
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -537,6 +708,8 @@ int main(int argc, char** argv) {
   std::string events_file;
   std::string metrics_file;
   bool werror = false;
+  bool want_independence = false;
+  bool want_footprints = false;
   lint::LintOptions lint_opts;
   std::vector<std::pair<std::string, std::string>> witnesses;
   std::vector<std::pair<std::string, std::string>> component_files;
@@ -589,6 +762,10 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (args[i] == "--werror") {
       werror = true;
+    } else if (args[i] == "--independence") {
+      want_independence = true;
+    } else if (args[i] == "--footprints") {
+      want_footprints = true;
     } else if (args[i] == "--state-bound" && i + 1 < args.size()) {
       lint_opts.state_bound = std::stoull(args[++i]);
     } else if (args[i] == "--witness" && i + 1 < args.size()) {
@@ -626,6 +803,10 @@ int main(int argc, char** argv) {
       if (cmd == "lint") {
         if (files.empty()) return usage();
         return cmd_lint(files, inner_format, werror, lint_opts);
+      }
+      if (cmd == "analyze") {
+        if (files.empty()) return usage();
+        return cmd_analyze(files, inner_format, want_independence, want_footprints);
       }
       if (cmd == "refine") {
         if (files.size() != 2) return usage();
