@@ -34,6 +34,36 @@ std::string short_trace(const VarTable& vars, const std::vector<State>& states,
   return out;
 }
 
+/// An obligation the run budget prevented from being evaluated at all:
+/// not discharged, not refuted — inconclusive, with the breach named.
+Obligation skipped_obligation(std::string id, std::string description,
+                              const run::RunBudget& budget) {
+  Obligation ob;
+  ob.id = std::move(id);
+  ob.description = std::move(description);
+  ob.method = "skipped(budget)";
+  ob.inconclusive = true;
+  ob.detail =
+      std::string("not evaluated: run budget stop (") + run::to_string(budget.reason()) + ")";
+  return ob;
+}
+
+/// Folds a possibly-partial inclusion verdict into `ob`: a counterexample
+/// refutes regardless of budget state; "holds" on a truncated product or
+/// pair search is inconclusive, never a discharge.
+void adopt_verdict(Obligation& ob, const ConstraintExplorer::Verdict& verdict) {
+  if (!verdict.holds) {
+    ob.discharged = false;
+  } else if (verdict.stop_reason != run::StopReason::kCompleted) {
+    ob.discharged = false;
+    ob.inconclusive = true;
+    ob.detail += std::string(" [partial: run budget stop (") +
+                 run::to_string(verdict.stop_reason) + ")]";
+  } else {
+    ob.discharged = true;
+  }
+}
+
 Mover free_tuple_mover(const VarTable& vars, const std::vector<VarId>& tuple) {
   std::vector<VarId> complement;
   for (VarId v = 0; v < vars.size(); ++v) {
@@ -203,6 +233,10 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
     return movers;
   };
 
+  // Once the run budget latches, the remaining hypotheses are reported as
+  // inconclusive skips rather than evaluated against a breached budget.
+  auto budget_stopped = [&] { return opts.budget != nullptr && opts.budget->stopped(); };
+
   // --- H1: |= C(E) /\ /\_j C(M_j) => E_i ---
   {
     OPENTLA_OBS_SPAN("fig9:2.1");
@@ -213,7 +247,7 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
       constraints.push_back(std::make_shared<PrefixMachine>(vars, c));
     }
     ConstraintExplorer explorer(vars, constraints, build_movers(), init_enum, normalize,
-                                opts.max_nodes);
+                                opts.max_nodes, opts.budget);
     for (std::size_t i = 0; i < components.size(); ++i) {
       OPENTLA_OBS_SPAN("fig9:2.1." + std::to_string(i + 1));
       Obligation ob;
@@ -226,15 +260,23 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
         report.add(std::move(ob));
         continue;
       }
+      if (budget_stopped() && explorer.stop_reason() == run::StopReason::kCompleted) {
+        // The product itself is complete but the budget tripped meanwhile
+        // (e.g. deadline during an earlier target): skip the remaining
+        // targets instead of starting new pair searches.
+        report.add(skipped_obligation(std::move(ob.id), std::move(ob.description),
+                                      *opts.budget));
+        continue;
+      }
       ob.method = "product-inclusion";
       ConstraintExplorer::Verdict verdict = [&] {
         ObligationTimer timer(ob);
         PrefixMachine target(vars, components[i].assumption);
         return explorer.check_target(target);
       }();
-      ob.discharged = verdict.holds;
       ob.detail = "product nodes: " + std::to_string(explorer.num_nodes()) +
                   ", pairs: " + std::to_string(verdict.pairs_visited);
+      adopt_verdict(ob, verdict);
       if (!verdict.holds) ob.detail += "\n" + short_trace(vars, verdict.counterexample);
       report.add(std::move(ob));
     }
@@ -246,6 +288,10 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
     ob.id = "H2a";
     ob.description = "C(" + goal.assumption.name + ")_{+v} /\\ /\\_j C(M_j) => C(" +
                      goal.guarantee.name + ")";
+    if (budget_stopped()) {
+      report.add(skipped_obligation(std::move(ob.id), std::move(ob.description),
+                                    *opts.budget));
+    } else {
     ob.method = "product-inclusion(freeze)";
     {
       OPENTLA_OBS_SPAN("fig9:2.2");
@@ -267,19 +313,24 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
       if (!unfrozen.empty()) movers.push_back(free_tuple_mover(vars, unfrozen));
 
       ConstraintExplorer explorer(vars, constraints, std::move(movers), init_enum, normalize,
-                                  opts.max_nodes);
+                                  opts.max_nodes, opts.budget);
       PrefixMachine target(vars, goal_p1.closure);
       ConstraintExplorer::Verdict verdict = explorer.check_target(target);
-      ob.discharged = verdict.holds;
       ob.detail = "product nodes: " + std::to_string(explorer.num_nodes()) +
                   ", pairs: " + std::to_string(verdict.pairs_visited);
+      adopt_verdict(ob, verdict);
       if (!verdict.holds) ob.detail += "\n" + short_trace(vars, verdict.counterexample);
     }
     report.add(std::move(ob));
+    }  // budget-skip else
   }
 
   // --- H2b: |= E /\ /\_j M_j => M ---
-  {
+  if (budget_stopped()) {
+    report.add(skipped_obligation(
+        "H2b", goal.assumption.name + " /\\ /\\_j M_j => " + goal.guarantee.name,
+        *opts.budget));
+  } else {
     Obligation ob;
     ob.id = "H2b";
     ob.description =
@@ -328,18 +379,30 @@ ProofReport verify_composition(const VarTable& vars, const std::vector<AGSpec>& 
       ExploreOptions explore_opts;
       explore_opts.threads = opts.threads;
       explore_opts.max_states = opts.max_states;
+      explore_opts.budget = opts.budget;
       StateGraph low =
           build_composite_graph(vars, parts, opts.free_tuples, pin_tuple, explore_opts);
-      RefinementMapping mapping = mapping_by_name(vars, vars, opts.goal_witness);
-      RefinementResult r = check_refinement(low, low_fairness, goal.guarantee, mapping);
-      ob.discharged = r.holds;
-      ob.detail = "low states: " + std::to_string(r.states) +
-                  ", edges: " + std::to_string(r.edges);
-      if (!r.holds) {
-        ob.detail += "\nfailed: " + r.failed_part + "\n" +
-                     short_trace(vars, r.counterexample_prefix);
-        if (!r.counterexample_cycle.empty()) {
-          ob.detail += "cycle:\n" + format_trace(vars, r.counterexample_cycle);
+      if (low.stop_reason() != run::StopReason::kCompleted) {
+        // Refinement (incl. its liveness side) is only meaningful on the
+        // complete low graph; a truncated one can neither discharge nor
+        // refute, so the obligation stays inconclusive.
+        ob.discharged = false;
+        ob.inconclusive = true;
+        ob.detail = "low states: " + std::to_string(low.num_states()) +
+                    " [partial: run budget stop (" + run::to_string(low.stop_reason()) +
+                    "), refinement not evaluated]";
+      } else {
+        RefinementMapping mapping = mapping_by_name(vars, vars, opts.goal_witness);
+        RefinementResult r = check_refinement(low, low_fairness, goal.guarantee, mapping);
+        ob.discharged = r.holds;
+        ob.detail = "low states: " + std::to_string(r.states) +
+                    ", edges: " + std::to_string(r.edges);
+        if (!r.holds) {
+          ob.detail += "\nfailed: " + r.failed_part + "\n" +
+                       short_trace(vars, r.counterexample_prefix);
+          if (!r.counterexample_cycle.empty()) {
+            ob.detail += "cycle:\n" + format_trace(vars, r.counterexample_cycle);
+          }
         }
       }
     } catch (const std::exception& e) {
@@ -473,15 +536,24 @@ std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
       ExploreOptions explore_opts;
       explore_opts.threads = opts.threads;
       explore_opts.max_states = opts.max_states;
+      explore_opts.budget = opts.budget;
       StateGraph r_graph =
           build_composite_graph(vars, parts, free_tuples, pin_tuple, explore_opts);
-      PrefixMachine e_machine(vars, goal.assumption);
-      PrefixMachine m_machine(vars, goal_p1.closure);
-      OrthogonalityResult orth = check_orthogonality(r_graph, e_machine, m_machine);
-      ob.discharged = orth.holds;
-      ob.detail = "R states: " + std::to_string(r_graph.num_states()) +
-                  ", pairs: " + std::to_string(orth.pairs_visited);
-      if (!orth.holds) ob.detail += "\n" + short_trace(vars, orth.counterexample);
+      if (r_graph.stop_reason() != run::StopReason::kCompleted) {
+        ob.discharged = false;
+        ob.inconclusive = true;
+        ob.detail = "R states: " + std::to_string(r_graph.num_states()) +
+                    " [partial: run budget stop (" + run::to_string(r_graph.stop_reason()) +
+                    "), orthogonality not evaluated]";
+      } else {
+        PrefixMachine e_machine(vars, goal.assumption);
+        PrefixMachine m_machine(vars, goal_p1.closure);
+        OrthogonalityResult orth = check_orthogonality(r_graph, e_machine, m_machine);
+        ob.discharged = orth.holds;
+        ob.detail = "R states: " + std::to_string(r_graph.num_states()) +
+                    ", pairs: " + std::to_string(orth.pairs_visited);
+        if (!orth.holds) ob.detail += "\n" + short_trace(vars, orth.counterexample);
+      }
     }
     out.push_back(std::move(ob));
     if (!out.back()) return out;
@@ -515,12 +587,12 @@ std::vector<Obligation> discharge_h2a_via_prop3(const VarTable& vars,
       for (const AGSpec& c : components) init_conjuncts.push_back(c.guarantee.init);
       ConstraintExplorer explorer(vars, constraints, std::move(movers),
                                   ex::land(std::move(init_conjuncts)), normalize,
-                                  opts.max_nodes);
+                                  opts.max_nodes, opts.budget);
       PrefixMachine target(vars, goal_p1.closure);
       ConstraintExplorer::Verdict verdict = explorer.check_target(target);
-      ob.discharged = verdict.holds;
       ob.detail = "product nodes: " + std::to_string(explorer.num_nodes()) +
                   ", pairs: " + std::to_string(verdict.pairs_visited);
+      adopt_verdict(ob, verdict);
       if (!verdict.holds) ob.detail += "\n" + short_trace(vars, verdict.counterexample);
     }
     out.push_back(std::move(ob));

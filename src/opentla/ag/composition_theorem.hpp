@@ -34,6 +34,7 @@
 
 #include "opentla/ag/ag_spec.hpp"
 #include "opentla/proof/report.hpp"
+#include "opentla/run/budget.hpp"
 
 namespace opentla {
 
@@ -63,6 +64,10 @@ struct CompositionOptions {
   std::vector<VarId> env_outputs;
   std::size_t max_nodes = 1'000'000;
   std::size_t max_states = 2'000'000;
+  /// Optional run budget (deadline / RSS / signal stop), polled by every
+  /// exploration the verifier runs. On a breach the remaining obligations
+  /// come back inconclusive instead of the run throwing. Not owned.
+  run::RunBudget* budget = nullptr;
   /// Worker threads for the state-graph explorations (H2b's low graph and
   /// Proposition 3's R graph): 1 = serial, 0 = hardware concurrency. The
   /// verdicts and graphs are identical for every value (see ExploreOptions).

@@ -46,11 +46,12 @@ struct NodeKeyHash {
 ConstraintExplorer::ConstraintExplorer(
     const VarTable& vars, std::vector<std::shared_ptr<const SafetyMachine>> constraints,
     std::vector<Mover> movers, Expr init_enum, std::vector<VarId> normalize,
-    std::size_t max_nodes)
+    std::size_t max_nodes, run::RunBudget* budget)
     : vars_(&vars),
       constraints_(std::move(constraints)),
       movers_(std::move(movers)),
-      normalize_(std::move(normalize)) {
+      normalize_(std::move(normalize)),
+      budget_(budget) {
   OPENTLA_OBS_SPAN("ConstraintExplorer.explore");
   auto normalized = [&](State s) {
     for (VarId v : normalize_) s[v] = vars.domain(v)[0];
@@ -82,15 +83,18 @@ ConstraintExplorer::ConstraintExplorer(
     if (nodes_.size() >= (std::uint32_t)-2) {
       throw std::runtime_error("ConstraintExplorer: too many product nodes");
     }
+    // Node budget reached: refuse the new node gracefully and latch the
+    // stop reason — the product built so far is a sound partial result.
+    if (nodes_.size() >= max_nodes) {
+      stop_reason_ = run::StopReason::kStateBudget;
+      return std::nullopt;
+    }
     const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
     OPENTLA_OBS_COUNT(ProductNodes);
     nodes_.push_back({sid, std::move(key.configs), parent});
     adjacency_.emplace_back();
     index.emplace(NodeKey{sid, nodes_.back().configs}, id);
     frontier.push_back(id);
-    if (nodes_.size() > max_nodes) {
-      throw std::runtime_error("ConstraintExplorer: node limit exceeded");
-    }
     return id;
   };
 
@@ -119,6 +123,11 @@ ConstraintExplorer::ConstraintExplorer(
 
   // --- Exploration ---
   while (!frontier.empty()) {
+    if (stop_reason_ != run::StopReason::kCompleted) break;
+    if (budget_ != nullptr && budget_->should_stop()) {
+      stop_reason_ = budget_->reason();
+      break;
+    }
     const std::uint32_t uid = frontier.front();
     frontier.pop_front();
     const State s = visible_.get(nodes_[uid].state);  // copy: store may grow
@@ -159,6 +168,9 @@ ConstraintExplorer::ConstraintExplorer(
     }
   }
   OPENTLA_OBS_GAUGE_MAX(PeakProductNodes, nodes_.size());
+  if (stop_reason_ != run::StopReason::kCompleted && budget_ != nullptr) {
+    budget_->request_stop(stop_reason_);
+  }
 }
 
 std::vector<State> ConstraintExplorer::trace_to(std::uint32_t node) const {
@@ -175,6 +187,8 @@ ConstraintExplorer::Verdict ConstraintExplorer::check_target(const SafetyMachine
   OPENTLA_OBS_PHASE("check.inclusion");
   Verdict verdict;
   verdict.target_name = target.name();
+  // A partial product makes every "holds" verdict on it partial too.
+  verdict.stop_reason = stop_reason_;
 
   struct PairKey {
     std::uint32_t node;
@@ -211,6 +225,10 @@ ConstraintExplorer::Verdict ConstraintExplorer::check_target(const SafetyMachine
   std::unordered_map<PairKey, PairKey, PairKeyHash> parent;
 
   while (!frontier.empty()) {
+    if (budget_ != nullptr && budget_->should_stop()) {
+      verdict.stop_reason = budget_->reason();
+      break;
+    }
     PairKey u = std::move(frontier.front());
     frontier.pop_front();
     const State& s = visible_.get(nodes_[u.node].state);

@@ -30,6 +30,7 @@
 
 #include "opentla/automata/prefix_machine.hpp"
 #include "opentla/graph/successor.hpp"
+#include "opentla/run/budget.hpp"
 #include "opentla/state/state.hpp"
 #include "opentla/tla/spec.hpp"
 
@@ -63,14 +64,19 @@ class ConstraintExplorer {
   /// (typically the conjunction of all components' Init predicates, with
   /// hidden variables included; their values are normalized away and
   /// re-derived by the machines).
+  /// Reaching `max_nodes`, or a breach of `budget` (optional, not owned),
+  /// stops the product exploration gracefully; stop_reason() reports why
+  /// and check_target verdicts on the partial product are marked partial.
   ConstraintExplorer(const VarTable& vars,
                      std::vector<std::shared_ptr<const SafetyMachine>> constraints,
                      std::vector<Mover> movers, Expr init_enum, std::vector<VarId> normalize,
-                     std::size_t max_nodes = 1'000'000);
+                     std::size_t max_nodes = 1'000'000, run::RunBudget* budget = nullptr);
 
   std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_edges() const { return num_edges_; }
   const VarTable& vars() const { return *vars_; }
+  /// Why product exploration ended (kCompleted = full product built).
+  run::StopReason stop_reason() const { return stop_reason_; }
 
   /// Checks |= LHS => target. On failure the verdict carries a finite trace
   /// of visible states after which the target's prefix machine is dead.
@@ -79,6 +85,11 @@ class ConstraintExplorer {
     bool holds = false;
     std::vector<State> counterexample;
     std::size_t pairs_visited = 0;
+    /// kCompleted = definitive. Otherwise the product or the pair BFS was
+    /// cut short by a budget: a counterexample is still a real refutation
+    /// (the partial product only contains reachable nodes), but `holds`
+    /// merely means "no violation found within the budget".
+    run::StopReason stop_reason = run::StopReason::kCompleted;
 
     explicit operator bool() const { return holds; }
   };
@@ -102,6 +113,8 @@ class ConstraintExplorer {
   std::vector<std::vector<std::uint32_t>> adjacency_;
   std::vector<std::uint32_t> init_nodes_;
   std::size_t num_edges_ = 0;
+  run::RunBudget* budget_ = nullptr;
+  run::StopReason stop_reason_ = run::StopReason::kCompleted;
 };
 
 }  // namespace opentla

@@ -12,6 +12,7 @@ InvariantResult check_invariant(const StateGraph& g, const Expr& invariant) {
   OPENTLA_OBS_PHASE("check.invariant");
   InvariantResult result;
   result.states_checked = g.num_states();
+  result.stop_reason = g.stop_reason();
   std::vector<signed char> bad(g.num_states(), -1);
   auto is_bad = [&](StateId s) {
     if (bad[s] < 0) bad[s] = eval_pred(invariant, g.vars(), g.state(s)) ? 0 : 1;

@@ -22,6 +22,10 @@ struct InvariantResult {
   /// (empty when the invariant holds).
   std::vector<State> counterexample;
   std::size_t states_checked = 0;
+  /// Why the underlying exploration ended. A violation is definitive
+  /// either way; `holds` with stop_reason != kCompleted only says "no
+  /// violation among the states the budget allowed" — a partial verdict.
+  run::StopReason stop_reason = run::StopReason::kCompleted;
 
   explicit operator bool() const { return holds; }
 };

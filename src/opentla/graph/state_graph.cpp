@@ -13,7 +13,7 @@ namespace opentla {
 StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_states,
                        const SuccessorFn& succ, bool add_self_loops, std::size_t max_states)
     : vars_(&vars) {
-  explore_serial(init_states, succ, add_self_loops, max_states);
+  explore_serial(init_states, succ, add_self_loops, max_states, nullptr);
 }
 
 StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_states,
@@ -25,7 +25,7 @@ StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_stat
     if (threads == 0) threads = 1;
   }
   if (threads <= 1) {
-    explore_serial(init_states, succ, opts.add_self_loops, opts.max_states);
+    explore_serial(init_states, succ, opts.add_self_loops, opts.max_states, opts.budget);
     return;
   }
   par::ExploreResult r = par::explore(init_states, succ, opts, threads);
@@ -33,13 +33,27 @@ StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_stat
   init_ = std::move(r.init);
   adjacency_ = std::move(r.adjacency);
   num_edges_ = r.num_edges;
+  stop_reason_ = r.stop_reason;
 }
 
 void StateGraph::explore_serial(const std::vector<State>& init_states, const SuccessorFn& succ,
-                                bool add_self_loops, std::size_t max_states) {
+                                bool add_self_loops, std::size_t max_states,
+                                run::RunBudget* budget) {
   OPENTLA_OBS_SPAN("StateGraph.explore");
   std::deque<StateId> frontier;
   for (const State& s : init_states) {
+    // Capacity check BEFORE interning: a state past the cap is never added,
+    // so the graph holds exactly min(reachable, max_states) states — the
+    // same count the parallel engine produces at the same bound.
+    if (store_.size() >= max_states) {
+      const StateId known = store_.find(s);
+      if (known == StateStore::kNone) {
+        stop_reason_ = run::StopReason::kStateBudget;
+        continue;
+      }
+      init_.push_back(known);
+      continue;
+    }
     const std::size_t before = store_.size();
     const StateId id = store_.intern(s);
     if (store_.size() > before) {
@@ -53,6 +67,14 @@ void StateGraph::explore_serial(const std::vector<State>& init_states, const Suc
   init_.erase(std::unique(init_.begin(), init_.end()), init_.end());
 
   while (!frontier.empty()) {
+    // A capped run stops at the first expansion that overflowed rather than
+    // draining the frontier: the budget asked for "no more than N states",
+    // not "N states plus every edge among them".
+    if (stop_reason_ != run::StopReason::kCompleted) break;
+    if (budget != nullptr && budget->should_stop()) {
+      stop_reason_ = budget->reason();
+      break;
+    }
     OPENTLA_OBS_LEVEL_SET(FrontierSize, frontier.size());
     const StateId id = frontier.front();
     frontier.pop_front();
@@ -62,12 +84,18 @@ void StateGraph::explore_serial(const std::vector<State>& init_states, const Suc
     // references into it) while new successors are interned.
     std::vector<StateId> out;
     succ(s, [&](const State& t) {
+      if (store_.size() >= max_states) {
+        const StateId known = store_.find(t);
+        if (known == StateStore::kNone) {
+          stop_reason_ = run::StopReason::kStateBudget;
+          return;
+        }
+        out.push_back(known);
+        return;
+      }
       const std::size_t before = store_.size();
       const StateId tid = store_.intern(t);
       if (store_.size() > before) {
-        if (store_.size() > max_states) {
-          throw std::runtime_error("StateGraph: state limit exceeded");
-        }
         OPENTLA_OBS_COUNT(StatesGenerated);
         frontier.push_back(tid);
         adjacency_.emplace_back();
@@ -86,6 +114,11 @@ void StateGraph::explore_serial(const std::vector<State>& init_states, const Suc
   }
   OPENTLA_OBS_LEVEL_SET(FrontierSize, 0);
   OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, store_.size());
+  if (stop_reason_ != run::StopReason::kCompleted && budget != nullptr) {
+    // Latch the breach into the budget so obs counters and the flight
+    // recorder see state-budget stops the same way they see deadline ones.
+    budget->request_stop(stop_reason_);
+  }
 }
 
 std::vector<StateId> StateGraph::shortest_path_to(

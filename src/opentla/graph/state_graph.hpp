@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "opentla/run/budget.hpp"
 #include "opentla/state/state.hpp"
 #include "opentla/state/var_table.hpp"
 
@@ -32,13 +33,20 @@ struct ExploreOptions {
   /// on distinct states (the engine's ActionSuccessors-based providers are:
   /// they evaluate immutable expression trees with per-call scratch state).
   unsigned threads = 1;
-  /// Throw if more than this many states are reached.
+  /// Cap on reached states. Hitting the cap is not an error: exploration
+  /// stops gracefully with StopReason::kStateBudget and the graph holds
+  /// exactly min(reachable, max_states) states — the same count for the
+  /// serial and parallel engines at the same bound.
   std::size_t max_states = 2'000'000;
   /// Materialize the stuttering self-loop on every node.
   bool add_self_loops = true;
   /// Seen-set stripes for the parallel engine (0 = default, 64). Rounded
   /// up to a power of two. Ignored by the serial path.
   std::size_t shards = 0;
+  /// Optional run budget (deadline / RSS ceiling / signal stop). Polled
+  /// during exploration; a breach halts expansion and surfaces as
+  /// StateGraph::stop_reason(). Not owned.
+  run::RunBudget* budget = nullptr;
 };
 
 class StateGraph {
@@ -46,8 +54,8 @@ class StateGraph {
   using SuccessorFn = std::function<void(const State&, const std::function<void(const State&)>&)>;
 
   /// Explores from `init_states` using `succ`; `add_self_loops` materializes
-  /// the stuttering step on every node. Throws if more than `max_states`
-  /// states are reached (guards against runaway spaces).
+  /// the stuttering step on every node. Reaching `max_states` stops
+  /// exploration gracefully (see stop_reason()).
   StateGraph(const VarTable& vars, const std::vector<State>& init_states, const SuccessorFn& succ,
              bool add_self_loops = true, std::size_t max_states = 2'000'000);
 
@@ -64,6 +72,11 @@ class StateGraph {
   const std::vector<StateId>& successors(StateId s) const { return adjacency_[s]; }
   const State& state(StateId s) const { return store_.get(s); }
 
+  /// Why exploration ended. kCompleted means the full reachable space is
+  /// here; anything else marks a graceful partial graph (state budget,
+  /// deadline, memory ceiling, or an interrupt signal).
+  run::StopReason stop_reason() const { return stop_reason_; }
+
   /// Shortest path (as a state-id sequence, inclusive of both ends) from an
   /// initial state to any state satisfying `goal`; empty if unreachable.
   std::vector<StateId> shortest_path_to(const std::function<bool(StateId)>& goal) const;
@@ -75,13 +88,14 @@ class StateGraph {
 
  private:
   void explore_serial(const std::vector<State>& init_states, const SuccessorFn& succ,
-                      bool add_self_loops, std::size_t max_states);
+                      bool add_self_loops, std::size_t max_states, run::RunBudget* budget);
 
   const VarTable* vars_;
   StateStore store_;
   std::vector<StateId> init_;
   std::vector<std::vector<StateId>> adjacency_;
   std::size_t num_edges_ = 0;
+  run::StopReason stop_reason_ = run::StopReason::kCompleted;
 };
 
 }  // namespace opentla

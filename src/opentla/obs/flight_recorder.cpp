@@ -1,0 +1,259 @@
+#include "opentla/obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "opentla/obs/obs.hpp"
+
+namespace opentla::obs {
+
+const char* flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::kPhase: return "phase";
+    case FlightKind::kProgress: return "progress";
+    case FlightKind::kBudget: return "budget";
+    case FlightKind::kNote: return "note";
+    case FlightKind::kSignal: return "signal";
+  }
+  return "note";
+}
+
+namespace {
+
+struct Slot {
+  // seq + 1 once the payload below is fully written; 0 while a writer is
+  // in the slot. A dumper copies the payload and re-reads commit: only a
+  // stable seq + 1 on both sides means the copy is untorn.
+  std::atomic<std::uint64_t> commit{0};
+  FlightEvent ev;
+};
+
+struct Ring {
+  std::vector<Slot> slots;
+  std::size_t mask = 0;
+  std::atomic<std::uint64_t> head{0};
+};
+
+// The ring pointer is set under g_mu and never freed while enabled; the
+// record fast path reads it with an acquire load.
+std::mutex g_mu;
+std::atomic<Ring*> g_ring{nullptr};
+std::string g_dump_path;
+// The dump path as a plain C array: the signal-context dumper must not
+// touch std::string.
+char g_dump_path_raw[512] = {};
+
+std::terminate_handler g_prev_terminate = nullptr;
+struct SavedSig {
+  int signo;
+  struct sigaction old;
+};
+SavedSig g_saved_sigs[8];
+int g_saved_sig_count = 0;
+bool g_hooks_installed = false;
+
+// --- Async-signal-safe formatting helpers ---
+
+std::size_t format_u64(char* out, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+struct LineBuf {
+  char buf[512];
+  std::size_t len = 0;
+  void raw(const char* s) {
+    while (*s != '\0' && len < sizeof buf - 1) buf[len++] = *s++;
+  }
+  void num(std::uint64_t v) {
+    if (len + 20 < sizeof buf) len += format_u64(buf + len, v);
+  }
+  void nl() {
+    if (len < sizeof buf) buf[len++] = '\n';
+  }
+};
+
+void write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w <= 0) return;
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void append_event_line(int fd, const FlightEvent& ev) {
+  LineBuf line;
+  line.raw("{\"type\":\"");
+  line.raw(flight_kind_name(ev.kind));
+  line.raw("\",\"seq\":");
+  line.num(ev.seq);
+  line.raw(",\"ts_us\":");
+  line.num(ev.ts_us);
+  line.raw(",\"label\":\"");
+  line.raw(ev.label);
+  line.raw("\",\"v0\":");
+  line.num(ev.v0);
+  line.raw(",\"v1\":");
+  line.num(ev.v1);
+  line.raw(",\"v2\":");
+  line.num(ev.v2);
+  line.raw("}");
+  line.nl();
+  write_all(fd, line.buf, line.len);
+}
+
+extern "C" void opentla_flight_fatal_handler(int signo) {
+  Ring* ring = g_ring.load(std::memory_order_acquire);
+  if (ring != nullptr) {
+    // Best effort: record the signal itself, then dump. Recording from a
+    // signal handler is safe here because the writer path is lock-free
+    // (fetch_add + plain stores into a preallocated slot).
+    flight_recorder_record(FlightKind::kSignal, "fatal", static_cast<std::uint64_t>(signo));
+    flight_recorder_dump("fatal_signal");
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+void opentla_flight_terminate_handler() {
+  flight_recorder_dump("uncaught_exception");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+void install_hooks() {
+  if (g_hooks_installed) return;
+  g_prev_terminate = std::set_terminate(opentla_flight_terminate_handler);
+  g_saved_sig_count = 0;
+  for (int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    struct sigaction sa = {};
+    sa.sa_handler = opentla_flight_fatal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    SavedSig saved;
+    saved.signo = signo;
+    if (sigaction(signo, &sa, &saved.old) == 0) g_saved_sigs[g_saved_sig_count++] = saved;
+  }
+  g_hooks_installed = true;
+}
+
+void remove_hooks() {
+  if (!g_hooks_installed) return;
+  std::set_terminate(g_prev_terminate);
+  for (int i = 0; i < g_saved_sig_count; ++i) {
+    sigaction(g_saved_sigs[i].signo, &g_saved_sigs[i].old, nullptr);
+  }
+  g_saved_sig_count = 0;
+  g_hooks_installed = false;
+}
+
+}  // namespace
+
+void flight_recorder_enable(std::size_t capacity, std::string dump_path) {
+  std::size_t cap = 8;
+  while (cap < capacity) cap <<= 1;
+  auto* ring = new Ring;
+  ring->slots = std::vector<Slot>(cap);
+  ring->mask = cap - 1;
+
+  std::lock_guard<std::mutex> lock(g_mu);
+  Ring* old = g_ring.exchange(nullptr, std::memory_order_acq_rel);
+  delete old;
+  g_dump_path = std::move(dump_path);
+  std::memset(g_dump_path_raw, 0, sizeof g_dump_path_raw);
+  std::strncpy(g_dump_path_raw, g_dump_path.c_str(), sizeof g_dump_path_raw - 1);
+  install_hooks();
+  g_ring.store(ring, std::memory_order_release);
+}
+
+void flight_recorder_disable() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  Ring* old = g_ring.exchange(nullptr, std::memory_order_acq_rel);
+  delete old;
+  remove_hooks();
+}
+
+bool flight_recorder_enabled() {
+  return g_ring.load(std::memory_order_relaxed) != nullptr;
+}
+
+void flight_recorder_record(FlightKind kind, const char* label, std::uint64_t v0,
+                            std::uint64_t v1, std::uint64_t v2) {
+  Ring* ring = g_ring.load(std::memory_order_acquire);
+  if (ring == nullptr) return;
+  const std::uint64_t seq = ring->head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring->slots[seq & ring->mask];
+  slot.commit.store(0, std::memory_order_release);
+  FlightEvent& ev = slot.ev;
+  ev.seq = seq;
+  ev.ts_us = now_us();
+  ev.kind = kind;
+  ev.v0 = v0;
+  ev.v1 = v1;
+  ev.v2 = v2;
+  std::size_t n = 0;
+  if (label != nullptr) {
+    for (; label[n] != '\0' && n < sizeof ev.label - 1; ++n) {
+      const char c = label[n];
+      // Keep the dump escape-free: anything JSON would need to escape
+      // becomes '_'.
+      ev.label[n] = (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) ? '_' : c;
+    }
+  }
+  ev.label[n] = '\0';
+  slot.commit.store(seq + 1, std::memory_order_release);
+}
+
+std::size_t flight_recorder_dump(const char* reason) {
+  Ring* ring = g_ring.load(std::memory_order_acquire);
+  if (ring == nullptr || g_dump_path_raw[0] == '\0') return 0;
+  const int fd = ::open(g_dump_path_raw, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return 0;
+
+  const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+  const std::uint64_t cap = static_cast<std::uint64_t>(ring->mask) + 1;
+  const std::uint64_t first = head > cap ? head - cap : 0;
+  std::size_t written = 0;
+  for (std::uint64_t seq = first; seq < head; ++seq) {
+    Slot& slot = ring->slots[seq & ring->mask];
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) continue;
+    FlightEvent copy = slot.ev;
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) continue;  // torn by a wrap
+    append_event_line(fd, copy);
+    ++written;
+  }
+
+  LineBuf tail;
+  tail.raw("{\"type\":\"dump\",\"reason\":\"");
+  tail.raw(reason != nullptr ? reason : "unknown");
+  tail.raw("\",\"recorded\":");
+  tail.num(head);
+  tail.raw(",\"written\":");
+  tail.num(written);
+  tail.raw("}");
+  tail.nl();
+  write_all(fd, tail.buf, tail.len);
+  ::close(fd);
+  return written;
+}
+
+std::uint64_t flight_recorder_recorded() {
+  Ring* ring = g_ring.load(std::memory_order_acquire);
+  return ring == nullptr ? 0 : ring->head.load(std::memory_order_relaxed);
+}
+
+}  // namespace opentla::obs

@@ -1,0 +1,78 @@
+// opentla/obs/flight_recorder.hpp
+//
+// Always-on crash telemetry: a bounded lock-free ring of recent events —
+// phase boundaries, progress heartbeats, budget decisions — kept in fixed
+// POD slots so the *last N things the engine did* survive to a dump even
+// when the run ends badly. The ring is dumped as JSONL (schema
+// tools/flight_schema.json) on a budget breach, an uncaught exception
+// (std::terminate), or a fatal signal; the dump path is async-signal-safe
+// end to end (open/write/close plus hand-rolled integer formatting, no
+// allocation, no stdio). Modeled on cortx-motr's addb2 telemetry ring.
+//
+// Recording is multi-producer lock-free: a slot is claimed with one
+// fetch_add and carries a per-slot commit sequence, so a dump that races
+// a wrapping writer detects and skips the torn slot instead of emitting
+// garbage.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace opentla::obs {
+
+enum class FlightKind : std::uint8_t {
+  kPhase = 0,    // a phase boundary (label = phase name)
+  kProgress,     // a heartbeat (v0 = states, v1 = frontier, v2 = rss bytes)
+  kBudget,       // a budget decision (label = stop reason, v0 = states, v1 = rss)
+  kNote,         // free-form marker from the driver
+  kSignal,       // a fatal signal observed (v0 = signo)
+};
+
+/// Stable identifier used in the dump's "type" field.
+const char* flight_kind_name(FlightKind k);
+
+/// One ring slot's payload. POD on purpose: slots are reused in place and
+/// copied out by the (possibly signal-context) dumper. Labels longer than
+/// the field are truncated; characters that would need JSON escaping are
+/// replaced with '_' at record time so the dumper never has to escape.
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t v0 = 0;
+  std::uint64_t v1 = 0;
+  std::uint64_t v2 = 0;
+  FlightKind kind = FlightKind::kNote;
+  char label[39] = {};
+};
+
+/// Allocates the ring (capacity rounded up to a power of two, min 8),
+/// remembers `dump_path`, and installs the crash hooks: a terminate
+/// handler and SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers that dump
+/// the ring before re-raising. Idempotent; a second call resizes.
+void flight_recorder_enable(std::size_t capacity, std::string dump_path);
+
+/// Drops the ring and restores the hooks (tests call this; tlacheck lets
+/// process exit clean it up).
+void flight_recorder_disable();
+
+bool flight_recorder_enabled();
+
+/// Appends one event. No-op (one branch) while disabled. Lock-free;
+/// callable from any thread, NOT from signal handlers (the dump is the
+/// only signal-context path).
+void flight_recorder_record(FlightKind kind, const char* label, std::uint64_t v0 = 0,
+                            std::uint64_t v1 = 0, std::uint64_t v2 = 0);
+
+/// Writes the ring's surviving events (oldest first) to the enable-time
+/// path as JSONL, newest-truncating: at most `capacity` event lines plus
+/// one trailing {"type":"dump",...} line carrying `reason`, the total
+/// recorded count, and how many were written. Async-signal-safe. Returns
+/// the number of event lines written (0 when disabled).
+std::size_t flight_recorder_dump(const char* reason);
+
+/// Total events recorded since enable (monotonic; may exceed capacity).
+std::uint64_t flight_recorder_recorded();
+
+}  // namespace opentla::obs

@@ -1,0 +1,147 @@
+#include "opentla/obs/metrics_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "opentla/obs/export.hpp"
+#include "opentla/obs/obs.hpp"
+
+namespace opentla::obs {
+
+namespace {
+
+constexpr char kOpenMetricsContentType[] =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a scraper that hangs up mid-response must not deliver
+    // SIGPIPE to the checking process.
+    const ssize_t w = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (w <= 0) return;
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string progress_json(const ProgressSample& s, bool have_sample) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"have_sample\": %s, \"seq\": %llu, \"final\": %s, \"ts_us\": %llu, "
+                "\"elapsed_us\": %llu, \"states\": %llu, \"frontier\": %llu, "
+                "\"states_per_sec\": %.1f, \"rss_bytes\": %llu, \"peak_rss_bytes\": %llu}\n",
+                have_sample ? "true" : "false",
+                static_cast<unsigned long long>(s.seq), s.final_sample ? "true" : "false",
+                static_cast<unsigned long long>(s.ts_us),
+                static_cast<unsigned long long>(s.elapsed_us),
+                static_cast<unsigned long long>(s.states),
+                static_cast<unsigned long long>(s.frontier), s.states_per_sec,
+                static_cast<unsigned long long>(s.rss_bytes),
+                static_cast<unsigned long long>(gauge_value(Gauge::PeakRssBytes)));
+  return buf;
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::set_progress(const ProgressSample& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_ = s;
+  have_sample_ = true;
+}
+
+void MetricsServer::run() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (n <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle(client);
+    ::close(client);
+  }
+}
+
+void MetricsServer::handle(int client_fd) {
+  // One read is enough for a GET line; anything longer is not our client.
+  char req[2048] = {};
+  const ssize_t n = ::recv(client_fd, req, sizeof req - 1, 0);
+  if (n <= 0) return;
+  const char* path_start = std::strchr(req, ' ');
+  std::string path;
+  if (path_start != nullptr) {
+    const char* path_end = std::strchr(path_start + 1, ' ');
+    if (path_end != nullptr) path.assign(path_start + 1, path_end);
+  }
+  if (path == "/metrics") {
+    send_all(client_fd,
+             http_response("200 OK", kOpenMetricsContentType,
+                           render_openmetrics(snapshot())));
+  } else if (path == "/progress") {
+    ProgressSample s;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      s = latest_;
+      have = have_sample_;
+    }
+    send_all(client_fd, http_response("200 OK", "application/json", progress_json(s, have)));
+  } else {
+    send_all(client_fd, http_response("404 Not Found", "text/plain",
+                                      "try /metrics or /progress\n"));
+  }
+}
+
+}  // namespace opentla::obs

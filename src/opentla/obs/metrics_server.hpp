@@ -1,0 +1,60 @@
+// opentla/obs/metrics_server.hpp
+//
+// A minimal embedded HTTP server for live scraping: binds 127.0.0.1 and
+// serves
+//
+//   GET /metrics    the OpenMetrics exposition of a fresh obs snapshot
+//                   (content-type application/openmetrics-text)
+//   GET /progress   the latest ProgressSample as one JSON object, plus
+//                   the peak_rss_bytes high-water gauge
+//
+// One background thread, poll()-based accept loop, HTTP/1.0 one request
+// per connection — deliberately no keep-alive, no TLS, no routing table.
+// This is the scrape endpoint the ROADMAP's `tlacheck serve` will mount;
+// here it rides on any long `tlacheck ... --serve-metrics PORT` run.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "opentla/obs/progress.hpp"
+
+namespace opentla::obs {
+
+class MetricsServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read the chosen one back with
+  /// port()) and starts the serving thread. Check ok(): a failed bind
+  /// leaves the server inert.
+  explicit MetricsServer(std::uint16_t port);
+  ~MetricsServer();
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Publishes the newest heartbeat for /progress. Thread-safe; typically
+  /// called from a ProgressSampler sink.
+  void set_progress(const ProgressSample& s);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void stop();
+
+ private:
+  void run();
+  void handle(int client_fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;
+  ProgressSample latest_;
+  bool have_sample_ = false;
+  std::thread thread_;
+};
+
+}  // namespace opentla::obs

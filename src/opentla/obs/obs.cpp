@@ -1,5 +1,7 @@
 #include "opentla/obs/obs.hpp"
 
+#include "opentla/obs/flight_recorder.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -33,6 +35,7 @@ const char* name(Counter c) {
     case Counter::ResidualEarlyCuts: return "residual_early_cuts";
     case Counter::AnalysisPairsIndependent: return "analysis_pairs_independent";
     case Counter::AnalysisPairsDependent: return "analysis_pairs_dependent";
+    case Counter::BudgetStops: return "budget_stops";
     case Counter::kCount: break;
   }
   return "?";
@@ -44,6 +47,7 @@ const char* name(Gauge g) {
     case Gauge::PeakGraphStates: return "peak_graph_states";
     case Gauge::PeakProductNodes: return "peak_product_nodes";
     case Gauge::PeakParWorkers: return "peak_par_workers";
+    case Gauge::PeakRssBytes: return "peak_rss_bytes";
     case Gauge::kCount: break;
   }
   return "?";
@@ -169,6 +173,9 @@ void phase_event(std::string phase_name) {
   PhaseEvent ev;
   ev.phase = std::move(phase_name);
   ev.ts_us = now_us();
+  if (flight_recorder_enabled()) {
+    flight_recorder_record(FlightKind::kPhase, ev.phase.c_str());
+  }
   {
     std::lock_guard<std::mutex> lock(detail::g_span_mutex);
     if (detail::g_phases.size() < detail::kMaxPhases) detail::g_phases.push_back(ev);

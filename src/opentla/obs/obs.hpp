@@ -56,6 +56,7 @@ enum class Counter : std::size_t {
   ResidualEarlyCuts,       // residual conjuncts that failed before full depth
   AnalysisPairsIndependent,  // action pairs the static matrix proves commute
   AnalysisPairsDependent,    // action pairs left dependent (incl. fallback)
+  BudgetStops,             // run-budget breaches latched (RunBudget::request_stop)
   kCount
 };
 
@@ -65,6 +66,7 @@ enum class Gauge : std::size_t {
   PeakGraphStates,         // largest single StateGraph built
   PeakProductNodes,        // largest ConstraintExplorer node set built
   PeakParWorkers,          // widest worker pool used by parallel exploration
+  PeakRssBytes,            // resident-set high-water (fed by progress samples)
   kCount
 };
 
@@ -178,6 +180,17 @@ inline void level_set(Level l, std::uint64_t v) {
 
 inline std::uint64_t level_get(Level l) {
   return detail::g_bank.levels[static_cast<std::size_t>(l)].load(std::memory_order_relaxed);
+}
+
+/// Live reads of single instruments — what the flight recorder and the
+/// /progress endpoint sample without paying for a full snapshot().
+inline std::uint64_t counter_value(Counter c) {
+  return detail::g_bank.counters[static_cast<std::size_t>(c)].load(
+      std::memory_order_relaxed);
+}
+
+inline std::uint64_t gauge_value(Gauge g) {
+  return detail::g_bank.gauges[static_cast<std::size_t>(g)].load(std::memory_order_relaxed);
 }
 
 /// Interns `label` into the bounded global table and returns its id. Ids

@@ -56,6 +56,7 @@ ProgressSample ProgressSampler::make_sample() {
                  .load(std::memory_order_relaxed);
   s.frontier = level_get(Level::FrontierSize);
   s.rss_bytes = read_rss_bytes();
+  gauge_max(Gauge::PeakRssBytes, s.rss_bytes);
   return s;
 }
 

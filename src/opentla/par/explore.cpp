@@ -57,6 +57,9 @@ ExploreResult explore(const std::vector<State>& init_states,
 
   // Seed: intern the initial states in caller order (the serial engine
   // interns them in this order too, which phase 2's replay reproduces).
+  // Provisional ids are globally monotonic, so "pid >= max_states" is
+  // exactly the set of states past the budget: they are interned (dedup
+  // still works) but never enqueued, and phase 2 drops them.
   std::vector<StateId> init_pids;
   init_pids.reserve(init_states.size());
   {
@@ -65,6 +68,11 @@ ExploreResult explore(const std::vector<State>& init_states,
       const ShardedStateSet::InternResult r = seen.intern(s);
       init_pids.push_back(r.id);
       if (r.inserted) {
+        if (static_cast<std::size_t>(r.id) >= opts.max_states) {
+          overflow.store(true, std::memory_order_relaxed);
+          abort.store(true, std::memory_order_relaxed);
+          continue;
+        }
         OPENTLA_OBS_COUNT(StatesGenerated);
         outstanding.fetch_add(1, std::memory_order_relaxed);
         queues[next_queue % threads].q.push_back({r.id, s});
@@ -73,6 +81,7 @@ ExploreResult explore(const std::vector<State>& init_states,
     }
   }
 
+  run::RunBudget* const budget = opts.budget;
   auto worker = [&](unsigned me) {
     OPENTLA_OBS_SPAN("par.worker");
     std::vector<Expanded>& mine = records[me];
@@ -85,6 +94,10 @@ ExploreResult explore(const std::vector<State>& init_states,
     } exit_sample{expanded_here};
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
+      if (budget != nullptr && budget->should_stop()) {
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
 
       // Own deque first (LIFO keeps the working set warm), then steal
       // FIFO from peers, oldest work first.
@@ -178,27 +191,47 @@ ExploreResult explore(const std::vector<State>& init_states,
   OPENTLA_OBS_COUNT_N(ParShardContention, seen.contended_locks());
 
   if (error) std::rethrow_exception(error);
-  if (overflow.load()) throw std::runtime_error("StateGraph: state limit exceeded");
+
+  // Resolve why phase 1 ended. The budget's latch wins (its first-breach
+  // reason is authoritative); a local overflow without a budget object
+  // still reports the state budget.
+  run::StopReason stop = run::StopReason::kCompleted;
+  if (overflow.load(std::memory_order_relaxed)) stop = run::StopReason::kStateBudget;
+  if (budget != nullptr) {
+    if (stop != run::StopReason::kCompleted) budget->request_stop(stop);
+    if (budget->stopped()) stop = budget->reason();
+  }
 
   // --- Phase 2: canonical renumbering (serial). ---
   OPENTLA_OBS_SPAN("par.renumber");
   const std::size_t n = seen.size();
   std::vector<State> state_of(n);
   std::vector<std::vector<StateId>> raw_of(n);
+  std::vector<char> expanded(n, 0);
   for (std::vector<Expanded>& recs : records) {
     for (Expanded& r : recs) {
       state_of[r.pid] = std::move(r.state);
       raw_of[r.pid] = std::move(r.raw);
+      expanded[r.pid] = 1;
     }
+  }
+  // On a graceful stop, discovered-but-unexpanded states are still parked
+  // in the work deques; their State lives nowhere else, so drain them.
+  // (On a completed run the deques are empty and this is a no-op.)
+  for (WorkQueue& wq : queues) {
+    for (WorkItem& w : wq.q) state_of[w.pid] = std::move(w.state);
   }
 
   // Replay the serial BFS's id assignment: initial states in seeding
   // order, then each state's emissions in order, FIFO. `order[c]` is the
-  // provisional id that receives canonical id c.
+  // provisional id that receives canonical id c. States past the budget
+  // (pid >= max_states) are skipped everywhere: the canonical graph holds
+  // exactly the states the serial engine would keep at the same bound.
   std::vector<StateId> canon(n, StateStore::kNone);
   std::vector<StateId> order;
   order.reserve(n);
   for (StateId pid : init_pids) {
+    if (static_cast<std::size_t>(pid) >= opts.max_states) continue;
     if (canon[pid] == StateStore::kNone) {
       canon[pid] = static_cast<StateId>(order.size());
       order.push_back(pid);
@@ -206,6 +239,7 @@ ExploreResult explore(const std::vector<State>& init_states,
   }
   for (std::size_t head = 0; head < order.size(); ++head) {
     for (StateId t : raw_of[order[head]]) {
+      if (static_cast<std::size_t>(t) >= opts.max_states) continue;
       if (canon[t] == StateStore::kNone) {
         canon[t] = static_cast<StateId>(order.size());
         order.push_back(t);
@@ -214,27 +248,42 @@ ExploreResult explore(const std::vector<State>& init_states,
   }
 
   ExploreResult res;
-  res.adjacency.resize(n);
-  for (StateId c = 0; c < n; ++c) res.store.intern(state_of[order[c]]);
-  for (StateId c = 0; c < n; ++c) {
+  res.stop_reason = stop;
+  const std::size_t kept = order.size();
+  res.adjacency.resize(kept);
+  for (std::size_t c = 0; c < kept; ++c) res.store.intern(state_of[order[c]]);
+  for (std::size_t c = 0; c < kept; ++c) {
+    const StateId pid = order[c];
     std::vector<StateId> out;
-    out.reserve(raw_of[order[c]].size() + 1);
-    for (StateId t : raw_of[order[c]]) out.push_back(canon[t]);
-    if (opts.add_self_loops) out.push_back(c);
+    out.reserve(raw_of[pid].size() + 1);
+    for (StateId t : raw_of[pid]) {
+      // canon is kNone for budget-dropped targets; their edges go with them.
+      if (canon[t] != StateStore::kNone) out.push_back(canon[t]);
+    }
+    // The stuttering self-loop marks an *expanded* node; an unexpanded
+    // frontier survivor of a partial run keeps an empty adjacency, exactly
+    // like the serial engine's unexpanded frontier. On completed runs every
+    // kept node is expanded, so this is the historical behavior.
+    if (opts.add_self_loops && expanded[pid]) out.push_back(static_cast<StateId>(c));
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
-    // Same fanout definition as the serial engine (final deduped
-    // out-degree), so the histogram matches it bit for bit.
-    OPENTLA_OBS_HIST(SuccessorFanout, out.size());
+    if (expanded[pid]) {
+      // Same fanout definition as the serial engine (final deduped
+      // out-degree), so the histogram matches it bit for bit.
+      OPENTLA_OBS_HIST(SuccessorFanout, out.size());
+    }
     res.num_edges += out.size();
     res.adjacency[c] = std::move(out);
   }
   res.init.reserve(init_pids.size());
-  for (StateId pid : init_pids) res.init.push_back(canon[pid]);
+  for (StateId pid : init_pids) {
+    if (static_cast<std::size_t>(pid) >= opts.max_states) continue;
+    res.init.push_back(canon[pid]);
+  }
   std::sort(res.init.begin(), res.init.end());
   res.init.erase(std::unique(res.init.begin(), res.init.end()), res.init.end());
 
-  OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, n);
+  OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, kept);
   return res;
 }
 

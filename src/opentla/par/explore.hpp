@@ -32,17 +32,22 @@ namespace opentla::par {
 
 /// The canonical exploration result a StateGraph adopts: states interned
 /// in serial-BFS order, adjacency sorted per node, initial ids sorted.
+/// stop_reason != kCompleted marks a graceful partial result (the state
+/// budget, a deadline, the RSS ceiling, or a stop signal cut it short).
 struct ExploreResult {
   StateStore store;
   std::vector<StateId> init;
   std::vector<std::vector<StateId>> adjacency;
   std::size_t num_edges = 0;
+  run::StopReason stop_reason = run::StopReason::kCompleted;
 };
 
 /// Explores with `threads` workers (must be >= 1; callers resolve 0 to
-/// hardware concurrency first). Throws std::runtime_error when more than
-/// opts.max_states states are reached, and rethrows the first exception a
-/// successor provider raises on any worker.
+/// hardware concurrency first). Reaching opts.max_states, or a breach of
+/// opts.budget, stops gracefully with the partial graph and a stop reason;
+/// the state count at a state-budget stop equals the serial engine's at
+/// the same bound. Rethrows the first exception a successor provider
+/// raises on any worker.
 ExploreResult explore(const std::vector<State>& init_states,
                       const StateGraph::SuccessorFn& succ, const ExploreOptions& opts,
                       unsigned threads);

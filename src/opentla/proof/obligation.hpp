@@ -18,6 +18,11 @@ struct Obligation {
   bool discharged = false;
   std::string method;  // "product-inclusion", "refinement-mapping", "prop1-syntactic", ...
   std::string detail;  // stats, or a rendered counterexample on failure
+  /// Not discharged, but not refuted either: the run budget stopped the
+  /// check before it finished (or before it started). Distinguishes "the
+  /// theorem failed" from "the run ran out" — the CLI maps the former to
+  /// exit 1 and the latter to the budget exit code.
+  bool inconclusive = false;
   double millis = 0.0;
 
   explicit operator bool() const { return discharged; }

@@ -26,14 +26,21 @@ std::string ProofReport::to_string() const {
   std::ostringstream os;
   os << "THEOREM " << theorem << "\n";
   for (const Obligation& ob : obligations) {
-    os << "  [" << (ob.discharged ? "ok" : "FAILED") << "] " << ob.id << ": "
-       << ob.description << "\n";
+    os << "  [" << (ob.discharged ? "ok" : (ob.inconclusive ? "?budget" : "FAILED")) << "] "
+       << ob.id << ": " << ob.description << "\n";
     os << "        method: " << ob.method;
     if (ob.millis > 0) os << "  (" << ob.millis << " ms)";
     os << "\n";
     if (!ob.detail.empty()) os << "        " << ob.detail << "\n";
   }
-  os << (all_discharged() ? "  Q.E.D." : "  NOT PROVED") << "\n";
+  bool refuted = false;
+  for (const Obligation& ob : obligations) {
+    if (!ob.discharged && !ob.inconclusive) refuted = true;
+  }
+  os << (all_discharged() ? "  Q.E.D."
+         : refuted        ? "  NOT PROVED"
+                          : "  NOT PROVED (run budget stopped the proof)")
+     << "\n";
   return os.str();
 }
 

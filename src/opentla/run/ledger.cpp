@@ -1,0 +1,48 @@
+#include "opentla/run/ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "opentla/obs/obs.hpp"
+
+namespace opentla::run {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool append_run_ledger(const std::string& path, const RunRecord& rec) {
+  std::string line = "{\"schema\": \"opentla-run-ledger-v1\"";
+  line += ", \"command\": \"" + obs::json_escape(rec.command) + "\"";
+  line += ", \"spec_hash\": \"" + obs::json_escape(rec.spec_hash) + "\"";
+  line += ", \"options\": \"" + obs::json_escape(rec.options) + "\"";
+  line += ", \"stop_reason\": \"" + obs::json_escape(rec.stop_reason) + "\"";
+  line += ", \"exit_code\": " + std::to_string(rec.exit_code);
+  line += ", \"states\": " + std::to_string(rec.states);
+  line += ", \"budget_stops\": " + std::to_string(rec.budget_stops);
+  line += ", \"elapsed_us\": " + std::to_string(rec.elapsed_us);
+  line += ", \"peak_rss_bytes\": " + std::to_string(rec.peak_rss_bytes);
+  line += "}\n";
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t w = ::write(fd, line.data() + off, line.size() - off);
+    if (w <= 0) {
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace opentla::run

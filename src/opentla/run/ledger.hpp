@@ -1,0 +1,41 @@
+// opentla/run/ledger.hpp
+//
+// The run ledger: one crash-safe JSONL line appended per tlacheck run,
+// recording what was checked (a content hash of the input specs), how
+// (the option string), how it ended (stop reason + exit code), and the
+// final headline counters. A fleet of runs accumulates an auditable
+// trajectory; the line schema is pinned in tools/ledger_schema.json.
+// Crash safety: the line is built fully in memory and written with a
+// single O_APPEND write, so a run killed mid-append corrupts at most its
+// own line, never a neighbor's.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace opentla::run {
+
+/// FNV-1a 64-bit over `n` bytes, chainable via `seed` (pass the previous
+/// hash to fold several files into one spec hash).
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t seed = 14695981039346656037ULL);
+
+struct RunRecord {
+  std::string command;         // tlacheck subcommand
+  std::string spec_hash;       // hex FNV-1a 64 of all input file contents
+  std::string options;         // canonicalized flag string
+  std::string stop_reason;     // run::to_string(StopReason)
+  int exit_code = 0;
+  std::uint64_t states = 0;           // Counter::StatesGenerated at exit
+  std::uint64_t budget_stops = 0;     // Counter::BudgetStops at exit
+  std::uint64_t elapsed_us = 0;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+/// Appends `rec` to `path` as one JSONL line. Returns false on I/O
+/// failure (callers warn; a failed ledger append never fails the run).
+bool append_run_ledger(const std::string& path, const RunRecord& rec);
+
+}  // namespace opentla::run

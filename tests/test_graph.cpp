@@ -66,13 +66,14 @@ TEST_F(CounterGraphTest, ShortestPath) {
   EXPECT_EQ(g.state(path[3])[x].as_int(), 3);
 }
 
-TEST_F(CounterGraphTest, StateLimitThrows) {
+TEST_F(CounterGraphTest, StateLimitStopsGracefully) {
   ActionSuccessors gen(vars, ex::lor(up, wrap));
   auto succ = [&gen](const State& s, const std::function<void(const State&)>& emit) {
     gen.for_each_successor(s, emit);
   };
-  EXPECT_THROW(StateGraph(vars, {State({Value::integer(0)})}, succ, true, /*max_states=*/2),
-               std::runtime_error);
+  StateGraph g(vars, {State({Value::integer(0)})}, succ, true, /*max_states=*/2);
+  EXPECT_EQ(g.num_states(), 2u);
+  EXPECT_EQ(g.stop_reason(), run::StopReason::kStateBudget);
 }
 
 TEST_F(CounterGraphTest, SccOfCycleIsOneComponent) {

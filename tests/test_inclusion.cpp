@@ -195,14 +195,18 @@ TEST_F(InclusionTest, FreezeMachineAgreesWithExplicitFreezeSpec) {
   EXPECT_EQ(semantic, (std::vector<bool>{false, true, true}));
 }
 
-TEST_F(InclusionTest, NodeLimitThrows) {
+TEST_F(InclusionTest, NodeLimitStopsGracefully) {
   CanonicalSpec sx = stepper(x, "SX");
   std::vector<std::shared_ptr<const SafetyMachine>> constraints = {
       std::make_shared<PrefixMachine>(vars, sx)};
   std::vector<Mover> movers = {mover_from_spec(vars, sx, 0, {y})};
-  EXPECT_THROW(ConstraintExplorer(vars, constraints, movers, sx.init, {y},
-                                  /*max_nodes=*/1),
-               std::runtime_error);
+  ConstraintExplorer explorer(vars, constraints, movers, sx.init, {y},
+                              /*max_nodes=*/1);
+  EXPECT_EQ(explorer.num_nodes(), 1u);
+  EXPECT_EQ(explorer.stop_reason(), run::StopReason::kStateBudget);
+  // A verdict computed on the capped product is marked partial.
+  auto verdict = explorer.check_target(*constraints[0]);
+  EXPECT_EQ(verdict.stop_reason, run::StopReason::kStateBudget);
 }
 
 }  // namespace

@@ -191,13 +191,15 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"completions_pruned\": 0,\n"
       "    \"residual_early_cuts\": 0,\n"
       "    \"analysis_pairs_independent\": 0,\n"
-      "    \"analysis_pairs_dependent\": 0\n"
+      "    \"analysis_pairs_dependent\": 0,\n"
+      "    \"budget_stops\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"peak_configuration_count\": 0,\n"
       "    \"peak_graph_states\": 7,\n"
       "    \"peak_product_nodes\": 0,\n"
-      "    \"peak_par_workers\": 0\n"
+      "    \"peak_par_workers\": 0,\n"
+      "    \"peak_rss_bytes\": 0\n"
       "  },\n"
       "  \"levels\": {\n"
       "    \"frontier_size\": 0\n"

@@ -105,15 +105,18 @@ TEST(ParallelExplore, DoubleQueueCompositionIdenticalAcrossThreadCounts) {
 
 // --- Edge cases the serial engine defines. ---
 
-TEST(ParallelExplore, MaxStatesOverflowThrowsUnderContention) {
-  // 130 reachable states, capped at 40: every thread count must observe
-  // the limit and throw the serial engine's exact error.
+TEST(ParallelExplore, MaxStatesOverflowStopsAtSameCountUnderContention) {
+  // 130 reachable states, capped at 40: every thread count must stop
+  // gracefully at exactly the cap with StopReason::kStateBudget — the
+  // unified budget semantics (serial used to throw, parallel used to
+  // truncate silently).
   ChannelSpace space(64);
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
-    EXPECT_THROW(StateGraph(space.vars, {space.init}, space.succ(),
-                            with_threads(threads, /*max_states=*/40)),
-                 std::runtime_error);
+    StateGraph g(space.vars, {space.init}, space.succ(),
+                 with_threads(threads, /*max_states=*/40));
+    EXPECT_EQ(g.num_states(), 40u);
+    EXPECT_EQ(g.stop_reason(), run::StopReason::kStateBudget);
   }
 }
 

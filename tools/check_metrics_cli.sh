@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end check of the embedded metrics endpoint (ISSUE: obs v3):
+#
+#   1. during a live fig9 `tlacheck compose --serve-metrics 0` run
+#      (ephemeral port, read back from the [serve] stderr line, held open
+#      past the verdict by --serve-hold-ms), GET /metrics answers with the
+#      OpenMetrics content-type, parseable `opentla_*` samples, and the
+#      `# EOF` terminator;
+#   2. GET /progress on the same run answers one JSON object with the
+#      heartbeat fields plus the peak_rss_bytes high-water gauge;
+#   3. unknown paths answer 404 and the run still exits 0;
+#   4. in --obs-off mode (binary built with -DOPENTLA_OBS=OFF),
+#      --serve-metrics is rejected with exit 2 and a clear message —
+#      steps 1-3 are replaced by this probe.
+#
+# Usage: tools/check_metrics_cli.sh <tlacheck-binary> [--obs-off]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+tlacheck="$(readlink -f "${1:?usage: check_metrics_cli.sh <tlacheck-binary> [--obs-off]}")"
+obs_off=0
+[ "${2:-}" = "--obs-off" ] && obs_off=1
+specs="${repo_root}/specs"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+fail() {
+  echo "check_metrics_cli: FAIL: $*" >&2
+  exit 1
+}
+
+command -v curl >/dev/null || fail "curl not available"
+
+if [ "$obs_off" -eq 1 ]; then
+  rc=0
+  "$tlacheck" states "$specs/counter.tla" --serve-metrics 0 >/dev/null 2>err.txt || rc=$?
+  [ "$rc" -eq 2 ] || fail "obs-off: --serve-metrics expected exit 2, got $rc"
+  grep -q "OPENTLA_OBS=ON" err.txt || fail "obs-off: error message lacks the hint"
+  echo "check_metrics_cli: PASS (obs-off)"
+  exit 0
+fi
+
+# --- Launch a fig9 run that keeps serving for a scrape window. ---
+
+"$tlacheck" compose \
+  --constraint "$specs/ag_queue/g.tla" \
+  --component "$specs/ag_queue/qe1.tla,$specs/ag_queue/qm1.tla" \
+  --component "$specs/ag_queue/qe2.tla,$specs/ag_queue/qm2.tla" \
+  --goal "$specs/ag_queue/qedbl.tla,$specs/ag_queue/qmdbl.tla" \
+  --witness 'q=q2 \o (IF z.sig # z.ack THEN <<z.val>> ELSE <<>>) \o q1' \
+  --serve-metrics 0 --serve-hold-ms 8000 \
+  > run_out.txt 2> run_err.txt &
+pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's#.*\[serve\] http://127\.0\.0\.1:\([0-9]*\).*#\1#p' run_err.txt | head -1)"
+  [ -n "$port" ] && break
+  kill -0 "$pid" 2>/dev/null || fail "run died before announcing a port: $(cat run_err.txt)"
+  sleep 0.1
+done
+[ -n "$port" ] || fail "no [serve] port line on stderr: $(cat run_err.txt)"
+echo "ok: server announced port $port"
+
+# --- 1. /metrics: content-type, parseable samples, # EOF terminator. ---
+
+curl -sS -D headers.txt "http://127.0.0.1:$port/metrics" -o metrics.txt \
+  || fail "curl /metrics failed"
+grep -qi '^content-type: application/openmetrics-text' headers.txt \
+  || fail "/metrics content-type wrong: $(cat headers.txt)"
+python3 - metrics.txt <<'PY'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty exposition"
+assert lines[-1] == "# EOF", f"missing # EOF terminator, got {lines[-1]!r}"
+samples = 0
+for line in lines:
+    if not line or line.startswith("#"):
+        assert not line or re.match(r"^# (TYPE|HELP|UNIT|EOF)", line), line
+        continue
+    m = re.fullmatch(r"(opentla_[a-z0-9_]+)(\{[^}]*\})? ([0-9.eE+-]+)", line)
+    assert m, f"unparseable sample line: {line!r}"
+    samples += 1
+assert samples > 0, "no samples"
+assert any(l.startswith("opentla_peak_rss_bytes ") for l in lines), \
+    "peak_rss_bytes gauge missing from the exposition"
+print(f"metrics.txt: ok ({samples} samples)")
+PY
+echo "ok: /metrics is OpenMetrics with peak_rss_bytes"
+
+# --- 2. /progress: one JSON heartbeat object. ---
+
+curl -sS "http://127.0.0.1:$port/progress" -o progress.json \
+  || fail "curl /progress failed"
+python3 - progress.json <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+for key in ("have_sample", "seq", "final", "ts_us", "elapsed_us", "states",
+            "frontier", "states_per_sec", "rss_bytes", "peak_rss_bytes"):
+    assert key in data, f"/progress missing {key}: {data}"
+assert data["have_sample"] is True, data
+assert data["peak_rss_bytes"] >= data["rss_bytes"] >= 0, data
+print("progress.json: ok")
+PY
+echo "ok: /progress is a live JSON heartbeat"
+
+# --- 3. Unknown paths 404; the run exits 0. ---
+
+status="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$port/nope")"
+[ "$status" = "404" ] || fail "/nope: expected 404, got $status"
+
+rc=0
+wait "$pid" || rc=$?
+[ "$rc" -eq 0 ] || fail "served fig9 run: expected exit 0, got $rc ($(cat run_err.txt))"
+grep -q "Q.E.D." run_out.txt || fail "served run did not prove the theorem"
+echo "ok: 404 on unknown paths, run exits 0"
+
+echo "check_metrics_cli: PASS"

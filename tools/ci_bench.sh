@@ -118,7 +118,11 @@ PY
 }
 
 run_config() {
-  # run_config <build-dir> <extra cmake flags...>
+  # run_config <build-dir> <extra cmake flags...>. With record_history=1
+  # (the regular configuration only — sanitized timings would skew the
+  # series), every run is also appended to bench/history.jsonl via
+  # tools/bench_history.sh, which warns on a >20% wall-time regression
+  # against the previous entry.
   local dir="$1"
   shift
   cmake -B "$dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
@@ -136,13 +140,18 @@ run_config() {
     local name
     name="$(basename "$bench")"
     echo "== $name =="
-    (cd "$outdir" && "$bench" "$min_time" >/dev/null)
+    (cd "$outdir" && "$bench" "$min_time" \
+       "--benchmark_out=${name}.gbench.json" --benchmark_out_format=json \
+       >/dev/null)
     local json="$outdir/BENCH_${name}.json"
     if [ ! -f "$json" ]; then
       echo "error: $name did not write BENCH_${name}.json" >&2
       exit 1
     fi
     validate "$json"
+    if [ "${record_history:-0}" -eq 1 ]; then
+      "$repo_root/tools/bench_history.sh" "$json"
+    fi
   done
   if [ "$found" -eq 0 ]; then
     echo "error: no bench binaries found under $dir/bench" >&2
@@ -242,7 +251,9 @@ PY
 }
 
 echo "--- bench smoke: regular configuration ($build_dir) ---"
+record_history=1
 run_config "$build_dir"
+record_history=0
 
 echo "--- bench smoke: sanitized configuration ($san_dir) ---"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"

@@ -61,6 +61,17 @@
 // the explored graph, and so every verdict and counterexample, is
 // bit-identical for every N.
 //
+// Run budgets (work in every build, including OPENTLA_OBS=OFF): each
+// breach stops exploration gracefully, the run prints whatever partial
+// result it has plus a machine-readable `stop_reason: "..."` line, and
+// exits 3:
+//   --deadline-ms N     wall-clock budget for the whole run
+//   --rss-limit-mb N    resident-set ceiling (polled during exploration)
+//   --max-states N      state budget (serial and parallel runs stop at the
+//                       same state count; no longer an error)
+// A SIGINT/SIGTERM during a budgeted run requests the same graceful stop
+// (stop_reason: "interrupted").
+//
 // Live observability (require a build with OPENTLA_OBS=ON; an
 // -DOPENTLA_OBS=OFF binary rejects them with exit 2 instead of emitting
 // empty files):
@@ -72,6 +83,20 @@
 //                       progress samples; schema tools/events_schema.json)
 //   --metrics-out FILE  OpenMetrics/Prometheus text exposition of the
 //                       run's final counters/gauges/histograms
+//   --flight-recorder[=N]  bounded in-memory ring of the last N (default
+//                       4096) phase/progress/budget events, dumped as
+//                       JSONL (schema tools/flight_schema.json) on budget
+//                       breach, uncaught exception, or fatal signal
+//   --flight-out FILE   flight-recorder dump path (default
+//                       flight_recorder.jsonl)
+//   --serve-metrics PORT  embedded HTTP server on 127.0.0.1:PORT (0 =
+//                       ephemeral; the chosen port is printed to stderr):
+//                       GET /metrics (OpenMetrics), GET /progress (JSON)
+//   --serve-hold-ms MS  keep serving MS milliseconds after the verdict
+//                       (scrape window for tests/collectors)
+//   --run-ledger FILE   append one JSONL line per run: spec content hash,
+//                       options, stop reason, exit code, final counters
+//                       (schema tools/ledger_schema.json)
 //
 // Exit codes (uniform across subcommands; `profile` returns the wrapped
 // subcommand's code):
@@ -82,8 +107,13 @@
 //      violated; lint: any Error finding (or any finding with --werror);
 //      coverage: some action never fired
 //   2  usage error or unreadable/unparseable input
+//   3  a run budget stopped the run before a definite verdict: partial
+//      result printed with `stop_reason: "state_budget"|"deadline"|
+//      "memory"|"interrupted"` (a violation found before the stop still
+//      exits 1 — counterexamples on partial graphs are real)
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
@@ -92,6 +122,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "opentla/ag/composition_theorem.hpp"
@@ -104,9 +135,13 @@
 #include "opentla/graph/successor.hpp"
 #include "opentla/lint/checks.hpp"
 #include "opentla/obs/export.hpp"
+#include "opentla/obs/flight_recorder.hpp"
+#include "opentla/obs/metrics_server.hpp"
 #include "opentla/obs/obs.hpp"
 #include "opentla/obs/progress.hpp"
 #include "opentla/parser/parser.hpp"
+#include "opentla/run/budget.hpp"
+#include "opentla/run/ledger.hpp"
 
 using namespace opentla;
 
@@ -130,13 +165,22 @@ int usage() {
          "         --threads N (exploration workers; 1 = serial, 0 = hardware\n"
          "         concurrency; the graph is identical for every N)\n"
          "         --format json (info|states|lint|coverage)   --stats (any subcommand)\n"
+         "         --deadline-ms N   --rss-limit-mb N (run budgets: graceful stop,\n"
+         "         partial result with stop_reason, exit 3; work in every build)\n"
          "         --progress[=MS] (heartbeats on stderr)   --events FILE (JSONL)\n"
-         "         --metrics-out FILE (OpenMetrics; these three need OPENTLA_OBS=ON)\n"
+         "         --metrics-out FILE (OpenMetrics)\n"
+         "         --flight-recorder[=N] (crash/budget event ring; dump is JSONL)\n"
+         "         --flight-out FILE (dump path, default flight_recorder.jsonl)\n"
+         "         --serve-metrics PORT (live /metrics + /progress on 127.0.0.1)\n"
+         "         --serve-hold-ms MS (keep serving after the verdict)\n"
+         "         --run-ledger FILE (append one JSONL line per run)\n"
+         "         (the live-observability flags need OPENTLA_OBS=ON)\n"
          "exit codes (all subcommands; profile forwards the wrapped one's):\n"
          "  0  printed / property holds / lint clean\n"
          "  1  property violated (check, closure, deadlock, refine, leadsto,\n"
          "     compose) or lint errors (any finding with --werror)\n"
-         "  2  usage or input error\n";
+         "  2  usage or input error\n"
+         "  3  run budget stopped the run (partial result, stop_reason printed)\n";
   return 2;
 }
 
@@ -172,6 +216,15 @@ StateGraph explore(const ParsedModule& mod, const ExploreOptions& eopts) {
     free_tuples.push_back(env_free);
   }
   return build_composite_graph(*mod.vars, parts, free_tuples, {}, eopts);
+}
+
+/// Uniform partial-result trailer for budget-stopped runs. The
+/// `stop_reason: "..."` line is the machine-readable contract scripts and
+/// the budget tests grep for; the return value is the CLI exit code.
+int partial_result(run::StopReason r, std::size_t states) {
+  std::cout << "PARTIAL RESULT: run budget stopped exploration after " << states
+            << " states\nstop_reason: \"" << run::to_string(r) << "\"\n";
+  return run::kBudgetExitCode;
 }
 
 // JSON emission follows the lint renderer's conventions: compact objects,
@@ -219,10 +272,14 @@ int cmd_info(const ParsedModule& mod, const std::string& format) {
 int cmd_states(const ParsedModule& mod, bool dump, const ExploreOptions& eopts,
                const std::string& format) {
   StateGraph g = explore(mod, eopts);
+  const bool partial = g.stop_reason() != run::StopReason::kCompleted;
   if (format == "json") {
     std::cout << "{\n  \"module\": \"" << obs::json_escape(mod.name) << "\",\n"
               << "  \"states\": " << g.num_states() << ",\n  \"edges\": " << g.num_edges()
               << ",\n  \"initial\": " << g.initial().size();
+    if (partial) {
+      std::cout << ",\n  \"stop_reason\": \"" << run::to_string(g.stop_reason()) << "\"";
+    }
     if (dump) {
       std::cout << ",\n  \"state_list\": [";
       for (StateId s = 0; s < g.num_states(); ++s) {
@@ -233,7 +290,7 @@ int cmd_states(const ParsedModule& mod, bool dump, const ExploreOptions& eopts,
       std::cout << "]";
     }
     std::cout << "\n}\n";
-    return 0;
+    return partial ? run::kBudgetExitCode : 0;
   }
   std::cout << g.num_states() << " states, " << g.num_edges() << " edges, "
             << g.initial().size() << " initial\n";
@@ -242,6 +299,7 @@ int cmd_states(const ParsedModule& mod, bool dump, const ExploreOptions& eopts,
       std::cout << "  " << s << ": " << g.state(s).to_string(*mod.vars) << "\n";
     }
   }
+  if (partial) return partial_result(g.stop_reason(), g.num_states());
   return 0;
 }
 
@@ -254,12 +312,19 @@ int cmd_check(const ParsedModule& mod, const std::string& invariant_src,
                        : parse_expression(invariant_src, *mod.vars, &mod.definitions);
   StateGraph g = explore(mod, eopts);
   InvariantResult r = check_invariant(g, invariant);
-  if (r.holds) {
-    std::cout << "invariant holds over " << r.states_checked << " states\n";
-    return 0;
+  if (!r.holds) {
+    // A violation on a partial graph is still a real violation: every
+    // state in the graph is genuinely reachable.
+    std::cout << "INVARIANT VIOLATED:\n" << format_trace(*mod.vars, r.counterexample);
+    return 1;
   }
-  std::cout << "INVARIANT VIOLATED:\n" << format_trace(*mod.vars, r.counterexample);
-  return 1;
+  if (r.stop_reason != run::StopReason::kCompleted) {
+    std::cout << "invariant holds over the " << r.states_checked
+              << " states explored before the budget stop\n";
+    return partial_result(r.stop_reason, r.states_checked);
+  }
+  std::cout << "invariant holds over " << r.states_checked << " states\n";
+  return 0;
 }
 
 int cmd_closure(const ParsedModule& mod, const ExploreOptions& eopts) {
@@ -267,6 +332,14 @@ int cmd_closure(const ParsedModule& mod, const ExploreOptions& eopts) {
   std::cout << "Proposition 1 (syntactic): " << (syn ? "applies" : "does NOT apply") << " — "
             << syn.detail << "\n";
   StateGraph g = explore(mod, eopts);
+  if (g.stop_reason() != run::StopReason::kCompleted) {
+    // On-graph validation needs the complete graph (a missing successor
+    // would look like a closure failure), so a budget stop leaves it
+    // unevaluated; the syntactic refutation above still stands.
+    std::cout << "on-graph machine closure: not evaluated (run budget stop)\n";
+    if (!syn) return 1;
+    return partial_result(g.stop_reason(), g.num_states());
+  }
   MachineClosureResult sem = check_machine_closure_on_graph(g, mod.spec.unhidden());
   std::cout << "on-graph machine closure: " << (sem ? "confirmed" : "REFUTED") << " — "
             << sem.detail << "\n";
@@ -278,6 +351,11 @@ int cmd_deadlock(const ParsedModule& mod, const ExploreOptions& eopts) {
   // (stuttering); canonical specs always allow stuttering, so "no real
   // step" is the meaningful notion.
   StateGraph g = explore(mod, eopts);
+  if (g.stop_reason() != run::StopReason::kCompleted) {
+    // A budget-truncated graph can show spurious deadlocks (a state whose
+    // real successors were cut by the budget), so no verdict either way.
+    return partial_result(g.stop_reason(), g.num_states());
+  }
   for (StateId s = 0; s < g.num_states(); ++s) {
     const std::vector<StateId>& succ = g.successors(s);
     const bool stuck = succ.size() == 1 && succ[0] == s;
@@ -302,6 +380,11 @@ int cmd_refine(const ParsedModule& low, const ParsedModule& high,
     witnesses.emplace_back(name, parse_expression(src, *low.vars, &low.definitions));
   }
   StateGraph g = explore(low, eopts);
+  if (g.stop_reason() != run::StopReason::kCompleted) {
+    // Refinement (with its liveness side) is only sound on the complete
+    // low graph.
+    return partial_result(g.stop_reason(), g.num_states());
+  }
   RefinementMapping mapping = mapping_by_name(*low.vars, *high.vars, witnesses);
   RefinementResult r = check_refinement(g, low.spec.fairness, high.spec, mapping);
   if (r.holds) {
@@ -322,6 +405,11 @@ int cmd_leadsto(const ParsedModule& mod, const std::string& from_src,
   Expr p = parse_expression(from_src, *mod.vars, &mod.definitions);
   Expr q = parse_expression(to_src, *mod.vars, &mod.definitions);
   StateGraph g = explore(mod, eopts);
+  if (g.stop_reason() != run::StopReason::kCompleted) {
+    // Leads-to needs the complete graph: both a "holds" and a lasso
+    // counterexample depend on successors the budget may have cut.
+    return partial_result(g.stop_reason(), g.num_states());
+  }
   LeadsToResult r = check_leads_to(g, mod.spec.fairness, p, q);
   if (r.holds) {
     std::cout << from_src << "  ~>  " << to_src << "  holds over " << g.num_states()
@@ -338,6 +426,9 @@ int cmd_leadsto(const ParsedModule& mod, const std::string& from_src,
 int cmd_simulate(const ParsedModule& mod, std::size_t steps, unsigned seed,
                  const ExploreOptions& eopts) {
   StateGraph g = explore(mod, eopts);
+  if (g.stop_reason() != run::StopReason::kCompleted) {
+    return partial_result(g.stop_reason(), g.num_states());
+  }
   std::mt19937 rng(seed);
   StateId cur = g.initial()[std::uniform_int_distribution<std::size_t>(
       0, g.initial().size() - 1)(rng)];
@@ -448,6 +539,11 @@ int cmd_coverage(const ParsedModule& mod, const std::string& format,
       std::cout << "action " << name << " never fired in the explored space\n";
     }
   }
+  if (g.stop_reason() != run::StopReason::kCompleted) {
+    // The tallies above cover the explored prefix; "never fired" over a
+    // truncated space is inconclusive, so the budget exit wins.
+    return partial_result(g.stop_reason(), g.num_states());
+  }
   return never_fired.empty() ? 0 : 1;
 }
 
@@ -455,7 +551,7 @@ int cmd_compose(const std::vector<std::pair<std::string, std::string>>& componen
                 const std::vector<std::string>& constraint_files,
                 const std::pair<std::string, std::string>& goal_files,
                 const std::vector<std::pair<std::string, std::string>>& witness_srcs,
-                std::size_t max_states, unsigned threads) {
+                std::size_t max_states, unsigned threads, run::RunBudget* budget) {
   // All modules share one universe, merged by variable name.
   auto universe = std::make_shared<VarTable>();
   std::vector<AGSpec> components;
@@ -476,12 +572,22 @@ int cmd_compose(const std::vector<std::pair<std::string, std::string>>& componen
   opts.max_states = max_states;
   opts.max_nodes = max_states;
   opts.threads = threads;
+  opts.budget = budget;
   for (const auto& [name, src] : witness_srcs) {
     opts.goal_witness.emplace_back(name, parse_expression(src, *universe));
   }
   ProofReport report = verify_composition(*universe, components, goal, opts);
   std::cout << report.to_string();
-  return report.all_discharged() ? 0 : 1;
+  if (report.all_discharged()) return 0;
+  // A definitively refuted hypothesis beats any budget noise; only a run
+  // where every undischarged obligation is inconclusive exits as partial.
+  for (const Obligation& ob : report.obligations) {
+    if (!ob.discharged && !ob.inconclusive) return 1;
+  }
+  const run::StopReason reason =
+      budget != nullptr && budget->stopped() ? budget->reason() : run::StopReason::kDeadline;
+  std::cout << "stop_reason: \"" << run::to_string(reason) << "\"\n";
+  return run::kBudgetExitCode;
 }
 
 int cmd_lint(const std::vector<std::string>& files, const std::string& format, bool werror,
@@ -679,6 +785,7 @@ int cmd_analyze(const std::vector<std::string>& files, const std::string& format
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto run_start = std::chrono::steady_clock::now();
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.size() < 2) return usage();
   std::string cmd = args[0];
@@ -707,6 +814,13 @@ int main(int argc, char** argv) {
   long progress_ms = -1;  // <0 = off
   std::string events_file;
   std::string metrics_file;
+  long deadline_ms = -1;   // <0 = off
+  long rss_limit_mb = -1;  // <0 = off
+  long flight_cap = -1;    // <0 = off
+  std::string flight_out = "flight_recorder.jsonl";
+  int serve_port = -1;  // <0 = off (0 = ephemeral)
+  long serve_hold_ms = 0;
+  std::string ledger_file;
   bool werror = false;
   bool want_independence = false;
   bool want_footprints = false;
@@ -758,6 +872,27 @@ int main(int argc, char** argv) {
       events_file = args[++i];
     } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
       metrics_file = args[++i];
+    } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
+      deadline_ms = std::stol(args[++i]);
+      if (deadline_ms <= 0) return usage();
+    } else if (args[i] == "--rss-limit-mb" && i + 1 < args.size()) {
+      rss_limit_mb = std::stol(args[++i]);
+      if (rss_limit_mb <= 0) return usage();
+    } else if (args[i] == "--flight-recorder") {
+      flight_cap = 4096;
+    } else if (args[i].rfind("--flight-recorder=", 0) == 0) {
+      flight_cap = std::stol(args[i].substr(std::string("--flight-recorder=").size()));
+      if (flight_cap <= 0) return usage();
+    } else if (args[i] == "--flight-out" && i + 1 < args.size()) {
+      flight_out = args[++i];
+    } else if (args[i] == "--serve-metrics" && i + 1 < args.size()) {
+      serve_port = std::stoi(args[++i]);
+      if (serve_port < 0 || serve_port > 65535) return usage();
+    } else if (args[i] == "--serve-hold-ms" && i + 1 < args.size()) {
+      serve_hold_ms = std::stol(args[++i]);
+      if (serve_hold_ms < 0) return usage();
+    } else if (args[i] == "--run-ledger" && i + 1 < args.size()) {
+      ledger_file = args[++i];
     } else if (args[i] == "--stats") {
       stats = true;
     } else if (args[i] == "--werror") {
@@ -794,11 +929,30 @@ int main(int argc, char** argv) {
     eopts.threads = threads;
     eopts.max_states = max_states;
 
+    // Run budget: armed by any limit flag. The flight recorder arms it too
+    // (signal watch only) so SIGINT/SIGTERM end in a dump plus a graceful
+    // partial result instead of the default fatal exit, and a ledger run
+    // gets a limit-free budget so max_states stops latch a reason the
+    // ledger can record. Budget flags work in OPENTLA_OBS=OFF builds —
+    // limits are a correctness feature, not an observability one.
+    const bool want_limits = deadline_ms >= 0 || rss_limit_mb >= 0 || flight_cap >= 0;
+    std::unique_ptr<run::RunBudget> budget;
+    if (want_limits || !ledger_file.empty()) {
+      run::BudgetLimits limits;
+      if (deadline_ms >= 0) limits.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+      if (rss_limit_mb >= 0) {
+        limits.max_rss_bytes = static_cast<std::uint64_t>(rss_limit_mb) * 1024 * 1024;
+      }
+      limits.watch_signals = want_limits;
+      budget = std::make_unique<run::RunBudget>(limits);
+      eopts.budget = budget.get();
+    }
+
     auto dispatch = [&]() -> int {
       if (cmd == "compose") {
         if (goal_files.first.empty() || component_files.empty()) return usage();
         return cmd_compose(component_files, constraint_files, goal_files, witnesses,
-                           max_states, threads);
+                           max_states, threads, budget.get());
       }
       if (cmd == "lint") {
         if (files.empty()) return usage();
@@ -833,10 +987,12 @@ int main(int argc, char** argv) {
     // Live observability flags need the instrumentation compiled in; an
     // OPENTLA_OBS=OFF binary would silently record nothing, so reject the
     // flags outright instead of emitting empty files.
-    const bool live_obs = progress_ms >= 0 || !events_file.empty() || !metrics_file.empty();
+    const bool live_obs = progress_ms >= 0 || !events_file.empty() || !metrics_file.empty() ||
+                          flight_cap >= 0 || serve_port >= 0 || !ledger_file.empty();
     if (live_obs && !obs::compile_time_enabled()) {
-      std::cerr << "error: --progress/--events/--metrics-out require a build with "
-                   "OPENTLA_OBS=ON (this binary was configured with -DOPENTLA_OBS=OFF)\n";
+      std::cerr << "error: --progress/--events/--metrics-out/--flight-recorder/"
+                   "--serve-metrics/--run-ledger require a build with OPENTLA_OBS=ON "
+                   "(this binary was configured with -DOPENTLA_OBS=OFF)\n";
       return 2;
     }
 
@@ -860,31 +1016,114 @@ int main(int argc, char** argv) {
     } sink_guard{events != nullptr};
 
     if (live_obs) obs::set_enabled(true);
+
+    if (flight_cap >= 0) {
+      obs::flight_recorder_enable(static_cast<std::size_t>(flight_cap), flight_out);
+    }
+
+    std::unique_ptr<obs::MetricsServer> server;
+    if (serve_port >= 0) {
+      server = std::make_unique<obs::MetricsServer>(static_cast<std::uint16_t>(serve_port));
+      if (!server->ok()) {
+        std::cerr << "error: cannot bind 127.0.0.1:" << serve_port << "\n";
+        return 2;
+      }
+      std::cerr << "[serve] http://127.0.0.1:" << server->port()
+                << " (/metrics, /progress)\n";
+    }
+
+    // The recorder and the /progress endpoint need heartbeats even when the
+    // user didn't ask for a console progress line: run a silent sampler.
     std::unique_ptr<obs::ProgressSampler> sampler;
-    if (progress_ms >= 0) {
+    const bool verbose_progress = progress_ms >= 0;
+    if (verbose_progress || server != nullptr || flight_cap >= 0) {
+      const long period_ms = verbose_progress ? progress_ms : 100;
       sampler = std::make_unique<obs::ProgressSampler>(
-          std::chrono::milliseconds(progress_ms),
-          [ev = events.get()](const obs::ProgressSample& s) {
-            std::fprintf(stderr,
-                         "[progress] t=%.2fs states=%llu frontier=%llu rate=%.0f/s "
-                         "rss=%.1fMB\n",
-                         static_cast<double>(s.elapsed_us) / 1e6,
-                         static_cast<unsigned long long>(s.states),
-                         static_cast<unsigned long long>(s.frontier), s.states_per_sec,
-                         static_cast<double>(s.rss_bytes) / (1024.0 * 1024.0));
-            std::fflush(stderr);
+          std::chrono::milliseconds(period_ms),
+          [ev = events.get(), srv = server.get(),
+           verbose_progress](const obs::ProgressSample& s) {
+            if (verbose_progress) {
+              std::fprintf(stderr,
+                           "[progress] t=%.2fs states=%llu frontier=%llu rate=%.0f/s "
+                           "rss=%.1fMB\n",
+                           static_cast<double>(s.elapsed_us) / 1e6,
+                           static_cast<unsigned long long>(s.states),
+                           static_cast<unsigned long long>(s.frontier), s.states_per_sec,
+                           static_cast<double>(s.rss_bytes) / (1024.0 * 1024.0));
+              std::fflush(stderr);
+            }
             if (ev) ev->write_progress(s);
+            if (srv) srv->set_progress(s);
+            if (obs::flight_recorder_enabled()) {
+              obs::flight_recorder_record(obs::FlightKind::kProgress, "", s.states,
+                                          s.frontier, s.rss_bytes);
+            }
           });
     }
 
     auto finish = [&](int rc) {
       if (sampler) sampler->stop();
+      obs::gauge_max(obs::Gauge::PeakRssBytes, obs::read_rss_bytes());
+      if (budget != nullptr && budget->stopped()) {
+        // A budget-stopped run never exits 0: "success" on a partial graph
+        // is not a verdict. Definite failures (rc 1) keep their exit code.
+        if (rc == 0) rc = run::kBudgetExitCode;
+        if (obs::flight_recorder_enabled()) {
+          const std::size_t n = obs::flight_recorder_dump("budget_stop");
+          std::cerr << "[flight-recorder] wrote " << n << " events to " << flight_out
+                    << "\n";
+        }
+      }
       if (!metrics_file.empty()) {
         std::ofstream out(metrics_file);
         out << obs::render_openmetrics(obs::snapshot());
         if (!out) {
           std::cerr << "error: cannot write " << metrics_file << "\n";
           return 2;
+        }
+      }
+      if (server) {
+        if (serve_hold_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(serve_hold_ms));
+        }
+        server->stop();
+      }
+      if (!ledger_file.empty()) {
+        run::RunRecord rec;
+        rec.command = cmd;
+        std::uint64_t h = run::fnv1a64(nullptr, 0);
+        auto fold = [&h](const std::string& path) {
+          try {
+            const std::string text = slurp(path);
+            h = run::fnv1a64(text.data(), text.size(), h);
+          } catch (const std::exception&) {
+            // Unreadable inputs already failed the run; the ledger still
+            // records the attempt.
+          }
+        };
+        for (const std::string& f : files) fold(f);
+        for (const auto& [env, guar] : component_files) fold(env), fold(guar);
+        for (const std::string& f : constraint_files) fold(f);
+        if (!goal_files.first.empty()) fold(goal_files.first), fold(goal_files.second);
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));
+        rec.spec_hash = hex;
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          if (i != 0) rec.options += ' ';
+          rec.options += args[i];
+        }
+        rec.stop_reason =
+            run::to_string(budget != nullptr ? budget->reason() : run::StopReason::kCompleted);
+        rec.exit_code = rc;
+        rec.states = obs::counter_value(obs::Counter::StatesGenerated);
+        rec.budget_stops = obs::counter_value(obs::Counter::BudgetStops);
+        rec.elapsed_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - run_start)
+                .count());
+        rec.peak_rss_bytes = obs::gauge_value(obs::Gauge::PeakRssBytes);
+        if (!run::append_run_ledger(ledger_file, rec)) {
+          std::cerr << "warning: cannot append run ledger " << ledger_file << "\n";
         }
       }
       return rc;
@@ -915,6 +1154,7 @@ int main(int argc, char** argv) {
     return finish(rc);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    if (obs::flight_recorder_enabled()) obs::flight_recorder_dump("exception");
     return 2;
   }
 }
