@@ -5,6 +5,7 @@
 #include "opentla/compose/compose.hpp"
 #include "opentla/expr/eval.hpp"
 #include "opentla/obs/obs.hpp"
+#include "opentla/vm/interp.hpp"
 
 namespace opentla {
 
@@ -14,8 +15,16 @@ InvariantResult check_invariant(const StateGraph& g, const Expr& invariant) {
   result.states_checked = g.num_states();
   result.stop_reason = g.stop_reason();
   std::vector<signed char> bad(g.num_states(), -1);
+  // The invariant is lowered once and evaluated per state through the VM
+  // (or the tree, under the vm::set_tree_eval_for_test switch).
+  const vm::CompiledExpr inv(invariant);
+  vm::VmContext ctx;
+  ctx.vars = &g.vars();
   auto is_bad = [&](StateId s) {
-    if (bad[s] < 0) bad[s] = eval_pred(invariant, g.vars(), g.state(s)) ? 0 : 1;
+    if (bad[s] < 0) {
+      ctx.current = &g.state(s);
+      bad[s] = inv.eval_bool(ctx) ? 0 : 1;
+    }
     return bad[s] == 1;
   };
   std::vector<StateId> path = g.shortest_path_to(is_bad);

@@ -30,6 +30,18 @@ struct NextRestore {
 };
 }  // namespace
 
+// Pinned evaluation-order contract (shared with opentla/vm/):
+//
+// Operands of every binary operator are evaluated LEFT TO RIGHT, and the
+// n-ary connectives And / Or short-circuit in child order. This matters
+// only when evaluation can throw: which eval error a spec surfaces (an
+// overflow in the left operand vs. a kind mismatch in the right) must not
+// depend on the evaluator. C++ leaves the order of function-argument
+// evaluation unspecified, so every case below that evaluates two operands
+// does it through named temporaries rather than inline calls. The bytecode
+// compiler (opentla/vm/compile.cpp) emits code in this same order; the
+// differential VM-vs-tree axis in tests/test_differential.cpp holds both
+// evaluators to it, down to identical exception messages.
 Value eval(const Expr& e, EvalContext& ctx) {
   if (e.is_null()) eval_error("null expression");
   const ExprNode& n = e.node();
@@ -75,39 +87,66 @@ Value eval(const Expr& e, EvalContext& ctx) {
     case ExprKind::Implies:
       return Value::boolean(!eval_bool(n.kids[0], ctx) || eval_bool(n.kids[1], ctx));
 
-    case ExprKind::Equiv:
-      return Value::boolean(eval_bool(n.kids[0], ctx) == eval_bool(n.kids[1], ctx));
+    case ExprKind::Equiv: {
+      const bool a = eval_bool(n.kids[0], ctx);
+      const bool b = eval_bool(n.kids[1], ctx);
+      return Value::boolean(a == b);
+    }
 
-    case ExprKind::Eq:
-      return Value::boolean(eval(n.kids[0], ctx) == eval(n.kids[1], ctx));
-    case ExprKind::Neq:
-      return Value::boolean(!(eval(n.kids[0], ctx) == eval(n.kids[1], ctx)));
-    case ExprKind::Lt:
-      return Value::boolean(as_int(n.kids[0], ctx) < as_int(n.kids[1], ctx));
-    case ExprKind::Le:
-      return Value::boolean(as_int(n.kids[0], ctx) <= as_int(n.kids[1], ctx));
-    case ExprKind::Gt:
-      return Value::boolean(as_int(n.kids[0], ctx) > as_int(n.kids[1], ctx));
-    case ExprKind::Ge:
-      return Value::boolean(as_int(n.kids[0], ctx) >= as_int(n.kids[1], ctx));
+    case ExprKind::Eq: {
+      const Value a = eval(n.kids[0], ctx);
+      const Value b = eval(n.kids[1], ctx);
+      return Value::boolean(a == b);
+    }
+    case ExprKind::Neq: {
+      const Value a = eval(n.kids[0], ctx);
+      const Value b = eval(n.kids[1], ctx);
+      return Value::boolean(!(a == b));
+    }
+    case ExprKind::Lt: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
+      return Value::boolean(a < b);
+    }
+    case ExprKind::Le: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
+      return Value::boolean(a <= b);
+    }
+    case ExprKind::Gt: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
+      return Value::boolean(a > b);
+    }
+    case ExprKind::Ge: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
+      return Value::boolean(a >= b);
+    }
 
     case ExprKind::Add: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
       std::int64_t r = 0;
-      if (__builtin_add_overflow(as_int(n.kids[0], ctx), as_int(n.kids[1], ctx), &r)) {
+      if (__builtin_add_overflow(a, b, &r)) {
         eval_error("integer overflow in +");
       }
       return Value::integer(r);
     }
     case ExprKind::Sub: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
       std::int64_t r = 0;
-      if (__builtin_sub_overflow(as_int(n.kids[0], ctx), as_int(n.kids[1], ctx), &r)) {
+      if (__builtin_sub_overflow(a, b, &r)) {
         eval_error("integer overflow in -");
       }
       return Value::integer(r);
     }
     case ExprKind::Mul: {
+      const std::int64_t a = as_int(n.kids[0], ctx);
+      const std::int64_t b = as_int(n.kids[1], ctx);
       std::int64_t r = 0;
-      if (__builtin_mul_overflow(as_int(n.kids[0], ctx), as_int(n.kids[1], ctx), &r)) {
+      if (__builtin_mul_overflow(a, b, &r)) {
         eval_error("integer overflow in *");
       }
       return Value::integer(r);
@@ -143,10 +182,16 @@ Value eval(const Expr& e, EvalContext& ctx) {
       return seq_tail(eval(n.kids[0], ctx));
     case ExprKind::Len:
       return Value::integer(static_cast<std::int64_t>(eval(n.kids[0], ctx).length()));
-    case ExprKind::Concat:
-      return seq_concat(eval(n.kids[0], ctx), eval(n.kids[1], ctx));
-    case ExprKind::Append:
-      return seq_append(eval(n.kids[0], ctx), eval(n.kids[1], ctx));
+    case ExprKind::Concat: {
+      const Value a = eval(n.kids[0], ctx);
+      const Value b = eval(n.kids[1], ctx);
+      return seq_concat(a, b);
+    }
+    case ExprKind::Append: {
+      const Value a = eval(n.kids[0], ctx);
+      const Value b = eval(n.kids[1], ctx);
+      return seq_append(a, b);
+    }
     case ExprKind::Index: {
       Value s = eval(n.kids[0], ctx);
       const std::int64_t i = as_int(n.kids[1], ctx);

@@ -23,6 +23,7 @@
 #include "opentla/state/state.hpp"
 #include "opentla/state/state_space.hpp"
 #include "opentla/state/var_table.hpp"
+#include "opentla/vm/interp.hpp"
 
 namespace opentla {
 
@@ -88,6 +89,14 @@ class ActionSuccessors {
     /// the shallowest depth where their variables are bound.
     ResidualSchedule full_sched;
     ResidualSchedule existential_sched;
+    /// Bytecode for the disjunct's pieces, lowered once at construction:
+    /// guards[i] / rhs[i] / residual[i] pair with parts.guards[i] /
+    /// parts.assignments[i].second / parts.residual[i]. Each dispatches on
+    /// vm::set_tree_eval_for_test at evaluation time, so every run() is
+    /// re-runnable through the tree evaluator with identical results.
+    std::vector<vm::CompiledExpr> guards;
+    std::vector<vm::CompiledExpr> rhs;
+    std::vector<vm::CompiledExpr> residual;
   };
 
   /// `existential_only`: enumerate only the residual-constrained primed

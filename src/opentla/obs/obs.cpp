@@ -36,6 +36,8 @@ const char* name(Counter c) {
     case Counter::AnalysisPairsIndependent: return "analysis_pairs_independent";
     case Counter::AnalysisPairsDependent: return "analysis_pairs_dependent";
     case Counter::BudgetStops: return "budget_stops";
+    case Counter::VmProgramsCompiled: return "vm_programs_compiled";
+    case Counter::VmInstrsExecuted: return "vm_instrs_executed";
     case Counter::kCount: break;
   }
   return "?";

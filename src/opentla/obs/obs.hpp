@@ -57,6 +57,8 @@ enum class Counter : std::size_t {
   AnalysisPairsIndependent,  // action pairs the static matrix proves commute
   AnalysisPairsDependent,    // action pairs left dependent (incl. fallback)
   BudgetStops,             // run-budget breaches latched (RunBudget::request_stop)
+  VmProgramsCompiled,      // expressions lowered to bytecode by vm::compile
+  VmInstrsExecuted,        // bytecode instructions retired by the VM interpreter
   kCount
 };
 

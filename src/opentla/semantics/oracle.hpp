@@ -26,6 +26,7 @@
 
 #include "opentla/semantics/lasso.hpp"
 #include "opentla/tla/formula.hpp"
+#include "opentla/vm/interp.hpp"
 
 namespace opentla {
 
@@ -70,6 +71,12 @@ class Oracle {
   const VarTable* vars_;
   std::map<std::pair<const FormulaNode*, std::size_t>, bool> memo_;
   const LassoBehavior* memo_sigma_ = nullptr;
+  /// Pred atoms lowered to bytecode, keyed by node identity. Like memo_,
+  /// only valid within one top-level evaluation: temporary Formulas can
+  /// reuse node addresses across calls, so the cache is cleared alongside
+  /// memo_. (An Oracle is single-threaded; vm_ctx_ is reused as scratch.)
+  std::map<const FormulaNode*, vm::CompiledExpr> pred_cache_;
+  vm::VmContext vm_ctx_;
 };
 
 }  // namespace opentla

@@ -12,6 +12,13 @@
 // take bool-returning callbacks so a caller that only needs one witness
 // (ENABLED) stops the enumeration instead of spinning through the rest of
 // the space.
+//
+// The `check` callbacks the engine passes in run residual conjuncts that
+// were lowered to bytecode (opentla/vm/) at construction time; each bind
+// point therefore costs one VM dispatch rather than a tree walk. The
+// enumeration itself is evaluator-agnostic — vm::set_tree_eval_for_test
+// flips the callbacks back to the tree without changing which leaves are
+// visited or in what order.
 
 #pragma once
 

@@ -1,0 +1,470 @@
+#include "opentla/vm/compile.hpp"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "opentla/obs/obs.hpp"
+
+namespace opentla::vm {
+
+namespace {
+
+[[noreturn]] void limit(const std::string& what) { throw CompileLimit("vm: " + what); }
+
+/// True iff the pair <l, r> is exactly <v', v> for some flexible variable
+/// v — the operand shape of one UNCHANGED conjunct.
+bool unchanged_eq_parts(const Expr& l, const Expr& r, VarId* v) {
+  if (l.is_null() || r.is_null()) return false;
+  if (l.kind() != ExprKind::Var || !l.node().primed) return false;
+  if (r.kind() != ExprKind::Var || r.node().primed) return false;
+  if (l.node().var != r.node().var) return false;
+  *v = l.node().var;
+  return true;
+}
+
+/// True iff `e` is exactly v' = v for some flexible variable v — one
+/// conjunct of an UNCHANGED frame (ex::unchanged builds this shape).
+bool unchanged_eq(const Expr& e, VarId* v) {
+  if (e.is_null() || e.kind() != ExprKind::Eq) return false;
+  return unchanged_eq_parts(e.kids()[0], e.kids()[1], v);
+}
+
+/// True when the expression can only evaluate to a boolean, making the
+/// And/Or tail TestBool a provable no-op (TestBool's sole observable effect
+/// is the "expected a boolean" error on non-boolean values).
+bool always_bool(const Expr& e) {
+  if (e.is_null()) return false;
+  switch (e.kind()) {
+    case ExprKind::Not:
+    case ExprKind::And:
+    case ExprKind::Or:
+    case ExprKind::Implies:
+    case ExprKind::Equiv:
+    case ExprKind::Eq:
+    case ExprKind::Neq:
+    case ExprKind::Lt:
+    case ExprKind::Le:
+    case ExprKind::Gt:
+    case ExprKind::Ge:
+    case ExprKind::ExistsVal:
+    case ExprKind::ForallVal:
+    case ExprKind::Enabled:
+      return true;
+    case ExprKind::Const:
+      return e.node().value.is_bool();
+    default:
+      return false;
+  }
+}
+
+class Compiler {
+ public:
+  Program take(const Expr& e) {
+    compile_into(e, 0);
+    return std::move(prog_);
+  }
+
+ private:
+  // --- Pools ---
+  std::uint32_t intern_const(const Value& v) {
+    auto [it, inserted] = const_ids_.try_emplace(v, prog_.consts.size());
+    if (inserted) prog_.consts.push_back(v);
+    return static_cast<std::uint32_t>(it->second);
+  }
+  std::uint32_t intern_name(const std::string& s) {
+    auto [it, inserted] = name_ids_.try_emplace(s, prog_.names.size());
+    if (inserted) prog_.names.push_back(s);
+    return static_cast<std::uint32_t>(it->second);
+  }
+  std::uint32_t add_domain(const Domain& d) {
+    prog_.domains.push_back(d);
+    return static_cast<std::uint32_t>(prog_.domains.size() - 1);
+  }
+
+  static std::uint16_t var16(VarId v) {
+    if (v > 0xffff) limit("variable id exceeds 65535");
+    return static_cast<std::uint16_t>(v);
+  }
+
+  // --- Registers / instructions ---
+  std::uint16_t reg(std::size_t r) {
+    if (r >= kMaxRegs) limit("register file exhausted");
+    if (r + 1 > prog_.num_regs) prog_.num_regs = static_cast<std::uint16_t>(r + 1);
+    return static_cast<std::uint16_t>(r);
+  }
+  std::size_t emit(Instr in) {
+    if (prog_.instrs.size() >= kMaxInstrs) limit("instruction limit exceeded");
+    prog_.instrs.push_back(in);
+    return prog_.instrs.size() - 1;
+  }
+  std::size_t here() const { return prog_.instrs.size(); }
+  void patch_target(std::size_t at, std::size_t target) {
+    prog_.instrs[at].imm = static_cast<std::uint32_t>(target);
+  }
+
+  // --- Scope ---
+  // Returns the slot of `name` if bound, or -1. Innermost binding wins.
+  int lookup_local(const std::string& name) const {
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return -1;
+  }
+
+  // --- Lowering. compile_into(e, dst) leaves the value of `e` in r[dst]
+  // and may clobber any register >= dst. Operands are compiled left to
+  // right (the pinned contract at the top of expr/eval.cpp). ---
+  void compile_into(const Expr& e, std::size_t dst) {
+    // One frame per expression level; cap it so neither this recursion
+    // nor the tree fallback's can overflow the stack (kMaxDepth doc).
+    if (depth_ >= kMaxDepth) limit("expression nested too deeply");
+    ++depth_;
+    struct DepthPop {
+      std::size_t& d;
+      ~DepthPop() { --d; }
+    } pop{depth_};
+    if (e.is_null()) {
+      // The tree evaluator throws "eval: null expression" when *reached*;
+      // preserve the laziness (e.g. a short-circuited And child).
+      emit({Op::NullExpr, 0, reg(dst), 0, 0, 0});
+      return;
+    }
+    const ExprNode& n = e.node();
+    switch (n.kind) {
+      case ExprKind::Const:
+        emit({Op::LoadConst, 0, reg(dst), 0, 0, intern_const(n.value)});
+        return;
+
+      case ExprKind::Var:
+        emit({Op::LoadVar, static_cast<std::uint8_t>(n.primed ? kPrimedA : 0),
+              reg(dst), var16(n.var), 0, 0});
+        return;
+
+      case ExprKind::Local: {
+        const int slot = lookup_local(n.local);
+        if (slot >= 0) {
+          emit({Op::LoadLocal, 0, reg(dst), static_cast<std::uint16_t>(slot), 0, 0});
+        } else {
+          emit({Op::UnboundLocal, 0, reg(dst), 0, 0, intern_name(n.local)});
+        }
+        return;
+      }
+
+      case ExprKind::Not: {
+        compile_into(n.kids[0], dst);
+        emit({Op::Not, 0, reg(dst), reg(dst), 0, 0});
+        return;
+      }
+
+      case ExprKind::And:
+      case ExprKind::Or: {
+        const bool conj = (n.kind == ExprKind::And);
+        if (n.kids.empty()) {
+          emit({Op::LoadConst, 0, reg(dst), 0, 0, intern_const(Value::boolean(conj))});
+          return;
+        }
+        // Each child lands in dst and short-circuits past the rest; runs
+        // of v' = v conjuncts fuse into one Unchanged frame.
+        std::vector<std::size_t> exits;
+        std::size_t i = 0;
+        while (i < n.kids.size()) {
+          VarId v = 0;
+          bool known_bool = false;
+          if (conj && unchanged_eq(n.kids[i], &v)) {
+            std::vector<VarId> frame{v};
+            while (i + 1 < n.kids.size() && unchanged_eq(n.kids[i + 1], &v)) {
+              frame.push_back(v);
+              ++i;
+            }
+            prog_.var_lists.push_back(std::move(frame));
+            emit({Op::Unchanged, 0, reg(dst), 0, 0,
+                  static_cast<std::uint32_t>(prog_.var_lists.size() - 1)});
+            known_bool = true;  // Unchanged always yields a boolean
+          } else {
+            compile_into(n.kids[i], dst);
+            known_bool = always_bool(n.kids[i]);
+          }
+          ++i;
+          if (i < n.kids.size()) {
+            exits.push_back(emit({conj ? Op::JumpIfFalse : Op::JumpIfTrue, 0, 0,
+                                  reg(dst), 0, 0}));
+          } else if (!known_bool) {
+            // Last child: its boolean (checked) is the result.
+            emit({Op::TestBool, 0, reg(dst), reg(dst), 0, 0});
+          }
+        }
+        for (std::size_t at : exits) patch_target(at, here());
+        return;
+      }
+
+      case ExprKind::Implies: {
+        // !a || b, evaluating a first: if a is FALSE the result is TRUE
+        // without touching b (the tree's `!eval_bool(a) || eval_bool(b)`).
+        compile_into(n.kids[0], dst);
+        emit({Op::Not, 0, reg(dst), reg(dst), 0, 0});
+        const std::size_t skip = emit({Op::JumpIfTrue, 0, 0, reg(dst), 0, 0});
+        compile_into(n.kids[1], dst);
+        emit({Op::TestBool, 0, reg(dst), reg(dst), 0, 0});
+        patch_target(skip, here());
+        return;
+      }
+
+      case ExprKind::Equiv: {
+        compile_into(n.kids[0], dst);
+        compile_into(n.kids[1], dst + 1);
+        emit({Op::Equiv, 0, reg(dst), reg(dst), reg(dst + 1), 0});
+        return;
+      }
+
+      case ExprKind::Eq:
+      case ExprKind::Neq:
+        compile_eq(n, dst, /*negate=*/n.kind == ExprKind::Neq);
+        return;
+
+      case ExprKind::Lt:
+        compile_cmp(n, dst, Op::Lt, CmpKind::Lt);
+        return;
+      case ExprKind::Le:
+        compile_cmp(n, dst, Op::Le, CmpKind::Le);
+        return;
+      case ExprKind::Gt:
+        compile_cmp(n, dst, Op::Gt, CmpKind::Gt);
+        return;
+      case ExprKind::Ge:
+        compile_cmp(n, dst, Op::Ge, CmpKind::Ge);
+        return;
+
+      case ExprKind::Add:
+        compile_binop(n, dst, Op::Add);
+        return;
+      case ExprKind::Sub:
+        compile_binop(n, dst, Op::Sub);
+        return;
+      case ExprKind::Mul:
+        compile_binop(n, dst, Op::Mul);
+        return;
+      case ExprKind::Mod:
+        compile_binop(n, dst, Op::Mod);
+        return;
+      case ExprKind::Neg: {
+        compile_into(n.kids[0], dst);
+        emit({Op::Neg, 0, reg(dst), reg(dst), 0, 0});
+        return;
+      }
+
+      case ExprKind::IfThenElse: {
+        compile_into(n.kids[0], dst);
+        const std::size_t to_else = emit({Op::JumpIfFalse, 0, 0, reg(dst), 0, 0});
+        compile_into(n.kids[1], dst);
+        const std::size_t to_end = emit({Op::Jump, 0, 0, 0, 0, 0});
+        patch_target(to_else, here());
+        compile_into(n.kids[2], dst);
+        patch_target(to_end, here());
+        return;
+      }
+
+      case ExprKind::MakeTuple: {
+        if (n.kids.size() > 0xffff) limit("tuple arity exceeds 65535");
+        for (std::size_t i = 0; i < n.kids.size(); ++i) {
+          compile_into(n.kids[i], dst + i);
+        }
+        emit({Op::MakeTuple, 0, reg(dst), reg(dst),
+              static_cast<std::uint16_t>(n.kids.size()), 0});
+        return;
+      }
+
+      case ExprKind::Head:
+        compile_unop(n, dst, Op::Head);
+        return;
+      case ExprKind::Tail:
+        compile_unop(n, dst, Op::Tail);
+        return;
+      case ExprKind::Len: {
+        // Len(v) fuses to LenVar: the length is read off the state's value
+        // in place instead of copying the sequence through a register.
+        const Expr& k = n.kids[0];
+        if (!k.is_null() && k.kind() == ExprKind::Var) {
+          emit({Op::LenVar,
+                static_cast<std::uint8_t>(k.node().primed ? kPrimedA : 0),
+                reg(dst), var16(k.node().var), 0, 0});
+          return;
+        }
+        compile_unop(n, dst, Op::Len);
+        return;
+      }
+      case ExprKind::Concat:
+        compile_binop(n, dst, Op::Concat);
+        return;
+      case ExprKind::Append:
+        compile_binop(n, dst, Op::Append);
+        return;
+      case ExprKind::Index:
+        compile_binop(n, dst, Op::Index);
+        return;
+
+      case ExprKind::ExistsVal:
+      case ExprKind::ForallVal: {
+        if (scope_.size() >= kMaxLocals) limit("local slots exhausted");
+        if (prog_.domains.size() > 0xffff) limit("domain pool exhausted");
+        const std::uint16_t slot = static_cast<std::uint16_t>(scope_.size());
+        if (slot + 1 > prog_.num_locals) {
+          prog_.num_locals = static_cast<std::uint16_t>(slot + 1);
+        }
+        const std::uint32_t dom = add_domain(n.domain);
+        const std::size_t head = emit(
+            {n.kind == ExprKind::ExistsVal ? Op::Exists : Op::Forall, 0, reg(dst),
+             slot, reg(dst + 1), 0});
+        scope_.emplace_back(n.local, slot);
+        compile_into(n.kids[0], dst + 1);
+        scope_.pop_back();
+        const std::size_t body_len = here() - head - 1;
+        if (body_len > kMaxQuantBody) limit("quantifier body too long");
+        prog_.instrs[head].imm =
+            static_cast<std::uint32_t>((dom << 16) | body_len);
+        return;
+      }
+
+      case ExprKind::Enabled: {
+        prog_.enabled_sites.push_back({n.kids[0], scope_});
+        emit({Op::Enabled, 0, reg(dst), 0, 0,
+              static_cast<std::uint32_t>(prog_.enabled_sites.size() - 1)});
+        return;
+      }
+    }
+    limit("unknown node kind");
+  }
+
+  // Eq / Neq: Unchanged for v' = v, TupleEq for literal tuple compares,
+  // fused CmpVar* when an operand pair is variables/constants, else the
+  // generic register compare.
+  void compile_eq(const ExprNode& n, std::size_t dst, bool negate) {
+    const std::uint8_t neg = negate ? kNegate : 0;
+    const Expr& l = n.kids[0];
+    const Expr& r = n.kids[1];
+    VarId v = 0;
+    if (!negate && unchanged_eq_parts(l, r, &v)) {
+      prog_.var_lists.push_back({v});
+      emit({Op::Unchanged, 0, reg(dst), 0, 0,
+            static_cast<std::uint32_t>(prog_.var_lists.size() - 1)});
+      return;
+    }
+    if (!l.is_null() && !r.is_null() && l.kind() == ExprKind::MakeTuple &&
+        r.kind() == ExprKind::MakeTuple && l.kids().size() == r.kids().size()) {
+      const std::size_t k = l.kids().size();
+      if (k <= 0xffff) {
+        for (std::size_t i = 0; i < k; ++i) compile_into(l.kids()[i], dst + i);
+        for (std::size_t i = 0; i < k; ++i) compile_into(r.kids()[i], dst + k + i);
+        // Touch the high-water mark even for arity 0.
+        reg(dst);
+        if (k > 0) reg(dst + 2 * k - 1);
+        emit({Op::TupleEq, neg, static_cast<std::uint16_t>(dst),
+              static_cast<std::uint16_t>(dst), static_cast<std::uint16_t>(dst + k),
+              static_cast<std::uint32_t>(k)});
+        return;
+      }
+    }
+    if (fuse_cmp(l, r, dst, negate ? CmpKind::Neq : CmpKind::Eq)) return;
+    if (!l.is_null() && l.kind() == ExprKind::Var) {
+      // x' = <rhs>: compare the variable's state value in place instead of
+      // copying it through a register — the dominant residual shape when
+      // the rhs is sequence-valued (q' = Append(q, v)). The VarCheck keeps
+      // the tree's error order: the lhs state lookup fails before the rhs
+      // evaluates.
+      const std::uint8_t pf =
+          static_cast<std::uint8_t>(l.node().primed ? kPrimedA : 0);
+      emit({Op::VarCheck, pf, 0, var16(l.node().var), 0, 0});
+      compile_into(r, dst);
+      emit({Op::EqVarReg, static_cast<std::uint8_t>(neg | pf), reg(dst),
+            var16(l.node().var), reg(dst), 0});
+      return;
+    }
+    if (!r.is_null() && r.kind() == ExprKind::Var) {
+      // <lhs> = x: the lhs evaluates first and the variable reads second —
+      // already the tree's order, so no check instruction is needed.
+      const std::uint8_t pf =
+          static_cast<std::uint8_t>(r.node().primed ? kPrimedA : 0);
+      compile_into(l, dst);
+      emit({Op::EqVarReg, static_cast<std::uint8_t>(neg | pf), reg(dst),
+            var16(r.node().var), reg(dst), 0});
+      return;
+    }
+    compile_into(l, dst);
+    compile_into(r, dst + 1);
+    emit({Op::Eq, neg, reg(dst), reg(dst), reg(dst + 1), 0});
+  }
+
+  void compile_cmp(const ExprNode& n, std::size_t dst, Op op, CmpKind kind) {
+    if (fuse_cmp(n.kids[0], n.kids[1], dst, kind)) return;
+    compile_into(n.kids[0], dst);
+    compile_into(n.kids[1], dst + 1);
+    emit({op, 0, reg(dst), reg(dst), reg(dst + 1), 0});
+  }
+
+  // Emits CmpVarVar / CmpVarConst when both operands are leaves the fused
+  // forms cover; returns false to use the generic lowering. Evaluation
+  // order and failure modes are identical either way (the interpreter
+  // reads/converts operand a before operand b, const-on-the-left uses
+  // kSwapped to keep the source order).
+  bool fuse_cmp(const Expr& l, const Expr& r, std::size_t dst, CmpKind kind) {
+    const auto is_var = [](const Expr& e) {
+      return !e.is_null() && e.kind() == ExprKind::Var;
+    };
+    const auto is_const = [](const Expr& e) {
+      return !e.is_null() && e.kind() == ExprKind::Const;
+    };
+    const std::uint8_t kindf = static_cast<std::uint8_t>(kind);
+    if (is_var(l) && is_var(r)) {
+      std::uint8_t flags = kindf;
+      if (l.node().primed) flags |= kPrimedA;
+      if (r.node().primed) flags |= kPrimedB;
+      emit({Op::CmpVarVar, flags, reg(dst), var16(l.node().var),
+            var16(r.node().var), 0});
+      return true;
+    }
+    if (is_var(l) && is_const(r)) {
+      std::uint8_t flags = kindf;
+      if (l.node().primed) flags |= kPrimedA;
+      emit({Op::CmpVarConst, flags, reg(dst), var16(l.node().var), 0,
+            intern_const(r.node().value)});
+      return true;
+    }
+    if (is_const(l) && is_var(r)) {
+      std::uint8_t flags = static_cast<std::uint8_t>(kindf | kSwapped);
+      if (r.node().primed) flags |= kPrimedA;
+      emit({Op::CmpVarConst, flags, reg(dst), var16(r.node().var), 0,
+            intern_const(l.node().value)});
+      return true;
+    }
+    return false;
+  }
+
+  void compile_unop(const ExprNode& n, std::size_t dst, Op op) {
+    compile_into(n.kids[0], dst);
+    emit({op, 0, reg(dst), reg(dst), 0, 0});
+  }
+
+  void compile_binop(const ExprNode& n, std::size_t dst, Op op) {
+    compile_into(n.kids[0], dst);
+    compile_into(n.kids[1], dst + 1);
+    emit({op, 0, reg(dst), reg(dst), reg(dst + 1), 0});
+  }
+
+  Program prog_;
+  std::map<Value, std::size_t> const_ids_;
+  std::map<std::string, std::size_t> name_ids_;
+  std::vector<std::pair<std::string, std::uint16_t>> scope_;
+  std::size_t depth_ = 0;  // current compile_into recursion depth
+};
+
+}  // namespace
+
+Program compile(const Expr& e) {
+  Compiler c;
+  Program p = c.take(e);
+  OPENTLA_OBS_COUNT(VmProgramsCompiled);
+  return p;
+}
+
+}  // namespace opentla::vm

@@ -1,0 +1,52 @@
+// opentla/vm/compile.hpp
+//
+// Lowering `Expr` trees to vm::Program bytecode. Compilation is total on
+// the expression language except for static resource caps (register file,
+// instruction count, quantifier-body length); exceeding a cap throws
+// CompileLimit and the caller keeps the tree evaluator for that
+// expression (see vm::CompiledExpr in interp.hpp).
+//
+// Compilation is deterministic: the same tree always lowers to the same
+// instruction sequence and pool contents (tests/test_vm.cpp pins this),
+// so programs can be compared and their disassembly used as goldens.
+//
+// Programs are compiled with an empty bound-variable scope: a free Local
+// lowers to an UnboundLocal trap that throws the tree evaluator's exact
+// "unbound local" error if (and only if) it is reached. Callers therefore
+// use the VM for *closed* expressions — guards, assignment right-hand
+// sides, residual conjuncts, invariants, oracle atoms — which is every
+// hot evaluation site in the engine.
+
+#pragma once
+
+#include "opentla/expr/expr.hpp"
+#include "opentla/vm/program.hpp"
+
+#include <stdexcept>
+
+namespace opentla::vm {
+
+/// Thrown when an expression exceeds the VM's static resource caps. The
+/// tree evaluator has no such caps, so callers fall back to it.
+class CompileLimit : public std::runtime_error {
+ public:
+  explicit CompileLimit(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Static caps. Registers and locals index with 16 bits; quantifier body
+// lengths pack into 16 bits of the immediate.
+inline constexpr std::size_t kMaxRegs = 4096;
+inline constexpr std::size_t kMaxLocals = 4096;
+inline constexpr std::size_t kMaxInstrs = 1u << 20;
+inline constexpr std::size_t kMaxQuantBody = 0xffff;
+// Nesting cap: the compiler recurses once per expression level, and
+// sanitizer builds multiply frame sizes, so the bound must leave ample
+// stack headroom there too. Deeper expressions fall back to the tree.
+inline constexpr std::size_t kMaxDepth = 512;
+
+/// Lowers `e` (result in register 0). Throws CompileLimit past the caps
+/// above; never throws on well-formed inputs otherwise. Counts one
+/// VmProgramsCompiled observation per successful lowering.
+Program compile(const Expr& e);
+
+}  // namespace opentla::vm

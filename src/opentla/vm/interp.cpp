@@ -1,0 +1,499 @@
+#include "opentla/vm/interp.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "opentla/expr/eval.hpp"
+#include "opentla/obs/obs.hpp"
+#include "opentla/vm/compile.hpp"
+
+namespace opentla::vm {
+
+namespace {
+
+std::atomic<bool> g_tree_eval{false};
+
+// Every error below reproduces the tree evaluator's message byte for byte
+// (expr/eval.cpp's eval_error adds the same "eval: " prefix). Value kind
+// mismatches go through the same Value accessors, so those messages match
+// without duplication.
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("eval: " + msg);
+}
+
+const Value& var_read(const VmContext& ctx, std::uint16_t v, bool primed) {
+  if (primed) {
+    if (ctx.next == nullptr) fail("primed variable in a state-function context");
+    return (*ctx.next)[v];
+  }
+  if (ctx.current == nullptr) fail("no current state");
+  return (*ctx.current)[v];
+}
+
+bool bool_of(const Value& v) {
+  if (!v.is_bool()) fail("expected a boolean, got " + v.to_string());
+  return v.as_bool();
+}
+
+bool ord_cmp(CmpKind k, std::int64_t a, std::int64_t b) {
+  switch (k) {
+    case CmpKind::Lt: return a < b;
+    case CmpKind::Le: return a <= b;
+    case CmpKind::Gt: return a > b;
+    case CmpKind::Ge: return a >= b;
+    default: break;
+  }
+  fail("unknown comparison kind");
+}
+
+// Flushes the retired-instruction tally once per run(), including when an
+// eval error unwinds mid-program.
+struct CountFlush {
+  std::uint64_t n = 0;
+  ~CountFlush() { OPENTLA_OBS_COUNT_N(VmInstrsExecuted, n); }
+};
+
+// Superinstruction bodies shared by the dispatch loop and the
+// single-instruction fast paths in run()/run_bool(). Error order matches
+// the tree's left-to-right evaluation (see the comments at each site).
+bool cmp_var_var(const VmContext& ctx, const Instr& in) {
+  const CmpKind k = static_cast<CmpKind>(in.flags & kCmpMask);
+  const Value& va = var_read(ctx, in.a, in.flags & kPrimedA);
+  if (k == CmpKind::Eq || k == CmpKind::Neq) {
+    const Value& vb = var_read(ctx, in.b, in.flags & kPrimedB);
+    return (va == vb) != (k == CmpKind::Neq);
+  }
+  // Operand a converts before operand b is even read — the order of
+  // errors the tree's left-to-right evaluation produces.
+  const std::int64_t a = va.as_int();
+  const Value& vb = var_read(ctx, in.b, in.flags & kPrimedB);
+  return ord_cmp(k, a, vb.as_int());
+}
+
+bool cmp_var_const(const Program& p, const VmContext& ctx, const Instr& in) {
+  const CmpKind k = static_cast<CmpKind>(in.flags & kCmpMask);
+  const Value& c = p.consts[in.imm];
+  if (k == CmpKind::Eq || k == CmpKind::Neq) {
+    const Value& va = var_read(ctx, in.a, in.flags & kPrimedA);
+    return (va == c) != (k == CmpKind::Neq);
+  }
+  if (in.flags & kSwapped) {
+    // Source order was <const> op <var>: the constant converts first.
+    const std::int64_t a = c.as_int();
+    return ord_cmp(k, a, var_read(ctx, in.a, in.flags & kPrimedA).as_int());
+  }
+  const std::int64_t a = var_read(ctx, in.a, in.flags & kPrimedA).as_int();
+  return ord_cmp(k, a, c.as_int());
+}
+
+bool unchanged_all(const Program& p, const VmContext& ctx, const Instr& in) {
+  for (VarId v : p.var_lists[in.imm]) {
+    const Value& nv = var_read(ctx, static_cast<std::uint16_t>(v), true);
+    const Value& cv = var_read(ctx, static_cast<std::uint16_t>(v), false);
+    if (!(nv == cv)) return false;
+  }
+  return true;
+}
+
+// Executes instrs[pc, end). Quantifier bodies recurse with their
+// sub-range; everything else is a flat dispatch loop.
+void exec(const Program& p, VmContext& ctx, std::size_t pc, std::size_t end,
+          std::uint64_t& count) {
+  std::vector<Value>& regs = ctx.regs;
+  while (pc < end) {
+    const Instr& in = p.instrs[pc];
+    ++count;
+    switch (in.op) {
+      case Op::LoadConst:
+        regs[in.dst] = p.consts[in.imm];
+        break;
+      case Op::LoadVar:
+        regs[in.dst] = var_read(ctx, in.a, in.flags & kPrimedA);
+        break;
+      case Op::LoadLocal:
+        regs[in.dst] = ctx.locals[in.a];
+        break;
+      case Op::UnboundLocal:
+        fail("unbound local '" + p.names[in.imm] + "'");
+      case Op::NullExpr:
+        fail("null expression");
+
+      case Op::Jump:
+        pc = in.imm;
+        continue;
+      case Op::JumpIfFalse:
+        if (!bool_of(regs[in.a])) {
+          pc = in.imm;
+          continue;
+        }
+        break;
+      case Op::JumpIfTrue:
+        if (bool_of(regs[in.a])) {
+          pc = in.imm;
+          continue;
+        }
+        break;
+
+      case Op::Not:
+        regs[in.dst] = Value::boolean(!bool_of(regs[in.a]));
+        break;
+      case Op::TestBool:
+        bool_of(regs[in.a]);
+        if (in.dst != in.a) regs[in.dst] = regs[in.a];
+        break;
+      case Op::Equiv: {
+        const bool a = bool_of(regs[in.a]);
+        const bool b = bool_of(regs[in.b]);
+        regs[in.dst] = Value::boolean(a == b);
+        break;
+      }
+
+      case Op::Eq: {
+        const bool eq = (regs[in.a] == regs[in.b]);
+        regs[in.dst] = Value::boolean(eq != ((in.flags & kNegate) != 0));
+        break;
+      }
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge: {
+        const std::int64_t a = regs[in.a].as_int();
+        const std::int64_t b = regs[in.b].as_int();
+        const CmpKind k = in.op == Op::Lt   ? CmpKind::Lt
+                          : in.op == Op::Le ? CmpKind::Le
+                          : in.op == Op::Gt ? CmpKind::Gt
+                                            : CmpKind::Ge;
+        regs[in.dst] = Value::boolean(ord_cmp(k, a, b));
+        break;
+      }
+
+      case Op::Add: {
+        const std::int64_t a = regs[in.a].as_int();
+        const std::int64_t b = regs[in.b].as_int();
+        std::int64_t r = 0;
+        if (__builtin_add_overflow(a, b, &r)) fail("integer overflow in +");
+        regs[in.dst] = Value::integer(r);
+        break;
+      }
+      case Op::Sub: {
+        const std::int64_t a = regs[in.a].as_int();
+        const std::int64_t b = regs[in.b].as_int();
+        std::int64_t r = 0;
+        if (__builtin_sub_overflow(a, b, &r)) fail("integer overflow in -");
+        regs[in.dst] = Value::integer(r);
+        break;
+      }
+      case Op::Mul: {
+        const std::int64_t a = regs[in.a].as_int();
+        const std::int64_t b = regs[in.b].as_int();
+        std::int64_t r = 0;
+        if (__builtin_mul_overflow(a, b, &r)) fail("integer overflow in *");
+        regs[in.dst] = Value::integer(r);
+        break;
+      }
+      case Op::Mod: {
+        const std::int64_t a = regs[in.a].as_int();
+        const std::int64_t b = regs[in.b].as_int();
+        if (b <= 0) fail("mod requires b > 0");
+        const std::int64_t r = a % b;
+        regs[in.dst] = Value::integer(r < 0 ? r + b : r);
+        break;
+      }
+      case Op::Neg: {
+        const std::int64_t a = regs[in.a].as_int();
+        if (a == INT64_MIN) fail("integer overflow in unary -");
+        regs[in.dst] = Value::integer(-a);
+        break;
+      }
+
+      case Op::MakeTuple: {
+        Value::Tuple elems;
+        elems.reserve(in.b);
+        for (std::size_t i = 0; i < in.b; ++i) elems.push_back(regs[in.a + i]);
+        regs[in.dst] = Value::tuple(std::move(elems));
+        break;
+      }
+      case Op::Head:
+        regs[in.dst] = seq_head(regs[in.a]);
+        break;
+      case Op::Tail:
+        regs[in.dst] = seq_tail(regs[in.a]);
+        break;
+      case Op::Len:
+        regs[in.dst] = Value::integer(static_cast<std::int64_t>(regs[in.a].length()));
+        break;
+      case Op::LenVar:
+        regs[in.dst] = Value::integer(static_cast<std::int64_t>(
+            var_read(ctx, in.a, in.flags & kPrimedA).length()));
+        break;
+      case Op::VarCheck:
+        var_read(ctx, in.a, in.flags & kPrimedA);
+        break;
+      case Op::EqVarReg: {
+        const bool eq = (var_read(ctx, in.a, in.flags & kPrimedA) == regs[in.b]);
+        regs[in.dst] = Value::boolean(eq != ((in.flags & kNegate) != 0));
+        break;
+      }
+      case Op::Concat:
+        regs[in.dst] = seq_concat(regs[in.a], regs[in.b]);
+        break;
+      case Op::Append:
+        regs[in.dst] = seq_append(regs[in.a], regs[in.b]);
+        break;
+      case Op::Index: {
+        // The index converts before the base's tuple check, like the tree.
+        const std::int64_t i = regs[in.b].as_int();
+        const Value& s = regs[in.a];
+        const Value::Tuple& t = s.as_tuple();
+        if (i < 1 || static_cast<std::size_t>(i) > t.size()) {
+          fail("sequence index " + std::to_string(i) + " out of range for " +
+               s.to_string());
+        }
+        // Copy out before assigning: dst may be the base register itself,
+        // and assigning it destroys the tuple t points into.
+        Value out = t[static_cast<std::size_t>(i) - 1];
+        regs[in.dst] = std::move(out);
+        break;
+      }
+
+      case Op::Unchanged:
+        regs[in.dst] = Value::boolean(unchanged_all(p, ctx, in));
+        break;
+      case Op::TupleEq: {
+        bool eq = true;
+        for (std::size_t i = 0; i < in.imm; ++i) {
+          if (!(regs[in.a + i] == regs[in.b + i])) {
+            eq = false;
+            break;
+          }
+        }
+        regs[in.dst] = Value::boolean(eq != ((in.flags & kNegate) != 0));
+        break;
+      }
+      case Op::CmpVarVar:
+        regs[in.dst] = Value::boolean(cmp_var_var(ctx, in));
+        break;
+      case Op::CmpVarConst:
+        regs[in.dst] = Value::boolean(cmp_var_const(p, ctx, in));
+        break;
+
+      case Op::Exists:
+      case Op::Forall: {
+        const bool is_exists = (in.op == Op::Exists);
+        const Domain& dom = p.domains[in.imm_hi()];
+        const std::size_t body_len = in.imm_lo();
+        bool result = !is_exists;
+        for (const Value& v : dom.values()) {
+          ctx.locals[in.a] = v;
+          exec(p, ctx, pc + 1, pc + 1 + body_len, count);
+          if (bool_of(regs[in.b]) == is_exists) {
+            result = is_exists;
+            break;
+          }
+        }
+        regs[in.dst] = Value::boolean(result);
+        pc += body_len;  // skip the body range
+        break;
+      }
+
+      case Op::Enabled: {
+        if (ctx.vars == nullptr || ctx.current == nullptr) {
+          fail("ENABLED requires a VarTable and a current state");
+        }
+        const EnabledSite& site = p.enabled_sites[in.imm];
+        // The tree evaluates ENABLED under the outer bound-variable
+        // environment; rebuild it from the compile-time scope's slots.
+        EvalContext ectx;
+        ectx.vars = ctx.vars;
+        ectx.current = ctx.current;
+        ectx.next = ctx.next;
+        ectx.locals.reserve(site.scope.size());
+        for (const auto& [local_name, slot] : site.scope) {
+          ectx.locals.emplace_back(local_name, ctx.locals[slot]);
+        }
+        regs[in.dst] = Value::boolean(enabled_with_locals(site.action, ectx));
+        break;
+      }
+    }
+    ++pc;
+  }
+}
+
+}  // namespace
+
+void set_tree_eval_for_test(bool tree) {
+  g_tree_eval.store(tree, std::memory_order_relaxed);
+}
+
+bool tree_eval_forced() { return g_tree_eval.load(std::memory_order_relaxed); }
+
+namespace {
+
+// Engine call sites build a fresh VmContext per run (successors,
+// guards_enabled, hidden_successors are const and run concurrently), so
+// a program that needs the register file would pay one allocation per
+// call. This per-thread pool lends its arrays to such a context for the
+// duration of one program: exec never re-enters run() on the same
+// thread (Op::Enabled delegates to the tree-side search), so the lease
+// is exclusive; the busy flag keeps a hypothetical future nested run()
+// correct by falling back to the context's own arrays.
+struct TlsScratch {
+  std::vector<Value> regs;
+  std::vector<Value> locals;
+  bool busy = false;
+};
+
+TlsScratch& tls_scratch() {
+  static thread_local TlsScratch s;
+  return s;
+}
+
+// Swaps the pool's arrays into `ctx` when the context has never grown
+// its own (the per-call case), and swaps them back — keeping the grown
+// capacity — on destruction, including when an eval error unwinds.
+class ScratchLease {
+ public:
+  explicit ScratchLease(VmContext& ctx) : ctx_(ctx) {
+    TlsScratch& s = tls_scratch();
+    if (!s.busy && ctx.regs.capacity() == 0 && ctx.locals.capacity() == 0) {
+      s.busy = true;
+      borrowed_ = true;
+      ctx.regs.swap(s.regs);
+      ctx.locals.swap(s.locals);
+    }
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+  ~ScratchLease() {
+    if (borrowed_) {
+      TlsScratch& s = tls_scratch();
+      ctx_.regs.swap(s.regs);
+      ctx_.locals.swap(s.locals);
+      s.busy = false;
+    }
+  }
+
+ private:
+  VmContext& ctx_;
+  bool borrowed_ = false;
+};
+
+// The general path: size the scratch arrays, dispatch, leave the result
+// in register 0. Shared by run()/run_bool() below, under a ScratchLease
+// held by the caller.
+void exec_program(const Program& p, VmContext& ctx) {
+  if (ctx.regs.size() < std::size_t{p.num_regs} + 1) {
+    ctx.regs.resize(std::size_t{p.num_regs} + 1);
+  }
+  if (ctx.locals.size() < p.num_locals) ctx.locals.resize(p.num_locals);
+  CountFlush tally;
+  exec(p, ctx, 0, p.instrs.size(), tally.n);
+}
+
+}  // namespace
+
+// Single-instruction programs — fused guard compares, residual conjuncts,
+// UNCHANGED frames, and bare-variable right-hand sides — dominate the
+// engine's evaluation mix, so both entry points execute them without
+// touching the register file: no resize, no Value copies through regs,
+// and (for run_bool) no Value materialized at all. The tally still counts
+// the instruction even when it throws, matching the dispatch loop, which
+// counts an instruction before executing it.
+
+Value run(const Program& p, VmContext& ctx) {
+  if (p.instrs.size() == 1) {
+    const Instr& in = p.instrs[0];
+    CountFlush tally;
+    switch (in.op) {
+      case Op::LoadVar:
+        tally.n = 1;
+        return var_read(ctx, in.a, in.flags & kPrimedA);
+      case Op::LoadConst:
+        tally.n = 1;
+        return p.consts[in.imm];
+      case Op::CmpVarVar:
+        tally.n = 1;
+        return Value::boolean(cmp_var_var(ctx, in));
+      case Op::CmpVarConst:
+        tally.n = 1;
+        return Value::boolean(cmp_var_const(p, ctx, in));
+      case Op::Unchanged:
+        tally.n = 1;
+        return Value::boolean(unchanged_all(p, ctx, in));
+      case Op::LenVar:
+        tally.n = 1;
+        return Value::integer(static_cast<std::int64_t>(
+            var_read(ctx, in.a, in.flags & kPrimedA).length()));
+      default:
+        break;  // fall through to the dispatch loop
+    }
+  }
+  ScratchLease lease(ctx);
+  exec_program(p, ctx);
+  // Moving out is safe: programs write every register before reading it,
+  // so the moved-from slot can't leak into the next run over this context.
+  return std::move(ctx.regs[0]);
+}
+
+bool run_bool(const Program& p, VmContext& ctx) {
+  if (p.instrs.size() == 1) {
+    const Instr& in = p.instrs[0];
+    CountFlush tally;
+    switch (in.op) {
+      case Op::LoadVar:
+        tally.n = 1;
+        return bool_of(var_read(ctx, in.a, in.flags & kPrimedA));
+      case Op::LoadConst:
+        tally.n = 1;
+        return bool_of(p.consts[in.imm]);
+      case Op::CmpVarVar:
+        tally.n = 1;
+        return cmp_var_var(ctx, in);
+      case Op::CmpVarConst:
+        tally.n = 1;
+        return cmp_var_const(p, ctx, in);
+      case Op::Unchanged:
+        tally.n = 1;
+        return unchanged_all(p, ctx, in);
+      default:
+        break;
+    }
+  }
+  ScratchLease lease(ctx);
+  exec_program(p, ctx);
+  const Value& v = ctx.regs[0];
+  if (!v.is_bool()) fail("expected a boolean, got " + v.to_string());
+  return v.as_bool();
+}
+
+CompiledExpr::CompiledExpr(Expr e) : expr_(std::move(e)) {
+  try {
+    prog_ = compile(expr_);
+    has_prog_ = true;
+  } catch (const CompileLimit&) {
+    has_prog_ = false;  // evaluate through the tree unconditionally
+  }
+}
+
+Value CompiledExpr::eval(VmContext& ctx) const {
+  if (has_prog_ && !tree_eval_forced()) return run(prog_, ctx);
+  EvalContext ectx;
+  ectx.vars = ctx.vars;
+  ectx.current = ctx.current;
+  ectx.next = ctx.next;
+  return opentla::eval(expr_, ectx);
+}
+
+bool CompiledExpr::eval_bool(VmContext& ctx) const {
+  if (has_prog_ && !tree_eval_forced()) return run_bool(prog_, ctx);
+  EvalContext ectx;
+  ectx.vars = ctx.vars;
+  ectx.current = ctx.current;
+  ectx.next = ctx.next;
+  return opentla::eval_bool(expr_, ectx);
+}
+
+}  // namespace opentla::vm

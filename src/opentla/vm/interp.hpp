@@ -1,0 +1,93 @@
+// opentla/vm/interp.hpp
+//
+// The bytecode interpreter and the engine-facing dispatch wrapper.
+//
+// `run` executes a compiled Program against the same (vars, current,
+// next) triple the tree evaluator's EvalContext carries, with a register
+// file and a slot-indexed locals array reused across calls. It is
+// observationally identical to `eval` on the source tree: same values,
+// same verdicts, and byte-identical `std::runtime_error` messages on
+// every failing input (the pinned contract at the top of expr/eval.cpp).
+//
+// `CompiledExpr` is what the engine integrates: it lowers an expression
+// at construction (falling back to the tree on CompileLimit) and
+// dispatches each evaluation on the global runtime switch below, so
+// differential tests flip one flag to re-run identical workloads through
+// the other evaluator — exactly the set_naive_enumeration_for_test
+// pattern in opentla/graph/successor.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opentla/expr/expr.hpp"
+#include "opentla/state/state.hpp"
+#include "opentla/state/var_table.hpp"
+#include "opentla/value/value.hpp"
+#include "opentla/vm/program.hpp"
+
+namespace opentla::vm {
+
+/// Execution context: the EvalContext state triple plus reusable scratch.
+/// `regs` and `locals` grow to each program's requirements and are reused
+/// across calls — hot callers keep one VmContext per run, not per eval.
+struct VmContext {
+  const VarTable* vars = nullptr;
+  const State* current = nullptr;
+  const State* next = nullptr;
+  std::vector<Value> regs;
+  std::vector<Value> locals;
+};
+
+/// Executes `p`, returning the value left in register 0. Throws the tree
+/// evaluator's exact errors on failing inputs. Counts every retired
+/// instruction toward Counter::VmInstrsExecuted (flushed once per call,
+/// including on the throwing paths).
+Value run(const Program& p, VmContext& ctx);
+
+/// `run` + the tree's boolean check ("eval: expected a boolean, got ...").
+bool run_bool(const Program& p, VmContext& ctx);
+
+/// Test/CLI hook, exactly like ActionSuccessors::set_naive_enumeration_-
+/// for_test: when set, every CompiledExpr dispatches to the tree
+/// evaluator instead of its bytecode. The two paths must agree on every
+/// observable — the differential tests toggle this to prove it. Global;
+/// not for concurrent use with live evaluations.
+void set_tree_eval_for_test(bool tree);
+
+/// True when the switch above forces tree evaluation.
+bool tree_eval_forced();
+
+/// One engine expression, lowered once, dispatched per evaluation.
+///
+/// For *closed* expressions only (no free quantifier-bound variables):
+/// programs compile with an empty scope, so a free Local traps with the
+/// tree's empty-environment "unbound local" error. Every integration site
+/// (guards, assignment RHS, residual conjuncts, invariants, oracle
+/// atoms) evaluates closed expressions.
+class CompiledExpr {
+ public:
+  CompiledExpr() = default;
+  /// Lowers `e`; on CompileLimit the instance stays valid and evaluates
+  /// through the tree unconditionally.
+  explicit CompiledExpr(Expr e);
+
+  const Expr& expr() const { return expr_; }
+  bool compiled() const { return has_prog_; }
+  const Program& program() const { return prog_; }
+
+  /// Evaluates via bytecode, or via the tree when the runtime switch
+  /// forces it (or compilation hit a limit). `ctx` supplies the state
+  /// triple and scratch; its locals are not an environment (closed-
+  /// expression contract above).
+  Value eval(VmContext& ctx) const;
+  bool eval_bool(VmContext& ctx) const;
+
+ private:
+  Expr expr_;
+  Program prog_;
+  bool has_prog_ = false;
+};
+
+}  // namespace opentla::vm

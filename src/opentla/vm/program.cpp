@@ -1,0 +1,199 @@
+#include "opentla/vm/program.hpp"
+
+#include <cstdio>
+
+namespace opentla::vm {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::LoadConst: return "LoadConst";
+    case Op::LoadVar: return "LoadVar";
+    case Op::LoadLocal: return "LoadLocal";
+    case Op::UnboundLocal: return "UnboundLocal";
+    case Op::NullExpr: return "NullExpr";
+    case Op::Jump: return "Jump";
+    case Op::JumpIfFalse: return "JumpIfFalse";
+    case Op::JumpIfTrue: return "JumpIfTrue";
+    case Op::Not: return "Not";
+    case Op::TestBool: return "TestBool";
+    case Op::Equiv: return "Equiv";
+    case Op::Eq: return "Eq";
+    case Op::Lt: return "Lt";
+    case Op::Le: return "Le";
+    case Op::Gt: return "Gt";
+    case Op::Ge: return "Ge";
+    case Op::Add: return "Add";
+    case Op::Sub: return "Sub";
+    case Op::Mul: return "Mul";
+    case Op::Mod: return "Mod";
+    case Op::Neg: return "Neg";
+    case Op::MakeTuple: return "MakeTuple";
+    case Op::Head: return "Head";
+    case Op::Tail: return "Tail";
+    case Op::Len: return "Len";
+    case Op::Concat: return "Concat";
+    case Op::Append: return "Append";
+    case Op::Index: return "Index";
+    case Op::Unchanged: return "Unchanged";
+    case Op::TupleEq: return "TupleEq";
+    case Op::CmpVarVar: return "CmpVarVar";
+    case Op::CmpVarConst: return "CmpVarConst";
+    case Op::LenVar: return "LenVar";
+    case Op::VarCheck: return "VarCheck";
+    case Op::EqVarReg: return "EqVarReg";
+    case Op::Exists: return "Exists";
+    case Op::Forall: return "Forall";
+    case Op::Enabled: return "Enabled";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string reg_name(std::uint16_t r) { return "r" + std::to_string(r); }
+
+std::string var_name(std::uint16_t v, bool primed) {
+  return "v" + std::to_string(v) + (primed ? "'" : "");
+}
+
+const char* cmp_sym(CmpKind k) {
+  switch (k) {
+    case CmpKind::Eq: return "=";
+    case CmpKind::Neq: return "/=";
+    case CmpKind::Lt: return "<";
+    case CmpKind::Le: return "<=";
+    case CmpKind::Gt: return ">";
+    case CmpKind::Ge: return ">=";
+  }
+  return "?";
+}
+
+std::string reg_range(std::uint16_t first, std::uint32_t n) {
+  if (n == 0) return "<< >>";
+  return "<<" + reg_name(first) + ".." +
+         reg_name(static_cast<std::uint16_t>(first + n - 1)) + ">>";
+}
+
+std::string operands(const Program& p, const Instr& in) {
+  const std::string dst = reg_name(in.dst);
+  switch (in.op) {
+    case Op::LoadConst:
+      return dst + " <- " + p.consts[in.imm].to_string();
+    case Op::LoadVar:
+      return dst + " <- " + var_name(in.a, in.flags & kPrimedA);
+    case Op::LoadLocal:
+      return dst + " <- l" + std::to_string(in.a);
+    case Op::UnboundLocal:
+      return "trap unbound local '" + p.names[in.imm] + "'";
+    case Op::NullExpr:
+      return "trap null expression";
+    case Op::Jump: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "-> %04u", in.imm);
+      return buf;
+    }
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "if %sr%u -> %04u",
+                    in.op == Op::JumpIfFalse ? "!" : "", in.a, in.imm);
+      return buf;
+    }
+    case Op::Not:
+      return dst + " <- !" + reg_name(in.a);
+    case Op::TestBool:
+      return dst + " <- bool " + reg_name(in.a);
+    case Op::Equiv:
+      return dst + " <- " + reg_name(in.a) + " <=> " + reg_name(in.b);
+    case Op::Eq:
+      return dst + " <- " + reg_name(in.a) + ((in.flags & kNegate) ? " /= " : " = ") +
+             reg_name(in.b);
+    case Op::Lt:
+      return dst + " <- " + reg_name(in.a) + " < " + reg_name(in.b);
+    case Op::Le:
+      return dst + " <- " + reg_name(in.a) + " <= " + reg_name(in.b);
+    case Op::Gt:
+      return dst + " <- " + reg_name(in.a) + " > " + reg_name(in.b);
+    case Op::Ge:
+      return dst + " <- " + reg_name(in.a) + " >= " + reg_name(in.b);
+    case Op::Add:
+      return dst + " <- " + reg_name(in.a) + " + " + reg_name(in.b);
+    case Op::Sub:
+      return dst + " <- " + reg_name(in.a) + " - " + reg_name(in.b);
+    case Op::Mul:
+      return dst + " <- " + reg_name(in.a) + " * " + reg_name(in.b);
+    case Op::Mod:
+      return dst + " <- " + reg_name(in.a) + " % " + reg_name(in.b);
+    case Op::Neg:
+      return dst + " <- -" + reg_name(in.a);
+    case Op::MakeTuple:
+      return dst + " <- " + reg_range(in.a, in.b);
+    case Op::Head:
+      return dst + " <- Head " + reg_name(in.a);
+    case Op::Tail:
+      return dst + " <- Tail " + reg_name(in.a);
+    case Op::Len:
+      return dst + " <- Len " + reg_name(in.a);
+    case Op::LenVar:
+      return dst + " <- Len " + var_name(in.a, in.flags & kPrimedA);
+    case Op::VarCheck:
+      return "check " + var_name(in.a, in.flags & kPrimedA);
+    case Op::EqVarReg:
+      return dst + " <- " + var_name(in.a, in.flags & kPrimedA) +
+             ((in.flags & kNegate) ? " /= " : " = ") + reg_name(in.b);
+    case Op::Concat:
+      return dst + " <- " + reg_name(in.a) + " \\o " + reg_name(in.b);
+    case Op::Append:
+      return dst + " <- Append(" + reg_name(in.a) + ", " + reg_name(in.b) + ")";
+    case Op::Index:
+      return dst + " <- " + reg_name(in.a) + "[" + reg_name(in.b) + "]";
+    case Op::Unchanged: {
+      std::string vs;
+      for (VarId v : p.var_lists[in.imm]) {
+        if (!vs.empty()) vs += ", ";
+        vs += "v" + std::to_string(v);
+      }
+      return dst + " <- UNCHANGED <<" + vs + ">>";
+    }
+    case Op::TupleEq:
+      return dst + " <- " + reg_range(in.a, in.imm) +
+             ((in.flags & kNegate) ? " /= " : " = ") + reg_range(in.b, in.imm);
+    case Op::CmpVarVar:
+      return dst + " <- " + var_name(in.a, in.flags & kPrimedA) + " " +
+             cmp_sym(static_cast<CmpKind>(in.flags & kCmpMask)) + " " +
+             var_name(in.b, in.flags & kPrimedB);
+    case Op::CmpVarConst: {
+      const std::string v = var_name(in.a, in.flags & kPrimedA);
+      const std::string c = p.consts[in.imm].to_string();
+      const std::string sym = cmp_sym(static_cast<CmpKind>(in.flags & kCmpMask));
+      if (in.flags & kSwapped) return dst + " <- " + c + " " + sym + " " + v;
+      return dst + " <- " + v + " " + sym + " " + c;
+    }
+    case Op::Exists:
+    case Op::Forall:
+      return dst + " <- " + (in.op == Op::Exists ? "\\E" : "\\A") + " l" +
+             std::to_string(in.a) + " in d" + std::to_string(in.imm_hi()) +
+             ": body " + reg_name(in.b) + " len " + std::to_string(in.imm_lo());
+    case Op::Enabled:
+      return dst + " <- ENABLED e" + std::to_string(in.imm);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string disassemble(const Program& p) {
+  std::string out = "program: " + std::to_string(p.instrs.size()) + " instrs, " +
+                    std::to_string(p.num_regs) + " regs, " +
+                    std::to_string(p.num_locals) + " locals\n";
+  for (std::size_t i = 0; i < p.instrs.size(); ++i) {
+    char head[64];
+    std::snprintf(head, sizeof head, "%04zu %-12s ", i, to_string(p.instrs[i].op));
+    out += head;
+    out += operands(p, p.instrs[i]);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace opentla::vm

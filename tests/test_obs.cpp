@@ -192,7 +192,9 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"residual_early_cuts\": 0,\n"
       "    \"analysis_pairs_independent\": 0,\n"
       "    \"analysis_pairs_dependent\": 0,\n"
-      "    \"budget_stops\": 0\n"
+      "    \"budget_stops\": 0,\n"
+      "    \"vm_programs_compiled\": 0,\n"
+      "    \"vm_instrs_executed\": 0\n"
       "  },\n"
       "  \"gauges\": {\n"
       "    \"peak_configuration_count\": 0,\n"

@@ -1,0 +1,355 @@
+// Unit tests for the bytecode VM (opentla/vm): compiler goldens pinning
+// the superinstruction lowerings, interpreter edge cases with exact error
+// parity against the tree evaluator, compile determinism, and the
+// CompiledExpr dispatch switch.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "opentla/expr/eval.hpp"
+#include "opentla/expr/expr.hpp"
+#include "opentla/state/var_table.hpp"
+#include "opentla/vm/compile.hpp"
+#include "opentla/vm/interp.hpp"
+
+namespace opentla {
+namespace {
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest() {
+    x = vars.declare("x", range_domain(0, 3));
+    y = vars.declare("y", range_domain(0, 3));
+    z = vars.declare("z", range_domain(0, 3));
+  }
+
+  State state(std::int64_t xv, std::int64_t yv, std::int64_t zv = 0) {
+    return State({Value::integer(xv), Value::integer(yv), Value::integer(zv)});
+  }
+
+  /// Tree and VM results for `e` on the same triple; both evaluators must
+  /// agree on the value or throw the byte-identical message.
+  void expect_parity(const Expr& e, const State* cur, const State* nxt) {
+    EvalContext tctx;
+    tctx.vars = &vars;
+    tctx.current = cur;
+    tctx.next = nxt;
+    vm::VmContext vctx;
+    vctx.vars = &vars;
+    vctx.current = cur;
+    vctx.next = nxt;
+    vm::Program p = vm::compile(e);
+    Value tree_val;
+    std::string tree_err;
+    try {
+      tree_val = eval(e, tctx);
+    } catch (const std::runtime_error& ex) {
+      tree_err = ex.what();
+    }
+    Value vm_val;
+    std::string vm_err;
+    try {
+      vm_val = vm::run(p, vctx);
+    } catch (const std::runtime_error& ex) {
+      vm_err = ex.what();
+    }
+    EXPECT_EQ(tree_err, vm_err) << "expr: " << e.to_string(vars);
+    if (tree_err.empty() && vm_err.empty()) {
+      EXPECT_TRUE(tree_val == vm_val)
+          << "expr: " << e.to_string(vars) << " tree=" << tree_val.to_string()
+          << " vm=" << vm_val.to_string();
+    }
+  }
+
+  VarTable vars;
+  VarId x = 0, y = 0, z = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Compiler goldens: the superinstruction lowerings are part of the public
+// contract (EXPERIMENTS.md VMEVAL reports instruction counts), so their
+// disassembly is pinned byte-for-byte.
+
+TEST_F(VmTest, GoldenUnchangedFusion) {
+  // A run of v' = v conjuncts collapses into one Unchanged frame; the
+  // always-boolean tail needs no TestBool.
+  Expr e = ex::land(ex::gt(ex::var(x), ex::integer(0)), ex::unchanged({y, z}));
+  EXPECT_EQ(vm::disassemble(vm::compile(e)),
+            "program: 3 instrs, 1 regs, 0 locals\n"
+            "0000 CmpVarConst  r0 <- v0 > 0\n"
+            "0001 JumpIfFalse  if !r0 -> 0003\n"
+            "0002 Unchanged    r0 <- UNCHANGED <<v1, v2>>\n");
+}
+
+TEST_F(VmTest, GoldenTupleCompare) {
+  // <<x', y'>> = <<y, x>> evaluates all elements into consecutive
+  // registers and compares pairwise without materializing either tuple.
+  Expr e = ex::eq(ex::make_tuple({ex::primed_var(x), ex::primed_var(y)}),
+                  ex::make_tuple({ex::var(y), ex::var(x)}));
+  EXPECT_EQ(vm::disassemble(vm::compile(e)),
+            "program: 5 instrs, 4 regs, 0 locals\n"
+            "0000 LoadVar      r0 <- v0'\n"
+            "0001 LoadVar      r1 <- v1'\n"
+            "0002 LoadVar      r2 <- v1\n"
+            "0003 LoadVar      r3 <- v0\n"
+            "0004 TupleEq      r0 <- <<r0..r1>> = <<r2..r3>>\n");
+}
+
+TEST_F(VmTest, GoldenBoundedQuantifier) {
+  // The body is a structured range after the head; the loop writes the
+  // bound value into local slot l0 and reads the body result from r1.
+  // `x = i` compares the variable in place (EqVarReg); the VarCheck keeps
+  // the variable's state-lookup error ahead of the rhs, like the tree.
+  Expr e = ex::exists_val("i", range_domain(0, 3),
+                          ex::eq(ex::var(x), ex::local("i")));
+  EXPECT_EQ(vm::disassemble(vm::compile(e)),
+            "program: 4 instrs, 2 regs, 1 locals\n"
+            "0000 Exists       r0 <- \\E l0 in d0: body r1 len 3\n"
+            "0001 VarCheck     check v0\n"
+            "0002 LoadLocal    r1 <- l0\n"
+            "0003 EqVarReg     r1 <- v0 = r1\n");
+}
+
+TEST_F(VmTest, GoldenFusedCompares) {
+  EXPECT_EQ(vm::disassemble(vm::compile(ex::lt(ex::primed_var(y), ex::var(x)))),
+            "program: 1 instrs, 1 regs, 0 locals\n"
+            "0000 CmpVarVar    r0 <- v1' < v0\n");
+  EXPECT_EQ(vm::disassemble(vm::compile(ex::ge(ex::var(x), ex::integer(2)))),
+            "program: 1 instrs, 1 regs, 0 locals\n"
+            "0000 CmpVarConst  r0 <- v0 >= 2\n");
+  // Constant on the left keeps its evaluation-order slot (kSwapped).
+  EXPECT_EQ(vm::disassemble(vm::compile(ex::ge(ex::integer(2), ex::var(x)))),
+            "program: 1 instrs, 1 regs, 0 locals\n"
+            "0000 CmpVarConst  r0 <- 2 >= v0\n");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: compiling the same expression twice yields byte-identical
+// programs (instruction streams, pools, and disassembly).
+
+TEST_F(VmTest, CompileIsDeterministic) {
+  Expr e = ex::land(
+      {ex::gt(ex::var(x), ex::integer(0)),
+       ex::exists_val("i", range_domain(0, 3),
+                      ex::eq(ex::primed_var(y),
+                             ex::add(ex::local("i"), ex::var(x)))),
+       ex::unchanged({z})});
+  vm::Program a = vm::compile(e);
+  vm::Program b = vm::compile(e);
+  ASSERT_EQ(a.instrs.size(), b.instrs.size());
+  for (std::size_t i = 0; i < a.instrs.size(); ++i) {
+    EXPECT_TRUE(a.instrs[i] == b.instrs[i]) << "instr " << i;
+  }
+  EXPECT_EQ(a.consts.size(), b.consts.size());
+  EXPECT_EQ(a.var_lists, b.var_lists);
+  EXPECT_EQ(a.num_regs, b.num_regs);
+  EXPECT_EQ(a.num_locals, b.num_locals);
+  EXPECT_EQ(vm::disassemble(a), vm::disassemble(b));
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter edge cases.
+
+TEST_F(VmTest, EmptyProgramReturnsDefault) {
+  vm::Program p;  // no instructions: register 0 keeps its default
+  vm::VmContext ctx;
+  EXPECT_TRUE(vm::run(p, ctx) == Value::boolean(false));
+}
+
+TEST_F(VmTest, NullExpressionTrapsLazily) {
+  // A null kid compiles (to a trap) and only throws when executed.
+  vm::Program p = vm::compile(ex::lor(ex::boolean(true), Expr()));
+  vm::VmContext ctx;
+  EXPECT_TRUE(vm::run_bool(p, ctx));  // short-circuits before the trap
+  vm::Program q = vm::compile(ex::lor(ex::boolean(false), Expr()));
+  try {
+    vm::run_bool(q, ctx);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "eval: null expression");
+  }
+}
+
+TEST_F(VmTest, DeepNestingHitsDepthCap) {
+  // The compiler recurses once per expression level and caps the depth
+  // at kMaxDepth (kept well under sanitizer stack budgets). A chain that
+  // fits compiles and evaluates; one past the cap throws CompileLimit,
+  // and CompiledExpr falls back to the tree with the same value.
+  auto chain = [](std::size_t depth) {
+    Expr e = ex::integer(1);
+    for (std::size_t i = 0; i < depth; ++i) e = ex::add(ex::integer(0), e);
+    return e;
+  };
+  const Expr fits = chain(vm::kMaxDepth - 8);
+  vm::Program p = vm::compile(fits);
+  vm::VmContext ctx;
+  EXPECT_TRUE(vm::run(p, ctx) == Value::integer(1));
+
+  const Expr too_deep = chain(vm::kMaxDepth + 8);
+  EXPECT_THROW(vm::compile(too_deep), vm::CompileLimit);
+  const vm::CompiledExpr deep_fallback(too_deep);
+  EXPECT_FALSE(deep_fallback.compiled());
+  EXPECT_TRUE(deep_fallback.eval(ctx) == Value::integer(1));
+}
+
+TEST_F(VmTest, WideTupleHitsRegisterCap) {
+  // A tuple literal holds every element in a register at once, so a
+  // wide-enough tuple exhausts the register file at depth 2 and falls
+  // back to the tree.
+  auto wide = [](std::size_t arity) {
+    std::vector<Expr> kids;
+    for (std::size_t i = 0; i < arity; ++i) {
+      kids.push_back(ex::integer(static_cast<std::int64_t>(i)));
+    }
+    return ex::make_tuple(std::move(kids));
+  };
+  const Expr fits = wide(64);
+  vm::VmContext ctx;
+  vm::Program p = vm::compile(fits);
+  EXPECT_TRUE(vm::run(p, ctx).as_tuple().size() == 64);
+
+  const Expr too_wide = wide(vm::kMaxRegs + 8);
+  EXPECT_THROW(vm::compile(too_wide), vm::CompileLimit);
+  const vm::CompiledExpr wide_fallback(too_wide);
+  EXPECT_FALSE(wide_fallback.compiled());
+  EXPECT_TRUE(wide_fallback.eval(ctx).as_tuple().size() == vm::kMaxRegs + 8);
+}
+
+TEST_F(VmTest, CheckedArithmeticTraps) {
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const State s = state(1, 2);
+  expect_parity(ex::add(ex::constant(Value::integer(kMax)), ex::integer(1)), &s,
+                nullptr);
+  expect_parity(ex::sub(ex::constant(Value::integer(kMin)), ex::integer(1)), &s,
+                nullptr);
+  expect_parity(ex::mul(ex::constant(Value::integer(kMax)), ex::integer(2)), &s,
+                nullptr);
+  expect_parity(ex::neg(ex::constant(Value::integer(kMin))), &s, nullptr);
+  // TLC floored modulo: b <= 0 is a domain error, negative a is not.
+  expect_parity(ex::mod(ex::var(x), ex::integer(0)), &s, nullptr);
+  expect_parity(ex::mod(ex::integer(-3), ex::integer(2)), &s, nullptr);
+  expect_parity(ex::mod(ex::neg(ex::integer(7)), ex::var(y)), &s, nullptr);
+}
+
+TEST_F(VmTest, ErrorMessageParity) {
+  const State s = state(1, 2);
+  // Unbound local: closed-expression contract, empty environment.
+  expect_parity(ex::local("ghost"), &s, nullptr);
+  // Primed variable without a next state.
+  expect_parity(ex::primed_var(x), &s, nullptr);
+  // No current state at all.
+  expect_parity(ex::var(x), nullptr, nullptr);
+  // Kind mismatch surfaces the accessor's message through both paths.
+  expect_parity(ex::add(ex::var(x), ex::boolean(true)), &s, nullptr);
+  // Sequence index out of range.
+  expect_parity(ex::index(ex::make_tuple({ex::var(x)}), ex::integer(5)), &s,
+                nullptr);
+  // Non-boolean where a boolean is required.
+  expect_parity(ex::land(ex::integer(3), ex::boolean(true)), &s, nullptr);
+}
+
+TEST_F(VmTest, RunBoolRejectsNonBoolean) {
+  vm::Program p = vm::compile(ex::add(ex::integer(1), ex::integer(2)));
+  vm::VmContext ctx;
+  try {
+    vm::run_bool(p, ctx);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "eval: expected a boolean, got 3");
+  }
+}
+
+TEST_F(VmTest, ShortCircuitIsLazy) {
+  const State s = state(0, 2);
+  // The right operand would trap (x = 0 -> index 0 out of range); the
+  // tree never evaluates it, so neither must the VM.
+  Expr guard = ex::gt(ex::var(x), ex::integer(0));
+  Expr trap = ex::eq(ex::index(ex::make_tuple({ex::var(y)}), ex::var(x)),
+                     ex::integer(2));
+  expect_parity(ex::land(guard, trap), &s, nullptr);
+  expect_parity(ex::lor(ex::lnot(guard), ex::boolean(true)), &s, nullptr);
+  expect_parity(ex::implies(guard, trap), &s, nullptr);
+  expect_parity(ex::ite(guard, trap, ex::boolean(false)), &s, nullptr);
+}
+
+TEST_F(VmTest, IndexIntoAliasedRegisterRegression) {
+  // regs[dst] used to alias the tuple being indexed (dst == base register),
+  // so the assignment destroyed the tuple mid-read. Pinned by the QueueHistory
+  // FIFO invariant shape that exposed it.
+  VarTable vt;
+  const VarId h = vt.declare("h", range_domain(0, 1));
+  const State s(std::vector<Value>{Value::tuple({Value::integer(7)})});
+  Expr e = ex::implies(ex::boolean(true),
+                       ex::eq(ex::index(ex::var(h), ex::integer(1)),
+                              ex::integer(7)));
+  vm::Program p = vm::compile(e);
+  vm::VmContext ctx;
+  ctx.vars = &vt;
+  ctx.current = &s;
+  EXPECT_TRUE(vm::run_bool(p, ctx));
+}
+
+TEST_F(VmTest, QuantifierOverEnabledParity) {
+  // ENABLED delegates to the tree's witness search with the quantifier
+  // scope rebuilt from local slots: \E i : ENABLED (x' = i) must see i.
+  const State s = state(1, 2);
+  Expr act = ex::eq(ex::primed_var(x), ex::local("i"));
+  Expr e = ex::exists_val("i", range_domain(2, 3), ex::enabled(act));
+  EvalContext tctx;
+  tctx.vars = &vars;
+  tctx.current = &s;
+  vm::VmContext vctx;
+  vctx.vars = &vars;
+  vctx.current = &s;
+  vm::Program p = vm::compile(e);
+  EXPECT_EQ(eval_bool(e, tctx), vm::run_bool(p, vctx));
+  EXPECT_TRUE(vm::run_bool(p, vctx));
+  // Out-of-domain witness: i ranges over values x' can never take.
+  Expr none = ex::exists_val("i", range_domain(7, 9), ex::enabled(act));
+  vm::Program q = vm::compile(none);
+  EXPECT_FALSE(vm::run_bool(q, vctx));
+}
+
+// ---------------------------------------------------------------------------
+// CompiledExpr dispatch.
+
+TEST_F(VmTest, TreeEvalSwitchDispatches) {
+  const State s = state(2, 1);
+  const vm::CompiledExpr ce(ex::add(ex::var(x), ex::var(y)));
+  ASSERT_TRUE(ce.compiled());
+  vm::VmContext ctx;
+  ctx.vars = &vars;
+  ctx.current = &s;
+  EXPECT_TRUE(ce.eval(ctx) == Value::integer(3));
+  vm::set_tree_eval_for_test(true);
+  EXPECT_TRUE(vm::tree_eval_forced());
+  EXPECT_TRUE(ce.eval(ctx) == Value::integer(3));
+  vm::set_tree_eval_for_test(false);
+  EXPECT_FALSE(vm::tree_eval_forced());
+}
+
+TEST_F(VmTest, QuantifierBodyRegisterReuseAcrossIterations) {
+  // Each iteration re-executes the body with a fresh local; stale register
+  // contents from iteration k must not leak into k+1's verdict.
+  const State s = state(3, 0);
+  Expr e = ex::forall_val(
+      "i", range_domain(0, 3),
+      ex::implies(ex::eq(ex::local("i"), ex::var(x)),
+                  ex::ge(ex::mul(ex::local("i"), ex::local("i")),
+                         ex::var(x))));
+  expect_parity(e, &s, nullptr);
+  Expr nested = ex::exists_val(
+      "i", range_domain(0, 2),
+      ex::forall_val("j", range_domain(0, 2),
+                     ex::ge(ex::add(ex::local("i"), ex::local("j")),
+                            ex::local("j"))));
+  expect_parity(nested, &s, nullptr);
+}
+
+}  // namespace
+}  // namespace opentla

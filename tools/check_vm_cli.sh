@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end check of the bytecode-VM CLI surface:
+#
+#   1. tree/VM identity: for a spread of subcommands and bundled specs,
+#      running with and without --tree-eval produces byte-identical
+#      output and identical exit codes — including a violated-invariant
+#      counterexample trace, a deterministic full state dump over
+#      sequence-valued variables, and a deadlock verdict;
+#   2. in an obs-on build, `--stats` appends the "--- vm ---" section
+#      with mode "vm", a nonzero vm_programs_compiled, and a nonzero
+#      vm_instrs_executed; under --tree-eval the mode flips to "tree"
+#      and vm_instrs_executed stays 0 (programs still compile at
+#      construction);
+#   3. `profile` surfaces the same vm section in its human format;
+#   4. --tree-eval composes with any subcommand and an unknown flag
+#      still exits 2;
+#   5. in --obs-off mode (binary built with -DOPENTLA_OBS=OFF) the
+#      identity checks all run — the evaluator switch is not an obs
+#      feature — and only the counter probes are skipped.
+#
+# Usage: tools/check_vm_cli.sh <tlacheck-binary> [--obs-off]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+tlacheck="${1:?usage: check_vm_cli.sh <tlacheck-binary> [--obs-off]}"
+obs_off=0
+[ "${2:-}" = "--obs-off" ] && obs_off=1
+specs="${repo_root}/specs"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+  echo "check_vm_cli: FAIL: $*" >&2
+  exit 1
+}
+
+# Runs "$@" twice — once per evaluator — and insists on identical bytes
+# and identical exit codes.
+identical() {
+  local label="$1"
+  shift
+  local rc_vm=0 rc_tree=0
+  "$tlacheck" "$@" > "$workdir/vm.out" 2>&1 || rc_vm=$?
+  "$tlacheck" "$@" --tree-eval > "$workdir/tree.out" 2>&1 || rc_tree=$?
+  [ "$rc_vm" -eq "$rc_tree" ] \
+    || fail "$label: exit codes differ (vm=$rc_vm tree=$rc_tree)"
+  cmp -s "$workdir/vm.out" "$workdir/tree.out" \
+    || fail "$label: output differs between VM and tree evaluator"
+  echo "ok: tree/vm identical: $label (exit $rc_vm)"
+}
+
+# --- 1. Tree/VM identity across subcommands and specs. ---
+
+identical "states --dump round_robin" states "$specs/round_robin.tla" --dump
+identical "states --dump peterson" states "$specs/peterson.tla" --dump
+identical "check mutex (holds)" check "$specs/mutex.tla"
+identical "check counter (violated + counterexample)" \
+  check "$specs/counter.tla" --invariant "x < 3"
+identical "deadlock hour_clock" deadlock "$specs/hour_clock.tla"
+identical "closure counter_mod2" closure "$specs/counter_mod2.tla"
+
+# --- 4. Flag handling (checked early so failures read in CLI terms). ---
+
+rc=0
+"$tlacheck" states "$specs/counter.tla" --tree-eval --no-such-flag \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "unknown flag beside --tree-eval: expected exit 2, got $rc"
+echo "ok: unknown flag still exits 2 with --tree-eval present"
+
+# --- 2 + 3. Obs counters and the profile section (obs-on builds only). ---
+
+if [ "$obs_off" -eq 1 ]; then
+  echo "ok: --obs-off build ran every identity check above (the evaluator"
+  echo "    switch works without the obs registry)"
+  echo "check_vm_cli: all checks passed (--obs-off mode)"
+  exit 0
+fi
+
+out="$("$tlacheck" check "$specs/counter.tla" --stats)"
+grep -q -- "--- vm ---" <<<"$out" || fail "--stats lacks the vm section"
+grep -q "^mode: vm$" <<<"$out" || fail "--stats vm section: mode is not 'vm'"
+grep -Eq "^vm_programs_compiled: [1-9][0-9]*$" <<<"$out" \
+  || fail "--stats: vm_programs_compiled is zero or missing"
+grep -Eq "^vm_instrs_executed: [1-9][0-9]*$" <<<"$out" \
+  || fail "--stats: vm_instrs_executed is zero or missing"
+echo "ok: --stats vm section (mode vm, nonzero compile/execute counters)"
+
+out="$("$tlacheck" check "$specs/counter.tla" --tree-eval --stats)"
+grep -q "^mode: tree$" <<<"$out" \
+  || fail "--tree-eval --stats: mode is not 'tree'"
+grep -q "^vm_instrs_executed: 0$" <<<"$out" \
+  || fail "--tree-eval --stats: vm_instrs_executed should be 0"
+grep -Eq "^vm_programs_compiled: [1-9][0-9]*$" <<<"$out" \
+  || fail "--tree-eval --stats: programs still compile at construction"
+echo "ok: --tree-eval flips the mode and executes zero VM instructions"
+
+out="$("$tlacheck" profile check "$specs/counter.tla")"
+grep -q -- "--- vm ---" <<<"$out" || fail "profile lacks the vm section"
+grep -q "^mode: vm$" <<<"$out" || fail "profile vm section: mode is not 'vm'"
+echo "ok: profile surfaces the vm section"
+
+echo "check_vm_cli: all checks passed"

@@ -142,6 +142,7 @@
 #include "opentla/parser/parser.hpp"
 #include "opentla/run/budget.hpp"
 #include "opentla/run/ledger.hpp"
+#include "opentla/vm/interp.hpp"
 
 using namespace opentla;
 
@@ -173,6 +174,8 @@ int usage() {
          "         --flight-out FILE (dump path, default flight_recorder.jsonl)\n"
          "         --serve-metrics PORT (live /metrics + /progress on 127.0.0.1)\n"
          "         --serve-hold-ms MS (keep serving after the verdict)\n"
+         "         --tree-eval (force the tree evaluator instead of the bytecode\n"
+         "         VM; verdicts and graphs are identical either way)\n"
          "         --run-ledger FILE (append one JSONL line per run)\n"
          "         (the live-observability flags need OPENTLA_OBS=ON)\n"
          "exit codes (all subcommands; profile forwards the wrapped one's):\n"
@@ -895,6 +898,8 @@ int main(int argc, char** argv) {
       ledger_file = args[++i];
     } else if (args[i] == "--stats") {
       stats = true;
+    } else if (args[i] == "--tree-eval") {
+      opentla::vm::set_tree_eval_for_test(true);
     } else if (args[i] == "--werror") {
       werror = true;
     } else if (args[i] == "--independence") {
@@ -1134,13 +1139,27 @@ int main(int argc, char** argv) {
     obs::ScopedSink sink;
     const int rc = dispatch();
     obs::Snapshot snap = sink.take();
+    // Expression-evaluator section: which engine ran and how much bytecode
+    // it retired. Appended to human-readable stats/profile output only; the
+    // JSON/trace renders already carry the vm_* counters.
+    const auto vm_section = [&snap] {
+      std::ostringstream os;
+      os << "--- vm ---\n"
+         << "mode: " << (vm::tree_eval_forced() ? "tree" : "vm") << "\n"
+         << "vm_programs_compiled: "
+         << snap.counter(obs::Counter::VmProgramsCompiled) << "\n"
+         << "vm_instrs_executed: "
+         << snap.counter(obs::Counter::VmInstrsExecuted) << "\n";
+      return os.str();
+    };
     if (!profiling) {
-      std::cout << "--- stats ---\n" << obs::render_human(snap);
+      std::cout << "--- stats ---\n" << obs::render_human(snap) << vm_section();
       return finish(rc);
     }
-    const std::string rendered = format == "trace"  ? obs::render_chrome_trace(snap)
-                                 : format == "json" ? obs::render_json(snap)
-                                                    : obs::render_human(snap);
+    const std::string rendered =
+        format == "trace"  ? obs::render_chrome_trace(snap)
+        : format == "json" ? obs::render_json(snap)
+                           : obs::render_human(snap) + vm_section();
     if (out_file.empty()) {
       std::cout << rendered;
     } else {
