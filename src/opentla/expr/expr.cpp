@@ -136,4 +136,28 @@ Expr primed_var_tuple(const std::vector<VarId>& vs) {
 }
 
 }  // namespace ex
+
+std::uint64_t expr_deep_bytes(const Expr& e,
+                              std::unordered_set<const ExprNode*>& seen) {
+  if (e.is_null()) return 0;
+  const ExprNode& n = e.node();
+  // Macro splices share whole subtrees between definitions and use sites;
+  // each shared node's heap bytes exist once, so count it once.
+  if (!seen.insert(&n).second) return 0;
+  std::uint64_t bytes = sizeof(ExprNode);
+  // The node embeds a Value; value_deep_bytes counts sizeof(Value) itself,
+  // so only the spill-over (heap strings, tuple elements) is added here.
+  bytes += value_deep_bytes(n.value) - sizeof(Value);
+  if (n.local.capacity() > sizeof(std::string) - 1) bytes += n.local.capacity() + 1;
+  for (const Value& v : n.domain.values()) bytes += value_deep_bytes(v);
+  bytes += n.kids.capacity() * sizeof(Expr);
+  for (const Expr& k : n.kids) bytes += expr_deep_bytes(k, seen);
+  return bytes;
+}
+
+std::uint64_t expr_deep_bytes(const Expr& e) {
+  std::unordered_set<const ExprNode*> seen;
+  return expr_deep_bytes(e, seen);
+}
+
 }  // namespace opentla

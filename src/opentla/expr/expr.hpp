@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "opentla/state/var_table.hpp"
@@ -97,6 +98,15 @@ class Expr {
  private:
   std::shared_ptr<const ExprNode> node_;
 };
+
+/// Approximate bytes retained by the tree rooted at `e`: node structs,
+/// deep Value/Domain payloads, heap-allocated local names, and the kids
+/// vectors. Shared subtrees (macro splices) are counted once — nodes
+/// already in `seen` contribute 0 and every visited node is added, so
+/// summing over several trees with one shared set counts each unique node
+/// exactly once. Null handles count 0. Feeds the parser memory domain.
+std::uint64_t expr_deep_bytes(const Expr& e, std::unordered_set<const ExprNode*>& seen);
+std::uint64_t expr_deep_bytes(const Expr& e);
 
 namespace ex {
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "opentla/obs/memory.hpp"
 #include "opentla/obs/obs.hpp"
 #include "opentla/par/explore.hpp"
 
@@ -34,13 +35,25 @@ StateGraph::StateGraph(const VarTable& vars, const std::vector<State>& init_stat
   adjacency_ = std::move(r.adjacency);
   num_edges_ = r.num_edges;
   stop_reason_ = r.stop_reason;
+  account_adjacency();
+}
+
+void StateGraph::account_adjacency() {
+  if (!obs::enabled()) return;
+  std::uint64_t bytes = adjacency_.capacity() * sizeof(std::vector<StateId>);
+  for (const std::vector<StateId>& out : adjacency_) {
+    bytes += out.capacity() * sizeof(StateId);
+  }
+  adj_mem_.set(bytes);
 }
 
 void StateGraph::explore_serial(const std::vector<State>& init_states, const SuccessorFn& succ,
                                 bool add_self_loops, std::size_t max_states,
                                 run::RunBudget* budget) {
   OPENTLA_OBS_SPAN("StateGraph.explore");
-  std::deque<StateId> frontier;
+  // The BFS frontier charges the frontier memory domain as it grows.
+  std::deque<StateId, obs::CountingAllocator<StateId>> frontier{
+      obs::CountingAllocator<StateId>(obs::MemDomain::Frontier)};
   for (const State& s : init_states) {
     // Capacity check BEFORE interning: a state past the cap is never added,
     // so the graph holds exactly min(reachable, max_states) states — the
@@ -114,6 +127,7 @@ void StateGraph::explore_serial(const std::vector<State>& init_states, const Suc
   }
   OPENTLA_OBS_LEVEL_SET(FrontierSize, 0);
   OPENTLA_OBS_GAUGE_MAX(PeakGraphStates, store_.size());
+  account_adjacency();
   if (stop_reason_ != run::StopReason::kCompleted && budget != nullptr) {
     // Latch the breach into the budget so obs counters and the flight
     // recorder see state-budget stops the same way they see deadline ones.

@@ -89,6 +89,9 @@ class StateGraph {
  private:
   void explore_serial(const std::vector<State>& init_states, const SuccessorFn& succ,
                       bool add_self_loops, std::size_t max_states, run::RunBudget* budget);
+  /// Re-measure the adjacency structure into the state-graph memory
+  /// domain (one O(states) capacity walk after construction).
+  void account_adjacency();
 
   const VarTable* vars_;
   StateStore store_;
@@ -96,6 +99,7 @@ class StateGraph {
   std::vector<std::vector<StateId>> adjacency_;
   std::size_t num_edges_ = 0;
   run::StopReason stop_reason_ = run::StopReason::kCompleted;
+  obs::MemTally adj_mem_{obs::MemDomain::StateGraph};
 };
 
 }  // namespace opentla

@@ -67,6 +67,44 @@ std::string render_openmetrics(const Snapshot& snap) {
     out << "opentla_" << n << "_sum " << hist.sum << "\n";
     out << "opentla_" << n << "_count " << hist.count << "\n";
   }
+  // Memory accounting: per-domain live/peak gauges, the per-domain
+  // allocation-size histograms, and the headline bytes_per_state.
+  out << "# TYPE opentla_mem_live_bytes gauge\n";
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    out << "opentla_mem_live_bytes{domain=\"" << name(static_cast<MemDomain>(d))
+        << "\"} " << snap.mem[d].live_bytes << "\n";
+  }
+  out << "# TYPE opentla_mem_peak_bytes gauge\n";
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    out << "opentla_mem_peak_bytes{domain=\"" << name(static_cast<MemDomain>(d))
+        << "\"} " << snap.mem[d].peak_bytes << "\n";
+  }
+  out << "# TYPE opentla_mem_alloc_size_bytes histogram\n";
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    const MemDomainSnapshot& ms = snap.mem[d];
+    if (ms.allocs == 0) continue;
+    const char* dn = name(static_cast<MemDomain>(d));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      cum += ms.alloc_size_buckets[b];
+      if (b + 1 == kHistBuckets) {
+        out << "opentla_mem_alloc_size_bytes_bucket{domain=\"" << dn
+            << "\",le=\"+Inf\"} " << cum << "\n";
+      } else {
+        if (ms.alloc_size_buckets[b] == 0 && b != 0) continue;
+        out << "opentla_mem_alloc_size_bytes_bucket{domain=\"" << dn << "\",le=\""
+            << hist_bucket_le(b) << "\"} " << cum << "\n";
+      }
+    }
+    out << "opentla_mem_alloc_size_bytes_sum{domain=\"" << dn << "\"} "
+        << ms.alloc_size_sum << "\n";
+    out << "opentla_mem_alloc_size_bytes_count{domain=\"" << dn << "\"} "
+        << ms.allocs << "\n";
+  }
+  out << "# TYPE opentla_mem_tracked_peak_bytes gauge\n";
+  out << "opentla_mem_tracked_peak_bytes " << snap.mem_tracked_peak_bytes << "\n";
+  out << "# TYPE opentla_bytes_per_state gauge\n";
+  out << "opentla_bytes_per_state " << snap.bytes_per_state() << "\n";
   out << "# EOF\n";
   return out.str();
 }
@@ -98,13 +136,15 @@ void JsonlWriter::write_phase(const PhaseEvent& ev) {
 }
 
 void JsonlWriter::write_progress(const ProgressSample& s) {
-  char buf[320];
+  char buf[400];
   std::snprintf(buf, sizeof buf,
                 "{\"type\":\"progress\",\"seq\":%" PRIu64 ",\"final\":%s,\"ts_us\":%" PRIu64
                 ",\"elapsed_us\":%" PRIu64 ",\"states\":%" PRIu64 ",\"frontier\":%" PRIu64
-                ",\"states_per_sec\":%.1f,\"rss_bytes\":%" PRIu64 "}",
+                ",\"states_per_sec\":%.1f,\"rss_bytes\":%" PRIu64
+                ",\"tracked_bytes\":%" PRIu64 ",\"bytes_per_state\":%" PRIu64 "}",
                 s.seq, s.final_sample ? "true" : "false", s.ts_us, s.elapsed_us, s.states,
-                s.frontier, s.states_per_sec, s.rss_bytes);
+                s.frontier, s.states_per_sec, s.rss_bytes, s.tracked_bytes,
+                s.bytes_per_state);
   write_line(buf);
 }
 

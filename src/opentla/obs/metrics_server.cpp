@@ -43,11 +43,12 @@ std::string http_response(const char* status, const char* content_type,
 }
 
 std::string progress_json(const ProgressSample& s, bool have_sample) {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof buf,
                 "{\"have_sample\": %s, \"seq\": %llu, \"final\": %s, \"ts_us\": %llu, "
                 "\"elapsed_us\": %llu, \"states\": %llu, \"frontier\": %llu, "
-                "\"states_per_sec\": %.1f, \"rss_bytes\": %llu, \"peak_rss_bytes\": %llu}\n",
+                "\"states_per_sec\": %.1f, \"rss_bytes\": %llu, \"peak_rss_bytes\": %llu, "
+                "\"tracked_bytes\": %llu, \"bytes_per_state\": %llu}\n",
                 have_sample ? "true" : "false",
                 static_cast<unsigned long long>(s.seq), s.final_sample ? "true" : "false",
                 static_cast<unsigned long long>(s.ts_us),
@@ -55,7 +56,9 @@ std::string progress_json(const ProgressSample& s, bool have_sample) {
                 static_cast<unsigned long long>(s.states),
                 static_cast<unsigned long long>(s.frontier), s.states_per_sec,
                 static_cast<unsigned long long>(s.rss_bytes),
-                static_cast<unsigned long long>(gauge_value(Gauge::PeakRssBytes)));
+                static_cast<unsigned long long>(gauge_value(Gauge::PeakRssBytes)),
+                static_cast<unsigned long long>(s.tracked_bytes),
+                static_cast<unsigned long long>(s.bytes_per_state));
   return buf;
 }
 

@@ -1,6 +1,8 @@
 #include "opentla/obs/obs.hpp"
 
 #include "opentla/obs/flight_recorder.hpp"
+#include "opentla/obs/memory.hpp"
+#include "opentla/obs/profiler.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -197,11 +199,13 @@ void Span::open(std::string span_name) {
   id_ = detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_ = detail::t_current_span;
   detail::t_current_span = id_;
+  detail::profiler_push_frame(detail::profiler_intern_name(name_));
   start_us_ = now_us();
 }
 
 void Span::close() {
   const std::uint64_t end_us = now_us();
+  detail::profiler_pop_frame();
   detail::t_current_span = parent_;
   SpanRecord rec;
   rec.name = std::move(name_);
@@ -249,6 +253,24 @@ Snapshot snapshot() {
     snap.hists[h].sum = detail::g_bank.hist_sums[h].load(std::memory_order_relaxed);
     snap.hists[h].count = count;
   }
+  auto clamp0 = [](std::int64_t v) {
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0u;
+  };
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    const detail::MemCells& cells = detail::g_mem_bank.domains[d];
+    MemDomainSnapshot& ms = snap.mem[d];
+    ms.live_bytes = clamp0(cells.live.load(std::memory_order_relaxed));
+    ms.peak_bytes = clamp0(cells.peak.load(std::memory_order_relaxed));
+    ms.allocs = cells.allocs.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      ms.alloc_size_buckets[b] = cells.size_buckets[b].load(std::memory_order_relaxed);
+    }
+    ms.alloc_size_sum = cells.size_sum.load(std::memory_order_relaxed);
+  }
+  snap.mem_tracked_live_bytes =
+      clamp0(detail::g_mem_bank.tracked_live.load(std::memory_order_relaxed));
+  snap.mem_tracked_peak_bytes =
+      clamp0(detail::g_mem_bank.tracked_peak.load(std::memory_order_relaxed));
   std::lock_guard<std::mutex> lock(detail::g_span_mutex);
   snap.spans = detail::g_spans;
   snap.spans_dropped = detail::g_spans_dropped;
@@ -267,6 +289,16 @@ void reset() {
     for (auto& cell : hist) cell.store(0, std::memory_order_relaxed);
   }
   for (auto& s : detail::g_bank.hist_sums) s.store(0, std::memory_order_relaxed);
+  for (auto& cells : detail::g_mem_bank.domains) {
+    cells.live.store(0, std::memory_order_relaxed);
+    cells.peak.store(0, std::memory_order_relaxed);
+    cells.allocs.store(0, std::memory_order_relaxed);
+    for (auto& b : cells.size_buckets) b.store(0, std::memory_order_relaxed);
+    cells.size_sum.store(0, std::memory_order_relaxed);
+  }
+  detail::g_mem_bank.tracked_live.store(0, std::memory_order_relaxed);
+  detail::g_mem_bank.tracked_peak.store(0, std::memory_order_relaxed);
+  detail::profiler_reset();
   {
     std::lock_guard<std::mutex> lock(detail::g_label_mutex);
     detail::g_labels = {"_other"};
@@ -433,6 +465,33 @@ std::string render_human(const Snapshot& snap) {
       out << line;
     }
   }
+  // Memory: tracked domains with any activity, then the headline totals.
+  bool mem_header = false;
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    const MemDomainSnapshot& ms = snap.mem[d];
+    if (ms.peak_bytes == 0 && ms.allocs == 0) continue;
+    if (!mem_header) {
+      out << "  memory (tracked bytes by domain):\n";
+      mem_header = true;
+    }
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "    %-14s live %12llu  peak %12llu  allocs %9llu\n",
+                  name(static_cast<MemDomain>(d)),
+                  static_cast<unsigned long long>(ms.live_bytes),
+                  static_cast<unsigned long long>(ms.peak_bytes),
+                  static_cast<unsigned long long>(ms.allocs));
+    out << line;
+  }
+  if (mem_header) {
+    char line[160];
+    std::snprintf(line, sizeof line, "    %-26s %12llu\n", "tracked_peak_bytes",
+                  static_cast<unsigned long long>(snap.mem_tracked_peak_bytes));
+    out << line;
+    std::snprintf(line, sizeof line, "    %-26s %12llu\n", "bytes_per_state",
+                  static_cast<unsigned long long>(snap.bytes_per_state()));
+    out << line;
+  }
   if (!snap.phases.empty()) {
     out << "  phases:\n";
     for (const PhaseEvent& p : snap.phases) {
@@ -515,6 +574,24 @@ std::string render_json(const Snapshot& snap) {
     }
     out << "], \"sum\": " << hist.sum << ", \"count\": " << hist.count << "}";
   }
+  out << "\n  },\n  \"memory\": {\n    \"domains\": {";
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    if (d > 0) out << ",";
+    const MemDomainSnapshot& ms = snap.mem[d];
+    out << "\n      \"" << name(static_cast<MemDomain>(d))
+        << "\": {\"live_bytes\": " << ms.live_bytes
+        << ", \"peak_bytes\": " << ms.peak_bytes << ", \"allocs\": " << ms.allocs
+        << ", \"alloc_size\": {\"buckets\": [";
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (b > 0) out << ", ";
+      out << ms.alloc_size_buckets[b];
+    }
+    out << "], \"sum\": " << ms.alloc_size_sum << ", \"count\": " << ms.allocs
+        << "}}";
+  }
+  out << "\n    },\n    \"tracked_live_bytes\": " << snap.mem_tracked_live_bytes
+      << ",\n    \"tracked_peak_bytes\": " << snap.mem_tracked_peak_bytes
+      << ",\n    \"bytes_per_state\": " << snap.bytes_per_state();
   out << "\n  },\n  \"phases\": [";
   for (std::size_t i = 0; i < snap.phases.size(); ++i) {
     if (i > 0) out << ",";
@@ -570,6 +647,23 @@ std::string render_chrome_trace(const Snapshot& snap) {
         << "\"ts\": " << last_ts << ", \"pid\": 1, \"args\": {\"value\": "
         << snap.counters[i] << "}}";
   }
+  // Memory gauges on the same timeline: one counter track per active
+  // domain (live + peak series) plus the headline bytes_per_state.
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    const MemDomainSnapshot& ms = snap.mem[d];
+    if (ms.peak_bytes == 0 && ms.allocs == 0) continue;
+    sep();
+    out << "  {\"name\": \"mem_" << name(static_cast<MemDomain>(d))
+        << "\", \"ph\": \"C\", \"ts\": " << last_ts
+        << ", \"pid\": 1, \"args\": {\"live_bytes\": " << ms.live_bytes
+        << ", \"peak_bytes\": " << ms.peak_bytes << "}}";
+  }
+  if (snap.mem_tracked_peak_bytes > 0) {
+    sep();
+    out << "  {\"name\": \"mem_tracked\", \"ph\": \"C\", \"ts\": " << last_ts
+        << ", \"pid\": 1, \"args\": {\"peak_bytes\": " << snap.mem_tracked_peak_bytes
+        << ", \"bytes_per_state\": " << snap.bytes_per_state() << "}}";
+  }
   if (snap.spans_dropped > 0) {
     sep();
     out << "  {\"name\": \"spans_dropped\", \"ph\": \"M\", \"pid\": 1, "
@@ -583,7 +677,7 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
   const std::string path = "BENCH_" + bench_name + ".json";
   std::ofstream out(path);
   if (!out) return "";
-  out << "{\n  \"schema\": \"opentla-bench-v2\",\n  \"bench\": \""
+  out << "{\n  \"schema\": \"opentla-bench-v3\",\n  \"bench\": \""
       << json_escape(bench_name) << "\",\n  \"counters\": {";
   for (std::size_t i = 0; i < kNumCounters; ++i) {
     if (i > 0) out << ",";
@@ -618,6 +712,24 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
     }
     out << "], \"sum\": " << hist.sum << ", \"count\": " << hist.count << "}";
   }
+  out << "\n  },\n  \"memory\": {\n    \"domains\": {";
+  for (std::size_t d = 0; d < kNumMemDomains; ++d) {
+    if (d > 0) out << ",";
+    const MemDomainSnapshot& ms = snap.mem[d];
+    out << "\n      \"" << name(static_cast<MemDomain>(d))
+        << "\": {\"live_bytes\": " << ms.live_bytes
+        << ", \"peak_bytes\": " << ms.peak_bytes << ", \"allocs\": " << ms.allocs
+        << ", \"alloc_size\": {\"buckets\": [";
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (b > 0) out << ", ";
+      out << ms.alloc_size_buckets[b];
+    }
+    out << "], \"sum\": " << ms.alloc_size_sum << ", \"count\": " << ms.allocs
+        << "}}";
+  }
+  out << "\n    },\n    \"tracked_live_bytes\": " << snap.mem_tracked_live_bytes
+      << ",\n    \"tracked_peak_bytes\": " << snap.mem_tracked_peak_bytes
+      << ",\n    \"bytes_per_state\": " << snap.bytes_per_state();
   out << "\n  }\n}\n";
   return out ? path : "";
 }

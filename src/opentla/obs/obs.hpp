@@ -99,12 +99,29 @@ enum class Histogram : std::size_t {
   kCount
 };
 
+// --- Memory domains: every tracked allocation is attributed to the
+// subsystem that owns it. Per-domain live/peak byte gauges and a
+// power-of-two allocation-size histogram live in the registry; the RAII
+// scopes, byte tallies, and the counting allocator that feed them are in
+// opentla/obs/memory.hpp.
+enum class MemDomain : std::size_t {
+  StateStore,  // interned state vectors + seen-set nodes (serial & sharded)
+  StateGraph,  // adjacency lists of the built graph
+  Frontier,    // BFS frontier / parallel work deques
+  VmPools,     // compiled bytecode programs (instrs, consts, domains, pools)
+  Parser,      // expression trees retained by parsed modules
+  Oracle,      // lasso-oracle memo table and predicate cache
+  Other,       // tracked bytes with no finer attribution
+  kCount
+};
+
 constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
 constexpr std::size_t kNumGauges = static_cast<std::size_t>(Gauge::kCount);
 constexpr std::size_t kNumLevels = static_cast<std::size_t>(Level::kCount);
 constexpr std::size_t kNumLabeledCounters =
     static_cast<std::size_t>(LabeledCounter::kCount);
 constexpr std::size_t kNumHistograms = static_cast<std::size_t>(Histogram::kCount);
+constexpr std::size_t kNumMemDomains = static_cast<std::size_t>(MemDomain::kCount);
 
 /// Interned labels are bounded: id 0 is the overflow bucket "_other" that
 /// absorbs every label interned past the table's capacity.
@@ -120,6 +137,7 @@ const char* name(Gauge g);
 const char* name(Level l);
 const char* name(LabeledCounter f);
 const char* name(Histogram h);
+const char* name(MemDomain d);
 /// The OpenMetrics label key of a family, e.g. "action" for ActionFired.
 const char* label_key(LabeledCounter f);
 
@@ -149,10 +167,35 @@ struct Bank {
   std::array<std::atomic<std::uint64_t>, kNumHistograms> hist_sums{};
 };
 
+/// Per-domain memory cells. `live` is a signed sum so a free recorded
+/// without its matching alloc (collection toggled mid-object-lifetime)
+/// dips below zero instead of wrapping; snapshots clamp at 0.
+struct MemCells {
+  std::atomic<std::int64_t> live{0};
+  std::atomic<std::int64_t> peak{0};
+  std::atomic<std::uint64_t> allocs{0};
+  std::array<std::atomic<std::uint64_t>, kHistBuckets> size_buckets{};
+  std::atomic<std::uint64_t> size_sum{0};
+};
+
+struct MemBank {
+  std::array<MemCells, kNumMemDomains> domains{};
+  std::atomic<std::int64_t> tracked_live{0};
+  std::atomic<std::int64_t> tracked_peak{0};
+};
+
 extern Bank g_bank;
+extern MemBank g_mem_bank;
 extern std::atomic<bool> g_enabled;
 
 void gauge_max_slow(std::size_t g, std::uint64_t v);
+
+/// Attribute `bytes` to `d` (runtime-gated). Returns true when the bytes
+/// were recorded, so RAII tallies free exactly what they charged.
+bool mem_account_alloc(MemDomain d, std::uint64_t bytes);
+/// Release `bytes` from `d`. NOT gated on the runtime flag: callers
+/// (MemTally) only free bytes a successful mem_account_alloc recorded.
+void mem_account_free(MemDomain d, std::uint64_t bytes);
 
 }  // namespace detail
 
@@ -287,6 +330,17 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
 };
 
+/// One memory domain at snapshot time: live/peak bytes plus the
+/// power-of-two allocation-size histogram (same bucket scheme as
+/// Histogram: hist_bucket_le / hist_bucket_index).
+struct MemDomainSnapshot {
+  std::uint64_t live_bytes = 0;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t allocs = 0;
+  std::array<std::uint64_t, kHistBuckets> alloc_size_buckets{};
+  std::uint64_t alloc_size_sum = 0;
+};
+
 struct Snapshot {
   std::array<std::uint64_t, kNumCounters> counters{};
   std::array<std::uint64_t, kNumGauges> gauges{};
@@ -299,6 +353,12 @@ struct Snapshot {
   std::vector<PhaseEvent> phases;
   std::vector<SpanRecord> spans;
   std::uint64_t spans_dropped = 0;
+  /// Memory accounting. Unlike counters these are absolute registry values
+  /// even under ScopedSink::take() — live bytes describe the process now,
+  /// not a scope-relative delta.
+  std::array<MemDomainSnapshot, kNumMemDomains> mem{};
+  std::uint64_t mem_tracked_live_bytes = 0;
+  std::uint64_t mem_tracked_peak_bytes = 0;
 
   std::uint64_t counter(Counter c) const {
     return counters[static_cast<std::size_t>(c)];
@@ -307,6 +367,15 @@ struct Snapshot {
   std::uint64_t level(Level l) const { return levels[static_cast<std::size_t>(l)]; }
   const HistogramSnapshot& hist(Histogram h) const {
     return hists[static_cast<std::size_t>(h)];
+  }
+  const MemDomainSnapshot& mem_domain(MemDomain d) const {
+    return mem[static_cast<std::size_t>(d)];
+  }
+  /// The headline memory metric: tracked peak bytes over the peak graph
+  /// size (Gauge::PeakGraphStates). 0 until a graph has been built.
+  std::uint64_t bytes_per_state() const {
+    const std::uint64_t states = gauge(Gauge::PeakGraphStates);
+    return states == 0 ? 0 : mem_tracked_peak_bytes / states;
   }
   /// Value of family `f` at `label`, 0 when the label was never interned.
   std::uint64_t labeled_value(LabeledCounter f, const std::string& label) const;
@@ -447,6 +516,34 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
 #define OPENTLA_OBS_SPAN(name_expr) \
   ::opentla::obs::Span OPENTLA_OBS_CONCAT(opentla_obs_span_, __LINE__)(name_expr)
 
+// Memory accounting at a free-standing site. `bytes_expr` stays
+// unevaluated while collection is off, so byte estimators (deep state
+// walks) cost nothing on the disabled path.
+#define OPENTLA_OBS_MEM_ALLOC(domain_id, bytes_expr)                      \
+  do {                                                                    \
+    if (::opentla::obs::enabled())                                        \
+      ::opentla::obs::detail::mem_account_alloc(                          \
+          ::opentla::obs::MemDomain::domain_id,                           \
+          static_cast<std::uint64_t>(bytes_expr));                        \
+  } while (0)
+
+#define OPENTLA_OBS_MEM_FREE(domain_id, bytes_expr)                       \
+  do {                                                                    \
+    if (::opentla::obs::enabled())                                        \
+      ::opentla::obs::detail::mem_account_free(                           \
+          ::opentla::obs::MemDomain::domain_id,                           \
+          static_cast<std::uint64_t>(bytes_expr));                        \
+  } while (0)
+
+// Charge bytes against an owner's obs::MemTally member (memory.hpp). The
+// tally itself re-checks the runtime flag; this macro exists so the
+// byte-estimator argument compiles away entirely with the layer off.
+#define OPENTLA_OBS_MEM_TALLY_ADD(tally, bytes_expr)            \
+  do {                                                          \
+    if (::opentla::obs::enabled())                              \
+      (tally).add(static_cast<std::uint64_t>(bytes_expr));      \
+  } while (0)
+
 #else  // !OPENTLA_OBS_ENABLED
 
 #define OPENTLA_OBS_COUNT(counter_id) ((void)0)
@@ -457,5 +554,8 @@ std::string write_bench_json(const std::string& bench_name, const Snapshot& snap
 #define OPENTLA_OBS_HIST(hist_id, v) ((void)0)
 #define OPENTLA_OBS_PHASE(name_expr) ((void)0)
 #define OPENTLA_OBS_SPAN(name_expr) ((void)0)
+#define OPENTLA_OBS_MEM_ALLOC(domain_id, bytes_expr) ((void)0)
+#define OPENTLA_OBS_MEM_FREE(domain_id, bytes_expr) ((void)0)
+#define OPENTLA_OBS_MEM_TALLY_ADD(tally, bytes_expr) ((void)0)
 
 #endif  // OPENTLA_OBS_ENABLED

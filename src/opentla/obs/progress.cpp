@@ -1,24 +1,9 @@
 #include "opentla/obs/progress.hpp"
 
-#include <cstdio>
-#include <unistd.h>
-
+#include "opentla/obs/memory.hpp"
 #include "opentla/obs/obs.hpp"
 
 namespace opentla::obs {
-
-std::uint64_t read_rss_bytes() {
-  // /proc/self/statm: size resident shared text lib data dt (pages).
-  std::FILE* f = std::fopen("/proc/self/statm", "r");
-  if (!f) return 0;
-  unsigned long long size_pages = 0, resident_pages = 0;
-  const int matched = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
-  std::fclose(f);
-  if (matched != 2) return 0;
-  const long page = ::sysconf(_SC_PAGESIZE);
-  if (page <= 0) return 0;
-  return static_cast<std::uint64_t>(resident_pages) * static_cast<std::uint64_t>(page);
-}
 
 ProgressSampler::ProgressSampler(std::chrono::milliseconds period, Sink sink)
     : period_(period), sink_(std::move(sink)), start_us_(now_us()) {
@@ -57,6 +42,10 @@ ProgressSample ProgressSampler::make_sample() {
   s.frontier = level_get(Level::FrontierSize);
   s.rss_bytes = read_rss_bytes();
   gauge_max(Gauge::PeakRssBytes, s.rss_bytes);
+  const std::int64_t tracked =
+      detail::g_mem_bank.tracked_live.load(std::memory_order_relaxed);
+  s.tracked_bytes = tracked > 0 ? static_cast<std::uint64_t>(tracked) : 0;
+  s.bytes_per_state = s.states > 0 ? s.tracked_bytes / s.states : 0;
   return s;
 }
 

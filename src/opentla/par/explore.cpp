@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "opentla/obs/memory.hpp"
 #include "opentla/obs/obs.hpp"
 #include "opentla/state/sharded_store.hpp"
 
@@ -32,7 +33,9 @@ struct Expanded {
 
 struct WorkQueue {
   std::mutex mu;
-  std::deque<WorkItem> q;
+  // The deque's block allocations charge the frontier memory domain.
+  std::deque<WorkItem, obs::CountingAllocator<WorkItem>> q{
+      obs::CountingAllocator<WorkItem>(obs::MemDomain::Frontier)};
 };
 
 }  // namespace

@@ -400,6 +400,19 @@ std::vector<Statement> split_statements(const std::vector<Token>& tokens) {
 
 SourceLoc loc_of(const Token& t) { return SourceLoc{t.line, t.column}; }
 
+/// Expression-tree bytes retained by a finished module, for the parser
+/// memory domain. One shared visited set across all trees, so subtrees
+/// macro-spliced into several places count exactly once.
+std::uint64_t module_tree_bytes(const ParsedModule& mod) {
+  std::unordered_set<const ExprNode*> seen;
+  std::uint64_t bytes = 0;
+  for (const auto& [name, body] : mod.definitions) bytes += expr_deep_bytes(body, seen);
+  bytes += expr_deep_bytes(mod.spec.init, seen);
+  bytes += expr_deep_bytes(mod.spec.next, seen);
+  for (const Fairness& f : mod.spec.fairness) bytes += expr_deep_bytes(f.action, seen);
+  return bytes;
+}
+
 }  // namespace
 
 ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shared_vars) {
@@ -524,6 +537,7 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
     }
     mod.spec = make_disjoint(disjoint_tuples, mod.name.empty() ? "Disjoint" : mod.name);
     mod.disjoint_tuples = std::move(disjoint_tuples);
+    OPENTLA_OBS_MEM_TALLY_ADD(mod.mem, module_tree_bytes(mod));
     return mod;
   }
   if (mod.spec.init.is_null()) throw std::runtime_error("module has no INIT");
@@ -566,6 +580,7 @@ ParsedModule parse_module(const std::string& src, std::shared_ptr<VarTable> shar
     mod.spec.fairness.push_back(std::move(f));
   }
 
+  OPENTLA_OBS_MEM_TALLY_ADD(mod.mem, module_tree_bytes(mod));
   return mod;
 }
 

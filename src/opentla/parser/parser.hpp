@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "opentla/expr/expr.hpp"
+#include "opentla/obs/memory.hpp"
 #include "opentla/tla/spec.hpp"
 
 namespace opentla {
@@ -74,6 +75,10 @@ struct ParsedModule {
   /// The tuples of a DISJOINT module, in statement order (empty otherwise).
   std::vector<std::vector<VarId>> disjoint_tuples;
   ModuleLocations locs;
+  /// Memory accounting: expression-tree bytes of the parsed module
+  /// (definitions, init, next, fairness actions), charged to the parser
+  /// domain at parse completion and released with the module.
+  obs::MemTally mem{obs::MemDomain::Parser};
 
   bool is_disjoint() const { return !disjoint_tuples.empty(); }
 };

@@ -3,6 +3,7 @@
 #include <csignal>
 
 #include "opentla/obs/flight_recorder.hpp"
+#include "opentla/obs/memory.hpp"
 #include "opentla/obs/obs.hpp"
 #include "opentla/obs/progress.hpp"
 

@@ -18,7 +18,7 @@ std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
 }
 
 bool append_run_ledger(const std::string& path, const RunRecord& rec) {
-  std::string line = "{\"schema\": \"opentla-run-ledger-v1\"";
+  std::string line = "{\"schema\": \"opentla-run-ledger-v2\"";
   line += ", \"command\": \"" + obs::json_escape(rec.command) + "\"";
   line += ", \"spec_hash\": \"" + obs::json_escape(rec.spec_hash) + "\"";
   line += ", \"options\": \"" + obs::json_escape(rec.options) + "\"";
@@ -28,6 +28,8 @@ bool append_run_ledger(const std::string& path, const RunRecord& rec) {
   line += ", \"budget_stops\": " + std::to_string(rec.budget_stops);
   line += ", \"elapsed_us\": " + std::to_string(rec.elapsed_us);
   line += ", \"peak_rss_bytes\": " + std::to_string(rec.peak_rss_bytes);
+  line += ", \"tracked_peak_bytes\": " + std::to_string(rec.tracked_peak_bytes);
+  line += ", \"bytes_per_state\": " + std::to_string(rec.bytes_per_state);
   line += "}\n";
 
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);

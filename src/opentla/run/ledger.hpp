@@ -32,6 +32,8 @@ struct RunRecord {
   std::uint64_t budget_stops = 0;     // Counter::BudgetStops at exit
   std::uint64_t elapsed_us = 0;
   std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t tracked_peak_bytes = 0;  // peak accounted bytes, all domains
+  std::uint64_t bytes_per_state = 0;     // tracked_peak_bytes / peak states
 };
 
 /// Appends `rec` to `path` as one JSONL line. Returns false on I/O

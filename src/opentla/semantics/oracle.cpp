@@ -23,6 +23,7 @@ bool Oracle::evaluate_at(const Formula& f, const LassoBehavior& sigma, std::size
   // address, so address-based caching across calls would be unsound.
   memo_.clear();
   pred_cache_.clear();
+  mem_.release();
   memo_sigma_ = &sigma;
   return eval(f, sigma, pos);
 }
@@ -171,7 +172,11 @@ bool Oracle::eval(const Formula& f, const LassoBehavior& sigma, std::size_t pos)
   switch (n.kind) {
     case FormulaKind::Pred: {
       auto [slot, inserted] = pred_cache_.try_emplace(&n);
-      if (inserted) slot->second = vm::CompiledExpr(n.expr);
+      if (inserted) {
+        slot->second = vm::CompiledExpr(n.expr);
+        OPENTLA_OBS_MEM_TALLY_ADD(
+            mem_, sizeof(std::pair<const FormulaNode* const, vm::CompiledExpr>) + 48);
+      }
       vm_ctx_.vars = vars_;
       vm_ctx_.current = &sigma.at(pos);
       vm_ctx_.next = nullptr;
@@ -320,6 +325,8 @@ bool Oracle::eval(const Formula& f, const LassoBehavior& sigma, std::size_t pos)
     }
   }
   memo_.emplace(key, result);
+  OPENTLA_OBS_MEM_TALLY_ADD(
+      mem_, sizeof(std::pair<const std::pair<const FormulaNode*, std::size_t>, bool>) + 48);
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "opentla/obs/memory.hpp"
 #include "opentla/semantics/lasso.hpp"
 #include "opentla/tla/formula.hpp"
 #include "opentla/vm/interp.hpp"
@@ -77,6 +78,10 @@ class Oracle {
   /// memo_. (An Oracle is single-threaded; vm_ctx_ is reused as scratch.)
   std::map<const FormulaNode*, vm::CompiledExpr> pred_cache_;
   vm::VmContext vm_ctx_;
+  /// Memory accounting: map-node bytes of memo_ and pred_cache_, charged
+  /// per insert and released when the caches clear at evaluate() start.
+  /// (pred_cache_ program pools charge vm_pools via CompiledExpr itself.)
+  obs::MemTally mem_{obs::MemDomain::Oracle};
 };
 
 }  // namespace opentla

@@ -41,6 +41,9 @@ ShardedStateSet::InternResult ShardedStateSet::intern(const State& s) {
   if (it != shard.ids.end()) return {it->second, false};
   const StateId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   shard.ids.emplace(s, id);
+  // One deep copy lives in the shard map; the canonical second copy is
+  // charged by the replay StateStore during phase-2 renumbering.
+  OPENTLA_OBS_MEM_TALLY_ADD(shard.mem, state_deep_bytes(s) + kInternSlotOverhead);
   return {id, true};
 }
 

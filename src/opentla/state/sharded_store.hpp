@@ -55,6 +55,9 @@ class ShardedStateSet {
   struct Shard {
     std::mutex mu;
     std::unordered_map<State, StateId, StateHash> ids;
+    /// Memory accounting, charged under `mu` so the tally needs no
+    /// atomics of its own; released when the set dies.
+    obs::MemTally mem{obs::MemDomain::StateStore};
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -22,9 +22,18 @@ std::string State::to_string(const VarTable& vars) const {
   return os.str();
 }
 
+std::uint64_t state_deep_bytes(const State& s) {
+  std::uint64_t bytes = 0;
+  for (const Value& v : s.values()) bytes += value_deep_bytes(v);
+  return bytes;
+}
+
 StateId StateStore::intern(const State& s) {
   auto [it, inserted] = ids_.try_emplace(s, static_cast<StateId>(states_.size()));
-  if (inserted) states_.push_back(s);
+  if (inserted) {
+    states_.push_back(s);
+    OPENTLA_OBS_MEM_TALLY_ADD(mem_, 2 * state_deep_bytes(s) + kInternSlotOverhead);
+  }
   return it->second;
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "opentla/obs/memory.hpp"
 #include "opentla/state/var_table.hpp"
 #include "opentla/value/value.hpp"
 
@@ -42,6 +43,16 @@ struct StateHash {
   std::size_t operator()(const State& s) const { return s.hash(); }
 };
 
+/// Approximate deep bytes of a state's value vector (see value_deep_bytes).
+std::uint64_t state_deep_bytes(const State& s);
+
+/// Bytes one interned state costs a hash-consing store beyond its deep
+/// value storage: the vector slot, the map node, and amortized bucket
+/// array. A fixed estimate shared by StateStore and ShardedStateSet so
+/// serial and parallel runs attribute comparably.
+inline constexpr std::uint64_t kInternSlotOverhead =
+    sizeof(State) + 48;  // map node (key copy header + ptr + hash) + bucket
+
 /// Dense identifier of an interned state.
 using StateId = std::uint32_t;
 
@@ -59,6 +70,10 @@ class StateStore {
  private:
   std::vector<State> states_;
   std::unordered_map<State, StateId, StateHash> ids_;
+  /// Memory accounting: charged per first-sight intern (two deep copies —
+  /// the id map key and the vector slot — plus node overhead), released
+  /// when the store dies.
+  obs::MemTally mem_{obs::MemDomain::StateStore};
 };
 
 }  // namespace opentla

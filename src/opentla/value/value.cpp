@@ -132,6 +132,23 @@ std::ostream& operator<<(std::ostream& os, const Value& v) {
   return os;
 }
 
+std::uint64_t value_deep_bytes(const Value& v) {
+  std::uint64_t bytes = sizeof(Value);
+  switch (v.kind()) {
+    case ValueKind::String: {
+      const std::string& s = v.as_string();
+      // Only buffers past the small-string optimization live on the heap.
+      if (s.capacity() > sizeof(std::string) - 1) bytes += s.capacity() + 1;
+      break;
+    }
+    case ValueKind::Tuple:
+      for (const Value& e : v.as_tuple()) bytes += value_deep_bytes(e);
+      break;
+    default: break;
+  }
+  return bytes;
+}
+
 Value seq_head(const Value& s) {
   const Value::Tuple& t = s.as_tuple();
   if (t.empty()) throw std::runtime_error("Head of empty sequence");

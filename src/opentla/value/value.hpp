@@ -89,6 +89,11 @@ struct ValueHash {
 
 // --- Sequence operations used by specifications (Appendix A notation) ---
 
+/// Approximate bytes `v` occupies, counting its own footprint plus deep
+/// heap storage (string buffers beyond the SSO, nested tuple elements).
+/// Feeds the obs memory accounting; an estimate, not an allocator truth.
+std::uint64_t value_deep_bytes(const Value& v);
+
 /// Head(s): first element of a nonempty sequence.
 Value seq_head(const Value& s);
 /// Tail(s): all but the first element of a nonempty sequence.

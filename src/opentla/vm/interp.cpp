@@ -473,6 +473,7 @@ CompiledExpr::CompiledExpr(Expr e) : expr_(std::move(e)) {
   try {
     prog_ = compile(expr_);
     has_prog_ = true;
+    OPENTLA_OBS_MEM_TALLY_ADD(mem_, program_bytes(prog_));
   } catch (const CompileLimit&) {
     has_prog_ = false;  // evaluate through the tree unconditionally
   }

@@ -88,6 +88,9 @@ class CompiledExpr {
   Expr expr_;
   Program prog_;
   bool has_prog_ = false;
+  /// Memory accounting: the lowered program's pool bytes, charged at
+  /// construction and released with the instance.
+  obs::MemTally mem_{obs::MemDomain::VmPools};
 };
 
 }  // namespace opentla::vm

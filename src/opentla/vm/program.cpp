@@ -182,6 +182,27 @@ std::string operands(const Program& p, const Instr& in) {
 
 }  // namespace
 
+std::uint64_t program_bytes(const Program& p) {
+  std::uint64_t bytes = sizeof(Program);
+  bytes += p.instrs.capacity() * sizeof(Instr);
+  for (const Value& v : p.consts) bytes += value_deep_bytes(v);
+  for (const Domain& d : p.domains) {
+    bytes += sizeof(Domain);
+    for (const Value& v : d.values()) bytes += value_deep_bytes(v);
+  }
+  for (const std::vector<VarId>& vl : p.var_lists) {
+    bytes += sizeof(std::vector<VarId>) + vl.capacity() * sizeof(VarId);
+  }
+  for (const std::string& n : p.names) {
+    bytes += sizeof(std::string);
+    if (n.capacity() > sizeof(std::string) - 1) bytes += n.capacity() + 1;
+  }
+  // ENABLED sites hold expression subtrees; count their fixed footprint
+  // only (the tree bytes belong to the parser domain that built them).
+  bytes += p.enabled_sites.capacity() * sizeof(EnabledSite);
+  return bytes;
+}
+
 std::string disassemble(const Program& p) {
   std::string out = "program: " + std::to_string(p.instrs.size()) + " instrs, " +
                     std::to_string(p.num_regs) + " regs, " +

@@ -157,6 +157,11 @@ struct Program {
   std::uint16_t num_locals = 0;
 };
 
+/// Approximate bytes retained by a program's pools — instruction array,
+/// constant pool (deep), quantifier domains, UNCHANGED var lists, name
+/// pool, and ENABLED sites. Feeds the vm_pools memory domain.
+std::uint64_t program_bytes(const Program& p);
+
 /// Stable, line-per-instruction rendering used by the golden tests:
 /// "0003 CmpVarVar r2 <- v1' < v0" style. Registers print as rN, flexible
 /// variables as vK (primed with '), locals as lS, pools by index.

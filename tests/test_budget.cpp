@@ -344,7 +344,7 @@ TEST(RunLedger, AppendsParseableLinesAndChainsHashes) {
   std::vector<std::string> lines = read_lines(path);
   ASSERT_EQ(lines.size(), 2u);
   for (const std::string& l : lines) {
-    EXPECT_NE(l.find("\"schema\": \"opentla-run-ledger-v1\""), std::string::npos) << l;
+    EXPECT_NE(l.find("\"schema\": \"opentla-run-ledger-v2\""), std::string::npos) << l;
     EXPECT_NE(l.find("\"stop_reason\": \"deadline\""), std::string::npos) << l;
     EXPECT_NE(l.find("\"exit_code\": 3"), std::string::npos) << l;
     // The embedded quotes in options were escaped.

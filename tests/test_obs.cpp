@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -14,7 +15,9 @@
 #include "opentla/graph/state_graph.hpp"
 #include "opentla/graph/successor.hpp"
 #include "opentla/obs/export.hpp"
+#include "opentla/obs/memory.hpp"
 #include "opentla/obs/obs.hpp"
+#include "opentla/obs/profiler.hpp"
 #include "opentla/obs/progress.hpp"
 
 namespace opentla {
@@ -168,6 +171,9 @@ TEST_F(ObsTest, RenderJsonGolden) {
   for (std::size_t i = 1; i < obs::kHistBuckets; ++i) zeros += ", 0";
   const std::string empty_hist =
       "{\"buckets\": [" + zeros + "], \"sum\": 0, \"count\": 0}";
+  const std::string empty_mem_domain =
+      "{\"live_bytes\": 0, \"peak_bytes\": 0, \"allocs\": 0, \"alloc_size\": " +
+      empty_hist + "}";
 
   const std::string expected =
       "{\n"
@@ -215,6 +221,20 @@ TEST_F(ObsTest, RenderJsonGolden) {
       "    \"par_worker_expansions\": " + empty_hist + ",\n"
       "    \"shard_probe_length\": " + empty_hist + ",\n"
       "    \"lasso_walk_length\": " + empty_hist + "\n"
+      "  },\n"
+      "  \"memory\": {\n"
+      "    \"domains\": {\n"
+      "      \"state_store\": " + empty_mem_domain + ",\n"
+      "      \"state_graph\": " + empty_mem_domain + ",\n"
+      "      \"frontier\": " + empty_mem_domain + ",\n"
+      "      \"vm_pools\": " + empty_mem_domain + ",\n"
+      "      \"parser\": " + empty_mem_domain + ",\n"
+      "      \"oracle\": " + empty_mem_domain + ",\n"
+      "      \"other\": " + empty_mem_domain + "\n"
+      "    },\n"
+      "    \"tracked_live_bytes\": 0,\n"
+      "    \"tracked_peak_bytes\": 0,\n"
+      "    \"bytes_per_state\": 0\n"
       "  },\n"
       "  \"phases\": [],\n"
       "  \"spans_dropped\": 0,\n"
@@ -276,13 +296,17 @@ TEST_F(ObsTest, WriteBenchJsonRoundTrips) {
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string body = buf.str();
-  EXPECT_NE(body.find("\"schema\": \"opentla-bench-v2\""), std::string::npos);
+  EXPECT_NE(body.find("\"schema\": \"opentla-bench-v3\""), std::string::npos);
   EXPECT_NE(body.find("\"bench\": \"unit_test\""), std::string::npos);
   EXPECT_NE(body.find("\"states_generated\": 42"), std::string::npos);
   EXPECT_NE(body.find("\"peak_configuration_count\": 0"), std::string::npos);
   EXPECT_NE(body.find("\"labeled\""), std::string::npos);
   EXPECT_NE(body.find("\"histograms\""), std::string::npos);
   EXPECT_NE(body.find("\"successor_fanout\""), std::string::npos);
+  EXPECT_NE(body.find("\"memory\""), std::string::npos);
+  EXPECT_NE(body.find("\"state_store\""), std::string::npos);
+  EXPECT_NE(body.find("\"tracked_peak_bytes\""), std::string::npos);
+  EXPECT_NE(body.find("\"bytes_per_state\""), std::string::npos);
 }
 
 // The parallel engine's counters: a multi-threaded exploration reports its
@@ -682,6 +706,8 @@ TEST_F(ObsTest, JsonlWriterAppendsOneEventPerLine) {
     s.frontier = 2;
     s.states_per_sec = 1000.0;
     s.rss_bytes = 4096;
+    s.tracked_bytes = 2048;
+    s.bytes_per_state = 32;
     w.write_progress(s);
   }
   std::ifstream in(path);
@@ -693,8 +719,252 @@ TEST_F(ObsTest, JsonlWriterAppendsOneEventPerLine) {
   EXPECT_EQ(line2,
             "{\"type\":\"progress\",\"seq\":1,\"final\":true,\"ts_us\":99,"
             "\"elapsed_us\":0,\"states\":64,\"frontier\":2,"
-            "\"states_per_sec\":1000.0,\"rss_bytes\":4096}");
+            "\"states_per_sec\":1000.0,\"rss_bytes\":4096,"
+            "\"tracked_bytes\":2048,\"bytes_per_state\":32}");
   std::filesystem::remove(path);
+}
+
+// --- obs v4: memory accounting ---
+
+// The statm parse is pure: resident *pages* times the page size, in bytes
+// — pinning the unit here keeps every RSS consumer (progress samples,
+// budget checks, ledger) in bytes, never pages.
+TEST_F(ObsTest, StatmResidentBytesConvertsPagesToBytes) {
+  EXPECT_EQ(obs::statm_resident_bytes("12345 678 90 1 0 2 0", 4096), 678u * 4096u);
+  EXPECT_EQ(obs::statm_resident_bytes("12345 678", 16384), 678u * 16384u);
+  EXPECT_EQ(obs::statm_resident_bytes("", 4096), 0u);
+  EXPECT_EQ(obs::statm_resident_bytes("garbage", 4096), 0u);
+  EXPECT_EQ(obs::statm_resident_bytes("42", 4096), 0u);  // no resident field
+}
+
+TEST_F(ObsTest, MemTallyChargesAndReleasesItsDomain) {
+  obs::set_enabled(true);
+  {
+    obs::MemTally tally(obs::MemDomain::StateStore);
+    tally.add(1000);
+    tally.add(24);
+    obs::Snapshot snap = obs::snapshot();
+    const obs::MemDomainSnapshot& ms = snap.mem_domain(obs::MemDomain::StateStore);
+    EXPECT_EQ(ms.live_bytes, 1024u);
+    EXPECT_EQ(ms.peak_bytes, 1024u);
+    EXPECT_EQ(ms.allocs, 2u);
+    EXPECT_EQ(ms.alloc_size_sum, 1024u);
+    EXPECT_EQ(snap.mem_tracked_live_bytes, 1024u);
+    EXPECT_EQ(snap.mem_tracked_peak_bytes, 1024u);
+  }
+  // RAII release: live returns to zero, the peak stays.
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.mem_domain(obs::MemDomain::StateStore).live_bytes, 0u);
+  EXPECT_EQ(snap.mem_domain(obs::MemDomain::StateStore).peak_bytes, 1024u);
+  EXPECT_EQ(snap.mem_tracked_live_bytes, 0u);
+  EXPECT_EQ(snap.mem_tracked_peak_bytes, 1024u);
+}
+
+TEST_F(ObsTest, MemTallyCopyRechargesAndMoveTransfers) {
+  obs::set_enabled(true);
+  obs::MemTally a(obs::MemDomain::Oracle);
+  a.add(100);
+  obs::MemTally b = a;  // copy: the domain is charged a second time
+  EXPECT_EQ(obs::snapshot().mem_domain(obs::MemDomain::Oracle).live_bytes, 200u);
+  obs::MemTally c = std::move(a);  // move: no new charge
+  EXPECT_EQ(obs::snapshot().mem_domain(obs::MemDomain::Oracle).live_bytes, 200u);
+  c.release();
+  b.release();
+  EXPECT_EQ(obs::snapshot().mem_domain(obs::MemDomain::Oracle).live_bytes, 0u);
+}
+
+TEST_F(ObsTest, MemTallySetReplacesTheCharge) {
+  obs::set_enabled(true);
+  obs::MemTally tally(obs::MemDomain::StateGraph);
+  tally.set(500);
+  tally.set(300);  // shrink: live follows
+  EXPECT_EQ(obs::snapshot().mem_domain(obs::MemDomain::StateGraph).live_bytes, 300u);
+  tally.release();
+}
+
+TEST_F(ObsTest, MemAccountingIsNoOpWhenRuntimeDisabled) {
+  // SetUp left collection off: charges must not land anywhere.
+  {
+    obs::MemTally tally(obs::MemDomain::StateStore);
+    tally.add(4096);
+    EXPECT_EQ(tally.bytes(), 0u);
+  }
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.mem_domain(obs::MemDomain::StateStore).peak_bytes, 0u);
+  EXPECT_EQ(snap.mem_tracked_peak_bytes, 0u);
+}
+
+TEST_F(ObsTest, MemAccountingSuspendGatesOnlyTheAccountingLayer) {
+  // The overhead-benchmark sub-gate: while suspended, charges record
+  // nothing even with collection on, and a tally that charged before
+  // suspension still releases exactly what it charged.
+  obs::set_enabled(true);
+  obs::MemTally tally(obs::MemDomain::Oracle);
+  tally.add(1000);
+  obs::set_mem_accounting_suspended(true);
+  EXPECT_TRUE(obs::mem_accounting_suspended());
+  tally.add(5000);  // skipped: not recorded, not remembered
+  EXPECT_EQ(tally.bytes(), 1000u);
+  OPENTLA_OBS_COUNT(StatesGenerated);  // the rest of the obs layer stays live
+  obs::set_mem_accounting_suspended(false);
+  tally.release();
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.mem_domain(obs::MemDomain::Oracle).peak_bytes, 1000u);
+  EXPECT_EQ(snap.mem_domain(obs::MemDomain::Oracle).live_bytes, 0u);
+  if (obs::compile_time_enabled()) {  // the macro is ((void)0) in OFF builds
+    EXPECT_EQ(snap.counters[static_cast<std::size_t>(obs::Counter::StatesGenerated)], 1u);
+  }
+}
+
+TEST_F(ObsTest, CountingAllocatorChargesContainerBlocks) {
+  obs::set_enabled(true);
+  {
+    std::deque<int, obs::CountingAllocator<int>> q{
+        obs::CountingAllocator<int>(obs::MemDomain::Frontier)};
+    for (int i = 0; i < 1000; ++i) q.push_back(i);
+    const obs::MemDomainSnapshot& ms =
+        obs::snapshot().mem_domain(obs::MemDomain::Frontier);
+    EXPECT_GE(ms.live_bytes, 1000u * sizeof(int));
+    EXPECT_GT(ms.allocs, 0u);
+  }
+  EXPECT_EQ(obs::snapshot().mem_domain(obs::MemDomain::Frontier).live_bytes, 0u);
+}
+
+TEST_F(ObsTest, BytesPerStateDividesTrackedPeakByPeakStates) {
+  obs::set_enabled(true);
+  obs::MemTally tally(obs::MemDomain::StateStore);
+  tally.add(7000);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 70);
+  EXPECT_EQ(obs::snapshot().bytes_per_state(), 100u);
+  obs::Snapshot empty;
+  EXPECT_EQ(empty.bytes_per_state(), 0u);  // no states: no division
+  tally.release();
+}
+
+TEST_F(ObsTest, OpenMetricsCarriesMemorySeries) {
+  obs::set_enabled(true);
+  obs::MemTally tally(obs::MemDomain::StateStore);
+  tally.add(2048);
+  obs::gauge_max(obs::Gauge::PeakGraphStates, 2);
+  const std::string text = obs::render_openmetrics(obs::snapshot());
+  EXPECT_NE(text.find("opentla_mem_live_bytes{domain=\"state_store\"} 2048\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opentla_mem_peak_bytes{domain=\"state_store\"} 2048\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("opentla_mem_tracked_peak_bytes 2048\n"), std::string::npos);
+  EXPECT_NE(text.find("opentla_bytes_per_state 1024\n"), std::string::npos);
+  tally.release();
+}
+
+// Exploring a real space fills the instrumented domains, and the
+// per-domain attribution sums to the tracked total (both maintained by
+// the same alloc/free calls, so this is an internal-consistency pin).
+TEST_F(ObsTest, ExplorationPopulatesMemoryDomains) {
+  if (!obs::compile_time_enabled()) {
+    GTEST_SKIP() << "engine instrumentation compiled out (-DOPENTLA_OBS=OFF)";
+  }
+  obs::set_enabled(true);
+  VarTable vars;
+  const VarId x = vars.declare("x", range_domain(0, 63));
+  const Expr next =
+      ex::lor(ex::land(ex::lt(ex::var(x), ex::integer(63)),
+                       ex::eq(ex::primed_var(x), ex::add(ex::var(x), ex::integer(1)))),
+              ex::land(ex::eq(ex::var(x), ex::integer(63)),
+                       ex::eq(ex::primed_var(x), ex::integer(0))));
+  ActionSuccessors gen(vars, next);
+  const StateGraph::SuccessorFn succ =
+      [&gen](const State& s, const std::function<void(const State&)>& emit) {
+        gen.for_each_successor(s, emit);
+      };
+  StateGraph g(vars, {State({Value::integer(0)})}, succ);
+  obs::Snapshot snap = obs::snapshot();
+  EXPECT_GT(snap.mem_domain(obs::MemDomain::StateStore).live_bytes, 0u);
+  EXPECT_GT(snap.mem_domain(obs::MemDomain::StateGraph).live_bytes, 0u);
+  EXPECT_GT(snap.mem_domain(obs::MemDomain::Frontier).peak_bytes, 0u);
+  EXPECT_GT(snap.mem_domain(obs::MemDomain::VmPools).live_bytes, 0u);
+  std::uint64_t domain_live = 0;
+  for (std::size_t d = 0; d < obs::kNumMemDomains; ++d) {
+    domain_live += snap.mem[d].live_bytes;
+  }
+  EXPECT_EQ(domain_live, snap.mem_tracked_live_bytes);
+  EXPECT_GT(snap.bytes_per_state(), 0u);
+}
+
+// --- obs v4: sampling profiler ---
+
+TEST_F(ObsTest, RenderFoldedEmitsOneLinePerStack) {
+  const std::vector<obs::FoldedStack> stacks = {{"a;b", 3}, {"a", 7}};
+  EXPECT_EQ(obs::render_folded(stacks), "a;b 3\na 7\n");
+}
+
+TEST_F(ObsTest, FoldedFromSpansBuildsAncestorChains) {
+  obs::Snapshot snap;
+  // explore (100..150) with child intern (110..130): self 30 vs 20.
+  snap.spans.push_back({"explore", 1, 0, 1, 100, 50});
+  snap.spans.push_back({"intern", 2, 1, 1, 110, 20});
+  const std::vector<obs::FoldedStack> stacks = obs::folded_from_spans(snap);
+  ASSERT_EQ(stacks.size(), 2u);
+  EXPECT_EQ(stacks[0].stack, "explore");
+  EXPECT_EQ(stacks[0].count, 30u);
+  EXPECT_EQ(stacks[1].stack, "explore;intern");
+  EXPECT_EQ(stacks[1].count, 20u);
+}
+
+TEST_F(ObsTest, FoldedFromSpansFallsBackToOccurrenceCounts) {
+  obs::Snapshot snap;
+  snap.spans.push_back({"instant", 1, 0, 1, 100, 0});  // 0 us self time
+  const std::vector<obs::FoldedStack> stacks = obs::folded_from_spans(snap);
+  ASSERT_EQ(stacks.size(), 1u);
+  EXPECT_EQ(stacks[0].stack, "instant");
+  EXPECT_EQ(stacks[0].count, 1u);  // renders even when all spans round to 0
+}
+
+TEST_F(ObsTest, ProfileRowsSortBySelfTimeAndClampChildren) {
+  obs::Snapshot snap;
+  snap.spans.push_back({"outer", 1, 0, 1, 0, 100});
+  snap.spans.push_back({"inner", 2, 1, 1, 10, 80});
+  snap.spans.push_back({"inner", 3, 1, 1, 200, 5});  // second call, parent outer
+  const std::vector<obs::ProfileRow> rows = obs::profile_rows(snap);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "inner");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_EQ(rows[0].total_us, 85u);
+  EXPECT_EQ(rows[0].self_us, 85u);
+  EXPECT_EQ(rows[1].name, "outer");
+  EXPECT_EQ(rows[1].total_us, 100u);
+  EXPECT_EQ(rows[1].self_us, 15u);  // 100 - (80 + 5)
+  const std::string table = obs::render_profile_table(rows, 1);
+  EXPECT_NE(table.find("profile (top 1 spans by self time)"), std::string::npos);
+  EXPECT_NE(table.find("inner"), std::string::npos);
+  EXPECT_EQ(table.find("outer"), std::string::npos);  // cut by top_n
+}
+
+TEST_F(ObsTest, SamplingProfilerObservesOpenSpans) {
+  if (!obs::compile_time_enabled()) {
+    GTEST_SKIP() << "span instrumentation compiled out (-DOPENTLA_OBS=OFF)";
+  }
+  obs::set_enabled(true);
+  obs::SamplingProfiler profiler(1000.0);
+  {
+    OPENTLA_OBS_SPAN("profiled.work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  profiler.stop();
+  EXPECT_GT(profiler.samples(), 0u);
+  const std::vector<obs::FoldedStack> stacks = profiler.folded();
+  bool saw = false;
+  for (const obs::FoldedStack& s : stacks) {
+    if (s.stack.find("profiled.work") != std::string::npos) saw = true;
+  }
+  EXPECT_TRUE(saw) << "sampler never observed the 30ms span";
+}
+
+TEST_F(ObsTest, SamplingProfilerStopIsIdempotent) {
+  obs::set_enabled(true);
+  obs::SamplingProfiler profiler(100.0);
+  profiler.stop();
+  profiler.stop();
+  EXPECT_GE(profiler.samples(), 1u);  // the final stop-time sample
 }
 
 }  // namespace

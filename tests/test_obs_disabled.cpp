@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "opentla/obs/memory.hpp"
 #include "opentla/obs/obs.hpp"
 
 namespace opentla {
@@ -32,6 +33,13 @@ TEST(ObsDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
   OPENTLA_OBS_HIST(SuccessorFanout, 16);
   OPENTLA_OBS_PHASE("stripped_phase");
   { OPENTLA_OBS_SPAN("stripped"); }
+  // The obs v4 memory-accounting macros vanish too.
+  OPENTLA_OBS_MEM_ALLOC(obs::MemDomain::StateStore, 4096);
+  OPENTLA_OBS_MEM_FREE(obs::MemDomain::StateStore, 4096);
+  {
+    obs::MemTally tally(obs::MemDomain::Frontier);
+    OPENTLA_OBS_MEM_TALLY_ADD(tally, 512);
+  }
   obs::set_enabled(false);
 
   const obs::Snapshot snap = obs::snapshot();
@@ -50,6 +58,11 @@ TEST(ObsDisabled, MacrosAreNoOpsEvenWhenRuntimeEnabled) {
   for (std::size_t h = 0; h < obs::kNumHistograms; ++h) {
     EXPECT_EQ(snap.hists[h].count, 0u);
   }
+  for (std::size_t d = 0; d < obs::kNumMemDomains; ++d) {
+    EXPECT_EQ(snap.mem[d].peak_bytes, 0u);
+    EXPECT_EQ(snap.mem[d].allocs, 0u);
+  }
+  EXPECT_EQ(snap.mem_tracked_peak_bytes, 0u);
   EXPECT_TRUE(snap.phases.empty());
   EXPECT_TRUE(snap.spans.empty());
   obs::reset();
@@ -69,6 +82,10 @@ TEST(ObsDisabled, MacroArgumentsAreNotEvaluated) {
   OPENTLA_OBS_COUNT_LABELED(ActionFired, obs::kLabelOverflow, bump());
   OPENTLA_OBS_HIST(SuccessorFanout, bump());
   OPENTLA_OBS_PHASE((bump(), "unused"));
+  OPENTLA_OBS_MEM_ALLOC(obs::MemDomain::Other, bump());
+  OPENTLA_OBS_MEM_FREE(obs::MemDomain::Other, bump());
+  obs::MemTally tally(obs::MemDomain::Other);
+  OPENTLA_OBS_MEM_TALLY_ADD(tally, bump());
   obs::set_enabled(false);
   (void)bump;  // otherwise unreferenced once the macros vanish
   EXPECT_EQ(evaluations, 0);

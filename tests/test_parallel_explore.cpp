@@ -10,7 +10,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "opentla/compose/compose.hpp"
 #include "opentla/graph/state_graph.hpp"
@@ -18,6 +21,7 @@
 #include "opentla/queue/channel.hpp"
 #include "opentla/queue/double_queue.hpp"
 #include "opentla/obs/obs.hpp"
+#include "opentla/obs/profiler.hpp"
 #include "opentla/obs/progress.hpp"
 #include "opentla/queue/queue_spec.hpp"
 
@@ -177,6 +181,85 @@ TEST(ParallelExplore, BitIdentityHoldsWithProgressSamplerActive) {
     }
   }
   EXPECT_GE(samples_delivered, 2u);  // at least the start + final samples
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ParallelExplore, BitIdentityHoldsWithSamplingProfilerActive) {
+  // Same contract as the progress-sampler test, but for the obs v4
+  // span-stack profiler: a background thread walking every explorer
+  // thread's span stack at 1 kHz only reads atomics, so it must not
+  // perturb state-id assignment or adjacency order at any thread count.
+  // Part of the TSan suite (tools/ci_sanitize.sh).
+  DoubleQueueSystem sys = make_double_queue(/*capacity=*/1, /*num_values=*/2);
+  std::vector<CompositePart> parts = {{make_cdq(sys).unhidden(), true},
+                                      {make_pin(sys.vars, {sys.q}, "PinQ"), false}};
+  StateGraph serial =
+      build_composite_graph(sys.vars, parts, {}, {sys.q}, with_threads(1));
+
+  obs::reset();
+  obs::set_enabled(true);
+  {
+    obs::SamplingProfiler profiler(/*hz=*/1000.0);
+    for (unsigned threads : {2u, 4u, 8u}) {
+      StateGraph parallel =
+          build_composite_graph(sys.vars, parts, {}, {sys.q}, with_threads(threads));
+      expect_identical(serial, parallel, threads);
+    }
+    profiler.stop();
+    EXPECT_GE(profiler.samples(), 1u);
+  }
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ParallelExplore, SamplerSeesOnlyRegisteredSpanNamesUnderConcurrency) {
+  // Four explorer threads push/pop spans concurrently while the profiler
+  // samples their stacks at 1 kHz. The push protocol (release depth store
+  // after relaxed frame store) means a sampled stack is never torn: every
+  // frame the sampler reads decodes to a name a Span actually interned —
+  // nothing empty, nothing out of the name table. TSan covers the data
+  // races; the assertions cover torn reads.
+  if (!obs::compile_time_enabled()) {
+    GTEST_SKIP() << "engine span instrumentation compiled out (-DOPENTLA_OBS=OFF)";
+  }
+  DoubleQueueSystem sys = make_double_queue(/*capacity=*/1, /*num_values=*/2);
+  std::vector<CompositePart> parts = {{make_cdq(sys).unhidden(), true},
+                                      {make_pin(sys.vars, {sys.q}, "PinQ"), false}};
+
+  obs::reset();
+  obs::set_enabled(true);
+  std::vector<obs::FoldedStack> stacks;
+  {
+    obs::SamplingProfiler profiler(/*hz=*/1000.0);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      StateGraph parallel =
+          build_composite_graph(sys.vars, parts, {}, {sys.q}, with_threads(4));
+      ASSERT_GT(parallel.num_states(), 0u);
+    }
+    profiler.stop();
+    EXPECT_GE(profiler.samples(), 1u);
+    stacks = profiler.folded();
+  }
+  const std::vector<std::string> table = obs::detail::profiler_name_table();
+  const std::set<std::string> registered(table.begin(), table.end());
+  EXPECT_TRUE(registered.count("par.explore"));
+  EXPECT_TRUE(registered.count("par.worker"));
+  for (const obs::FoldedStack& fs : stacks) {
+    EXPECT_GT(fs.count, 0u);
+    EXPECT_FALSE(fs.stack.empty());
+    std::size_t begin = 0;
+    while (begin <= fs.stack.size()) {
+      const std::size_t end = fs.stack.find(';', begin);
+      const std::string frame = fs.stack.substr(
+          begin, end == std::string::npos ? std::string::npos : end - begin);
+      EXPECT_FALSE(frame.empty()) << "torn frame in \"" << fs.stack << "\"";
+      EXPECT_TRUE(registered.count(frame))
+          << "unregistered frame \"" << frame << "\" in \"" << fs.stack << "\"";
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+  }
   obs::set_enabled(false);
   obs::reset();
 }

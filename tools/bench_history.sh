@@ -5,16 +5,18 @@
 #     (default history file: <repo>/bench/history.jsonl)
 #
 # Each call appends one JSONL line {ts, bench, wall_time_s, counters,
-# gauges} built from a bench binary's BENCH_<name>.json counter export
+# gauges, tracked_peak_bytes, bytes_per_state} built from a bench
+# binary's BENCH_<name>.json counter export
 # plus the adjacent <name>.gbench.json google-benchmark report when one
 # exists (wall_time_s = the summed real_time of its benchmarks; null
 # otherwise). The line is written with a single O_APPEND write — same
 # crash-safety contract as the run ledger.
 #
-# It then compares wall_time_s against the PREVIOUS entry for the same
-# bench name and prints a warning to stderr when the run regressed by
-# more than 20%. The warning never fails the script (exit 0): history is
-# an observatory, not a gate — CI surfaces the message, a human decides.
+# It then compares wall_time_s and bytes_per_state against the PREVIOUS
+# entry for the same bench name and prints a warning to stderr when the
+# run regressed by more than 20% on either. The warning never fails the
+# script (exit 0): history is an observatory, not a gate — CI surfaces
+# the message, a human decides.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -45,12 +47,15 @@ if os.path.exists(gbench_path):
     if times:
         wall = sum(times)
 
+memory = data.get("memory", {})
 entry = {
     "ts": int(time.time()),
     "bench": name,
     "wall_time_s": wall,
     "counters": data.get("counters", {}),
     "gauges": data.get("gauges", {}),
+    "tracked_peak_bytes": memory.get("tracked_peak_bytes", 0),
+    "bytes_per_state": memory.get("bytes_per_state", 0),
 }
 
 # Previous entry for the same bench, for the regression comparison.
@@ -75,13 +80,23 @@ try:
 finally:
     os.close(fd)
 
+warned = False
 if (prev is not None and prev.get("wall_time_s") and wall
         and wall > prev["wall_time_s"] * 1.20):
     pct = 100.0 * (wall / prev["wall_time_s"] - 1.0)
     print(f"bench_history: WARNING: {name} wall time regressed "
           f"{pct:.1f}% ({prev['wall_time_s']:.3f}s -> {wall:.3f}s)",
           file=sys.stderr)
-else:
+    warned = True
+bps = entry["bytes_per_state"]
+prev_bps = prev.get("bytes_per_state", 0) if prev is not None else 0
+if prev_bps and bps and bps > prev_bps * 1.20:
+    pct = 100.0 * (bps / prev_bps - 1.0)
+    print(f"bench_history: WARNING: {name} bytes_per_state regressed "
+          f"{pct:.1f}% ({prev_bps} -> {bps})", file=sys.stderr)
+    warned = True
+if not warned:
     print(f"bench_history: appended {name} "
-          f"(wall={'%.3fs' % wall if wall else 'n/a'}) to {history_path}")
+          f"(wall={'%.3fs' % wall if wall else 'n/a'}, "
+          f"bytes_per_state={bps}) to {history_path}")
 PY

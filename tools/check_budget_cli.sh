@@ -193,7 +193,7 @@ for rec in lines:
     for key in schema["required"]:
         assert key in rec, f"ledger line missing {key}: {rec}"
     assert set(rec) <= set(schema["properties"]), rec
-    assert rec["schema"] == "opentla-run-ledger-v1", rec
+    assert rec["schema"] == "opentla-run-ledger-v2", rec
     assert re.fullmatch(r"[0-9a-f]{16}", rec["spec_hash"]), rec
     assert rec["stop_reason"] in schema["properties"]["stop_reason"]["enum"], rec
 breached, clean = lines

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# End-to-end check of the obs v4 profiling surface on `tlacheck profile`:
+#
+#   1. the human profile render carries the top-N span table (--top) with
+#      the self/total/count columns and the per-domain memory-accounting
+#      section (tracked_peak_bytes, bytes_per_state);
+#   2. --format folded emits the collapsed-stack format flamegraph.pl
+#      consumes ("name[;name...] <count>" per line, nothing else), both
+#      with a live sampler (--sample-hz) and from recorded spans alone;
+#   3. --format trace carries the memory gauges as Chrome trace_event
+#      "ph":"C" counter series (mem_<domain>, mem_tracked);
+#   4. the wrapped subcommand's exit code is forwarded, and bad --top /
+#      --sample-hz values are usage errors (exit 2);
+#   5. in --obs-off mode (binary built with -DOPENTLA_OBS=OFF), profile
+#      still runs (empty profile, exit 0) but --sample-hz is rejected
+#      with exit 2 and a message naming OPENTLA_OBS=ON — steps 1-3 are
+#      replaced by this probe.
+#
+# Usage: tools/check_profile_cli.sh <tlacheck-binary> [--obs-off]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+tlacheck="${1:?usage: check_profile_cli.sh <tlacheck-binary> [--obs-off]}"
+obs_off=0
+[ "${2:-}" = "--obs-off" ] && obs_off=1
+specs="${repo_root}/specs"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+  echo "check_profile_cli: FAIL: $*" >&2
+  exit 1
+}
+
+# --- 4 (shared). Bad option values are usage errors in every build. ---
+
+rc=0
+"$tlacheck" profile states "$specs/counter.tla" --top 0 > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "--top 0: expected exit 2, got $rc"
+rc=0
+"$tlacheck" profile states "$specs/counter.tla" --sample-hz 0 > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "--sample-hz 0: expected exit 2, got $rc"
+echo "ok: non-positive --top / --sample-hz rejected as usage errors"
+
+# --- 5 (--obs-off). The OFF binary rejects the sampler, keeps profile. ---
+
+if [ "$obs_off" -eq 1 ]; then
+  rc=0
+  "$tlacheck" profile states "$specs/counter.tla" --sample-hz 100 \
+    > /dev/null 2> "$workdir/off.stderr" || rc=$?
+  [ "$rc" -eq 2 ] || fail "OFF build: --sample-hz expected exit 2, got $rc"
+  grep -q "OPENTLA_OBS=ON" "$workdir/off.stderr" \
+    || fail "OFF build: rejection message does not name OPENTLA_OBS=ON"
+  # Without the sampler, profile still wraps the subcommand (empty render).
+  "$tlacheck" profile states "$specs/counter.tla" --format folded \
+    --out "$workdir/off.folded" > /dev/null \
+    || fail "OFF build: plain profile run failed with $?"
+  echo "ok: OPENTLA_OBS=OFF binary rejects --sample-hz cleanly (exit 2)"
+  echo "check_profile_cli: all checks passed (--obs-off mode)"
+  exit 0
+fi
+
+# --- 1. Human render: top-N table + memory-accounting section. ---
+
+out="$("$tlacheck" profile check "$specs/peterson.tla" \
+        --invariant '~(pc1 = 3 /\ pc2 = 3)' --top 3)" \
+  || fail "profile check on peterson.tla failed with $?"
+grep -q "profile (top" <<<"$out" || fail "human render lacks the top-N table header"
+grep -q "self ms" <<<"$out" || fail "top-N table lacks the self-time column"
+grep -q "total ms" <<<"$out" || fail "top-N table lacks the total-time column"
+grep -q "StateGraph.explore" <<<"$out" || fail "top-N table lacks StateGraph.explore"
+grep -q "memory (tracked bytes by domain):" <<<"$out" \
+  || fail "human render lacks the memory-accounting section"
+grep -q "state_store" <<<"$out" || fail "memory section lacks the state_store domain"
+grep -q "tracked_peak_bytes" <<<"$out" || fail "memory section lacks tracked_peak_bytes"
+grep -q "bytes_per_state" <<<"$out" || fail "memory section lacks bytes_per_state"
+echo "ok: human render has the top-N span table and memory section"
+
+# --- 2. Folded format: flamegraph.pl's collapsed-stack contract. ---
+
+check_folded() {
+  local folded="$1" label="$2"
+  [ -s "$folded" ] || fail "$label: wrote no folded output"
+  # Every line is "frame[;frame...] <count>" — flamegraph.pl's entire input
+  # grammar. Anything else (headers, blank lines) would break rendering.
+  grep -vqE '^[^ ;][^ ]*( [0-9]+)$' "$folded" \
+    && fail "$label: non-collapsed line: $(grep -vE '^[^ ;][^ ]*( [0-9]+)$' "$folded" | head -1)"
+  grep -q "StateGraph.explore" "$folded" \
+    || fail "$label: folded stacks lack StateGraph.explore"
+}
+
+"$tlacheck" profile states "$specs/peterson.tla" --format folded \
+  --sample-hz 500 --out "$workdir/sampled.folded" > /dev/null \
+  || fail "folded run with --sample-hz failed with $?"
+check_folded "$workdir/sampled.folded" "--sample-hz 500"
+
+"$tlacheck" profile states "$specs/peterson.tla" --format folded \
+  --out "$workdir/spans.folded" > /dev/null \
+  || fail "folded run without sampler failed with $?"
+check_folded "$workdir/spans.folded" "span-derived"
+echo "ok: folded output is pure collapsed-stack format (sampled and span-derived)"
+
+# --- 3. Trace format: memory gauges ride along as counter events. ---
+
+"$tlacheck" profile states "$specs/counter.tla" --format trace \
+  --out "$workdir/trace.json" > /dev/null \
+  || fail "trace run failed with $?"
+python3 - "$workdir/trace.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+counters = {e["name"] for e in data["traceEvents"] if e.get("ph") == "C"}
+for want in ("mem_tracked", "mem_state_store", "mem_parser"):
+    assert want in counters, f"missing counter series {want!r} (have {sorted(counters)})"
+mem = [e for e in data["traceEvents"]
+       if e.get("ph") == "C" and e["name"].startswith("mem_")]
+for e in mem:
+    if e["name"] == "mem_tracked":
+        assert set(e["args"]) == {"peak_bytes", "bytes_per_state"}, e
+        assert e["args"]["peak_bytes"] >= 0 and e["args"]["bytes_per_state"] >= 0, e
+    else:
+        assert set(e["args"]) == {"live_bytes", "peak_bytes"}, e
+        assert e["args"]["peak_bytes"] >= e["args"]["live_bytes"] >= 0, e
+PY
+echo "ok: trace output carries mem_* counter events with live/peak args"
+
+# --- 4. Exit-code forwarding with the profile renders active. ---
+
+rc=0
+"$tlacheck" profile check "$specs/counter.tla" --invariant 'x < 4' \
+  --format folded --out "$workdir/violated.folded" > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || fail "violated invariant under profile: expected exit 1, got $rc"
+[ -s "$workdir/violated.folded" ] || fail "folded output missing after violation exit"
+echo "ok: wrapped exit code forwarded, folded output still written"
+
+echo "check_profile_cli: all checks passed"

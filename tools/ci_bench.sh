@@ -105,6 +105,61 @@ if isinstance(hists, dict):
             need(key in ("buckets", "sum", "count"),
                  f"histograms['{name}'] has unexpected key '{key}'")
 
+# memory: per-domain gauges + alloc-size histograms + tracked totals (v3).
+mem_schema = schema["properties"]["memory"]
+mem = data.get("memory")
+need(isinstance(mem, dict), "'memory' is not an object")
+if isinstance(mem, dict):
+    for key in mem_schema["required"]:
+        need(key in mem, f"missing memory key '{key}'")
+    for key in ("tracked_live_bytes", "tracked_peak_bytes", "bytes_per_state"):
+        need(nonneg_int(mem.get(key)),
+             f"memory['{key}'] = {mem.get(key)!r} is not a non-negative integer")
+    dom_schema = mem_schema["properties"]["domains"]
+    domains = mem.get("domains")
+    need(isinstance(domains, dict), "memory.domains is not an object")
+    if isinstance(domains, dict):
+        for key in dom_schema["required"]:
+            need(key in domains, f"missing memory domain '{key}'")
+        n_buckets = dom_schema["patternProperties"][
+            "^[a-z][a-z0-9_]*$"]["properties"]["alloc_size"][
+            "properties"]["buckets"]["minItems"]
+        for dname, dom in domains.items():
+            need(re.fullmatch(r"[a-z][a-z0-9_]*", dname),
+                 f"memory domain '{dname}' is not snake_case")
+            need(isinstance(dom, dict), f"memory.domains['{dname}'] is not an object")
+            if not isinstance(dom, dict):
+                continue
+            for key in ("live_bytes", "peak_bytes", "allocs"):
+                need(nonneg_int(dom.get(key)),
+                     f"memory.domains['{dname}'].{key} = {dom.get(key)!r} is not "
+                     "a non-negative integer")
+            alloc = dom.get("alloc_size")
+            need(isinstance(alloc, dict),
+                 f"memory.domains['{dname}'].alloc_size is not an object")
+            if isinstance(alloc, dict):
+                buckets = alloc.get("buckets")
+                need(isinstance(buckets, list) and len(buckets) == n_buckets
+                     and all(nonneg_int(b) for b in buckets),
+                     f"memory.domains['{dname}'].alloc_size.buckets is not a list "
+                     f"of {n_buckets} non-negative integers")
+                need(nonneg_int(alloc.get("sum")),
+                     f"memory.domains['{dname}'].alloc_size.sum is not a "
+                     "non-negative integer")
+                need(nonneg_int(alloc.get("count")),
+                     f"memory.domains['{dname}'].alloc_size.count is not a "
+                     "non-negative integer")
+                if isinstance(buckets, list) and all(nonneg_int(b) for b in buckets):
+                    need(sum(buckets) == alloc.get("count"),
+                         f"memory.domains['{dname}'].alloc_size: bucket total "
+                         f"{sum(buckets)} != count {alloc.get('count')!r}")
+            for key in dom:
+                need(key in ("live_bytes", "peak_bytes", "allocs", "alloc_size"),
+                     f"memory.domains['{dname}'] has unexpected key '{key}'")
+    for key in mem:
+        need(key in mem_schema["properties"],
+             f"memory has unexpected key '{key}'")
+
 for key in data:
     need(key in schema["properties"], f"unexpected top-level key '{key}'")
 
@@ -191,6 +246,18 @@ run_config() {
   fi
   if [ ! -f "$outdir/BENCH_bench_independence.json" ]; then
     echo "error: bench_independence did not export its counters" >&2
+    exit 1
+  fi
+
+  # The memory-accounting microbench pins the headline bytes_per_state
+  # (stability across runs + per-domain attribution; the MEMORY experiment
+  # records its numbers).
+  if [ ! -x "$dir/bench/bench_memory_accounting" ]; then
+    echo "error: bench_memory_accounting missing under $dir/bench" >&2
+    exit 1
+  fi
+  if [ ! -f "$outdir/BENCH_bench_memory_accounting.json" ]; then
+    echo "error: bench_memory_accounting did not export its counters" >&2
     exit 1
   fi
 

@@ -138,6 +138,7 @@
 #include "opentla/obs/flight_recorder.hpp"
 #include "opentla/obs/metrics_server.hpp"
 #include "opentla/obs/obs.hpp"
+#include "opentla/obs/profiler.hpp"
 #include "opentla/obs/progress.hpp"
 #include "opentla/parser/parser.hpp"
 #include "opentla/run/budget.hpp"
@@ -160,8 +161,8 @@ int usage() {
          "                [--state-bound N]\n"
          "       tlacheck analyze SPEC.tla [SPEC2.tla ...] [--format human|json]\n"
          "                [--independence] [--footprints]\n"
-         "       tlacheck profile SUBCOMMAND ARGS... [--format human|json|trace]\n"
-         "                [--out FILE]\n"
+         "       tlacheck profile SUBCOMMAND ARGS... [--format human|json|trace|folded]\n"
+         "                [--out FILE] [--top N] [--sample-hz N]\n"
          "options: --invariant EXPR   --dump   --max-states N   --steps N   --seed S\n"
          "         --threads N (exploration workers; 1 = serial, 0 = hardware\n"
          "         concurrency; the graph is identical for every N)\n"
@@ -177,6 +178,9 @@ int usage() {
          "         --tree-eval (force the tree evaluator instead of the bytecode\n"
          "         VM; verdicts and graphs are identical either way)\n"
          "         --run-ledger FILE (append one JSONL line per run)\n"
+         "         --sample-hz N (span-stack sampling profiler; `profile --format\n"
+         "         folded` emits collapsed stacks for flamegraph.pl/speedscope)\n"
+         "         --top N (profile: rows in the self-time table, default 10)\n"
          "         (the live-observability flags need OPENTLA_OBS=ON)\n"
          "exit codes (all subcommands; profile forwards the wrapped one's):\n"
          "  0  printed / property holds / lint clean\n"
@@ -820,6 +824,8 @@ int main(int argc, char** argv) {
   long deadline_ms = -1;   // <0 = off
   long rss_limit_mb = -1;  // <0 = off
   long flight_cap = -1;    // <0 = off
+  long sample_hz = -1;     // <0 = off
+  long top_n = 10;
   std::string flight_out = "flight_recorder.jsonl";
   int serve_port = -1;  // <0 = off (0 = ephemeral)
   long serve_hold_ms = 0;
@@ -860,8 +866,10 @@ int main(int argc, char** argv) {
       seed = static_cast<unsigned>(std::stoul(args[++i]));
     } else if (args[i] == "--format" && i + 1 < args.size()) {
       format = args[++i];
-      // "trace" (Chrome trace_event) only makes sense for `profile`.
-      if (format != "human" && format != "json" && !(profiling && format == "trace")) {
+      // "trace" (Chrome trace_event) and "folded" (collapsed stacks for
+      // flamegraph.pl) only make sense for `profile`.
+      if (format != "human" && format != "json" &&
+          !(profiling && (format == "trace" || format == "folded"))) {
         return usage();
       }
     } else if (args[i] == "--out" && i + 1 < args.size()) {
@@ -886,6 +894,12 @@ int main(int argc, char** argv) {
     } else if (args[i].rfind("--flight-recorder=", 0) == 0) {
       flight_cap = std::stol(args[i].substr(std::string("--flight-recorder=").size()));
       if (flight_cap <= 0) return usage();
+    } else if (args[i] == "--sample-hz" && i + 1 < args.size()) {
+      sample_hz = std::stol(args[++i]);
+      if (sample_hz <= 0) return usage();
+    } else if (args[i] == "--top" && i + 1 < args.size()) {
+      top_n = std::stol(args[++i]);
+      if (top_n <= 0) return usage();
     } else if (args[i] == "--flight-out" && i + 1 < args.size()) {
       flight_out = args[++i];
     } else if (args[i] == "--serve-metrics" && i + 1 < args.size()) {
@@ -993,11 +1007,12 @@ int main(int argc, char** argv) {
     // OPENTLA_OBS=OFF binary would silently record nothing, so reject the
     // flags outright instead of emitting empty files.
     const bool live_obs = progress_ms >= 0 || !events_file.empty() || !metrics_file.empty() ||
-                          flight_cap >= 0 || serve_port >= 0 || !ledger_file.empty();
+                          flight_cap >= 0 || serve_port >= 0 || !ledger_file.empty() ||
+                          sample_hz >= 0;
     if (live_obs && !obs::compile_time_enabled()) {
       std::cerr << "error: --progress/--events/--metrics-out/--flight-recorder/"
-                   "--serve-metrics/--run-ledger require a build with OPENTLA_OBS=ON "
-                   "(this binary was configured with -DOPENTLA_OBS=OFF)\n";
+                   "--serve-metrics/--run-ledger/--sample-hz require a build with "
+                   "OPENTLA_OBS=ON (this binary was configured with -DOPENTLA_OBS=OFF)\n";
       return 2;
     }
 
@@ -1066,7 +1081,19 @@ int main(int argc, char** argv) {
           });
     }
 
+    // Span-stack sampling profiler: walks every registered thread's span
+    // stack at --sample-hz and folds the observations for flamegraphs.
+    // Read-only on atomics, so exploration order (and the bit-identical
+    // graph contract) is unaffected.
+    std::unique_ptr<obs::SamplingProfiler> span_profiler;
+    if (sample_hz > 0) {
+      obs::set_enabled(true);
+      span_profiler =
+          std::make_unique<obs::SamplingProfiler>(static_cast<double>(sample_hz));
+    }
+
     auto finish = [&](int rc) {
+      if (span_profiler) span_profiler->stop();
       if (sampler) sampler->stop();
       obs::gauge_max(obs::Gauge::PeakRssBytes, obs::read_rss_bytes());
       if (budget != nullptr && budget->stopped()) {
@@ -1127,6 +1154,9 @@ int main(int argc, char** argv) {
                 std::chrono::steady_clock::now() - run_start)
                 .count());
         rec.peak_rss_bytes = obs::gauge_value(obs::Gauge::PeakRssBytes);
+        const obs::Snapshot mem_snap = obs::snapshot();
+        rec.tracked_peak_bytes = mem_snap.mem_tracked_peak_bytes;
+        rec.bytes_per_state = mem_snap.bytes_per_state();
         if (!run::append_run_ledger(ledger_file, rec)) {
           std::cerr << "warning: cannot append run ledger " << ledger_file << "\n";
         }
@@ -1138,6 +1168,9 @@ int main(int argc, char** argv) {
 
     obs::ScopedSink sink;
     const int rc = dispatch();
+    // Sampling ends with the measured work (stop() is idempotent; finish()
+    // calls it again harmlessly) so folded counts are complete here.
+    if (span_profiler) span_profiler->stop();
     obs::Snapshot snap = sink.take();
     // Expression-evaluator section: which engine ran and how much bytecode
     // it retired. Appended to human-readable stats/profile output only; the
@@ -1156,10 +1189,24 @@ int main(int argc, char** argv) {
       std::cout << "--- stats ---\n" << obs::render_human(snap) << vm_section();
       return finish(rc);
     }
+    // Folded stacks come from the live sampler when one ran; when it did
+    // not (or the run was too short for any tick to land on an open span),
+    // they are derived from the completed spans so the flamegraph always
+    // renders.
+    const auto folded_text = [&] {
+      std::vector<obs::FoldedStack> stacks;
+      if (span_profiler) stacks = span_profiler->folded();
+      if (stacks.empty()) stacks = obs::folded_from_spans(snap);
+      return obs::render_folded(stacks);
+    };
     const std::string rendered =
-        format == "trace"  ? obs::render_chrome_trace(snap)
-        : format == "json" ? obs::render_json(snap)
-                           : obs::render_human(snap) + vm_section();
+        format == "trace"    ? obs::render_chrome_trace(snap)
+        : format == "json"   ? obs::render_json(snap)
+        : format == "folded" ? folded_text()
+                             : obs::render_human(snap) + vm_section() +
+                                   obs::render_profile_table(
+                                       obs::profile_rows(snap),
+                                       static_cast<std::size_t>(top_n));
     if (out_file.empty()) {
       std::cout << rendered;
     } else {
